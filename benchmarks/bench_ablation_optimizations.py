@@ -1,0 +1,45 @@
+"""Ablation — Optimizations 1 & 2, lazy BCP, and the 1978 baseline.
+
+Quantifies the design choices DESIGN.md calls out:
+* component upper bounds (Optimization 2) cut distance evaluations;
+* subtree skipping (Optimization 1) cuts node visits;
+* together they dominate: the fully optimized variant does the least
+  simulated work;
+* MemoGFK's lazy (memoized) BCP computes far fewer distances than eager;
+* Bentley–Friedman 1978 performs orders of magnitude more distance
+  computations than the single-tree algorithm at equal n — the redundant
+  re-query problem that motivated this entire line of work.
+"""
+
+from repro.bench.figures import ablation
+
+
+def bench_ablation_optimizations(run_once):
+    rows, table = run_once(lambda: ablation.run())
+    print("\n" + table)
+
+    for name in ablation.DATASETS:
+        variants = {r["variant"]: r for r in rows if r["dataset"] == name
+                    and r["variant"].startswith("skip")}
+        if not variants:
+            continue
+        on = variants["skip=on,bounds=on"]
+        no_bounds = variants["skip=on,bounds=off"]
+        no_skip = variants["skip=off,bounds=on"]
+        off = variants["skip=off,bounds=off"]
+        assert on["distance_evals"] < no_bounds["distance_evals"], name
+        assert on["nodes_visited"] < no_skip["nodes_visited"], name
+        assert on["sim_a100_seconds"] < off["sim_a100_seconds"], name
+
+    lazy = next(r for r in rows if r["variant"] == "memogfk-lazy")
+    eager = next(r for r in rows if r["variant"] == "memogfk-eager")
+    bf78 = next(r for r in rows if r["variant"] == "bentley-friedman-1978")
+    assert lazy["distance_evals"] < 0.5 * eager["distance_evals"]
+    assert bf78["distance_evals"] > 10 * lazy["distance_evals"]
+
+    # The paper's Section-4.1 hypothesis: higher-resolution Morton codes
+    # fix the GeoLife pathology.
+    m64 = next(r for r in rows if r["variant"] == "geolife-morton-64bit")
+    m128 = next(r for r in rows if r["variant"] == "geolife-morton-128bit")
+    assert m128["nodes_visited"] < 0.7 * m64["nodes_visited"]
+    assert m128["sim_a100_seconds"] < m64["sim_a100_seconds"]

@@ -1,0 +1,30 @@
+"""Figure 1 — headline throughput on Hacc37M (paper page 1).
+
+Regenerates the MLPACK / MemoGFK / ArborX comparison across sequential,
+multithreaded and GPU platforms.  Checks the paper's ordering claims:
+ArborX is the fastest sequential implementation on Hacc, the GPU rates
+dwarf the multithreaded CPU ones, and the A100 outruns the MI250X GCD.
+"""
+
+from repro.bench.figures import fig1
+
+
+def bench_fig1_headline(run_once):
+    rows, table = run_once(lambda: fig1.run())
+    print("\n" + table)
+
+    rates = {(r["algorithm"], r["platform"]): r["mfeatures_per_sec"]
+             for r in rows}
+    # Sequential ordering: MLPACK < {MemoGFK, ArborX}; ArborX >= MemoGFK.
+    assert rates[("MLPACK", "Sequential")] < rates[("MemoGFK", "Sequential")]
+    assert rates[("MLPACK", "Sequential")] < rates[("ArborX", "Sequential")]
+    assert rates[("ArborX", "Sequential")] >= 0.9 * rates[("MemoGFK",
+                                                           "Sequential")]
+    # GPUs dominate the CPUs; A100 > MI250X (paper: 270.7 vs 180.3).
+    assert rates[("ArborX", "A100")] > 5 * rates[("ArborX", "Multithreaded")]
+    assert rates[("ArborX", "A100")] > rates[("ArborX", "MI250X")]
+    # Calibration anchor sanity: within 25% of the paper's numbers.
+    for key, paper in {("ArborX", "Sequential"): 0.8,
+                       ("ArborX", "A100"): 270.7,
+                       ("ArborX", "MI250X"): 180.3}.items():
+        assert abs(rates[key] - paper) / paper < 0.25, (key, rates[key])

@@ -1,0 +1,31 @@
+"""Figure 5 — sequential comparison across the twelve datasets.
+
+Shape assertions from the paper's Section 4.1:
+* MLPACK is the slowest implementation on every dataset;
+* ArborX is competitive with MemoGFK (within ~3x either way) everywhere
+  except GeoLife24M3D;
+* GeoLife24M3D is ArborX's worst dataset (Z-curve under-resolution);
+* rates are roughly dimension-agnostic (2D vs 3D within one order).
+"""
+
+from repro.bench.figures import fig5
+
+
+def bench_fig5_sequential(run_once):
+    rows, table = run_once(lambda: fig5.run())
+    print("\n" + table)
+
+    by_dataset = {r["dataset"]: r for r in rows}
+    for name, row in by_dataset.items():
+        assert row["MLPACK"] < row["MemoGFK"], name
+        assert row["MLPACK"] < row["ArborX"] or name == "GeoLife24M3D", name
+
+    # GeoLife is ArborX's worst dataset by a clear margin.
+    geolife = by_dataset["GeoLife24M3D"]["ArborX"]
+    others = [r["ArborX"] for r in rows if r["dataset"] != "GeoLife24M3D"]
+    assert geolife < min(others), (geolife, min(others))
+
+    # Dimension-agnostic: ArborX 2D and 3D rates within one order of
+    # magnitude of each other (GeoLife excluded as the known pathology).
+    normal = [r["ArborX"] for r in rows if r["dataset"] != "GeoLife24M3D"]
+    assert max(normal) / min(normal) < 10.0

@@ -1,0 +1,35 @@
+"""Figure 6 — parallel comparison across the twelve datasets.
+
+Shape assertions from the paper's Section 4.2:
+* ArborX on the A100 beats multithreaded MemoGFK by 4-24x on every
+  dataset large enough to saturate the GPU;
+* the MI250X GCD is qualitatively similar to the A100 at a fraction of
+  its rate (paper: best/worst datasets coincide);
+* best dataset is Hacc37M, worst are GeoLife24M3D / RoadNetwork3D (the
+  latter because the dataset is too small to saturate a GPU);
+* ArborX multithreaded lands within 0.5-2x of MemoGFK multithreaded on
+  most datasets.
+"""
+
+from repro.bench.figures import fig6
+
+SMALL = {"RoadNetwork3D", "NgsimLocation3"}  # too small to saturate
+
+
+def bench_fig6_parallel(run_once):
+    rows, table = run_once(lambda: fig6.run())
+    print("\n" + table)
+
+    for r in rows:
+        name = r["dataset"]
+        if name in SMALL or name == "GeoLife24M3D":
+            continue
+        speedup = r["ArborX_A100"] / r["MemoGFK_MT"]
+        assert 2.0 < speedup < 40.0, (name, speedup)
+        assert r["ArborX_MI250X"] < r["ArborX_A100"], name
+        assert r["ArborX_MI250X"] > 0.4 * r["ArborX_A100"], name
+
+    a100 = {r["dataset"]: r["ArborX_A100"] for r in rows}
+    assert max(a100, key=a100.get) == "Hacc37M"
+    worst = min(a100, key=a100.get)
+    assert worst in ("GeoLife24M3D", "RoadNetwork3D"), worst

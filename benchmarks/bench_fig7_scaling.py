@@ -1,0 +1,25 @@
+"""Figure 7 — throughput vs number of samples (Section 4.3).
+
+Shape assertions: rates *rise* with n for both implementations (the
+paper's empirical evidence of asymptotically linear cost) and the ArborX
+curve saturates — the last doubling of n gains much less than the first.
+"""
+
+from repro.bench.figures import fig7
+
+
+def bench_fig7_scaling(run_once):
+    rows, table = run_once(lambda: fig7.run())
+    print("\n" + table)
+
+    for name in fig7.DATASETS:
+        series = [(r["n"], r["ArborX_A100"]) for r in rows
+                  if r["dataset"] == name]
+        series.sort()
+        rates = [rate for _, rate in series]
+        # Rising: the largest size must beat the smallest clearly.
+        assert rates[-1] > 2.0 * rates[0], (name, rates)
+        # Saturating: relative gain of the last step < gain of the first.
+        first_gain = rates[1] / rates[0]
+        last_gain = rates[-1] / rates[-2]
+        assert last_gain < first_gain, (name, rates)

@@ -1,0 +1,34 @@
+"""Figure 8 — phase breakdowns and per-phase speed-ups (Section 4.4).
+
+Shape assertions:
+(a) MemoGFK: the WSPD phase dominates the sequential runtime on large
+    datasets, and every phase speeds up under the multithreaded model;
+(b) ArborX: both phases (tree construction, Borůvka MST) achieve
+    triple-digit GPU speed-ups on saturating datasets (paper: up to
+    ~360x/~420x), but not on RoadNetwork3D (too small).
+"""
+
+from repro.bench.figures import fig8
+
+
+def bench_fig8_phases(run_once):
+    rows, table = run_once(lambda: fig8.run())
+    print("\n" + table)
+
+    memogfk = [r for r in rows if r["panel"] == "a:MemoGFK"]
+    arborx = [r for r in rows if r["panel"] == "b:ArborX"]
+
+    for r in memogfk:
+        assert r["speedup"] is None or r["speedup"] > 1.0, r
+
+    for name in {r["dataset"] for r in arborx}:
+        phases = {r["phase"]: r for r in arborx if r["dataset"] == name}
+        mst = phases["T_mst"]
+        tree = phases["T_tree"]
+        if name == "RoadNetwork3D":
+            assert mst["speedup"] < 100, mst
+        else:
+            assert mst["speedup"] > 100, (name, mst["speedup"])
+            assert tree["speedup"] > 50, (name, tree["speedup"])
+        # The Borůvka phase dominates tree construction sequentially.
+        assert mst["seq_seconds"] > tree["seq_seconds"], name

@@ -1,0 +1,30 @@
+"""Figure 9 — mutual-reachability distance, k_pts sweep (Section 4.5).
+
+Shape assertions:
+* T_core grows monotonically with k_pts for both implementations;
+* the ArborX-over-MemoGFK *core* speed-up does not improve as k_pts grows
+  (the paper observes it drops: GPU k-NN diverges with larger k);
+* the Borůvka kernel cost (T_mst) stays within ~50% of its k=2 value
+  (paper: within 30%).
+"""
+
+from repro.bench.figures import fig9
+
+
+def bench_fig9_mrd(run_once):
+    rows, table = run_once(lambda: fig9.run())
+    print("\n" + table)
+
+    for name in fig9.DATASETS:
+        series = sorted((r for r in rows if r["dataset"] == name),
+                        key=lambda r: r["k_pts"])
+        cores_a = [r["Tcore_ArborX"] for r in series]
+        cores_g = [r["Tcore_MemoGFK"] for r in series]
+        assert all(b > a for a, b in zip(cores_a, cores_a[1:])), (name,
+                                                                  cores_a)
+        assert all(b > a for a, b in zip(cores_g, cores_g[1:])), (name,
+                                                                  cores_g)
+        speedups = [r["core_speedup"] for r in series]
+        assert speedups[-1] <= speedups[0] * 1.15, (name, speedups)
+        kernels = [r["Tmst_kernel_ArborX"] for r in series]
+        assert max(kernels) <= 1.5 * kernels[0], (name, kernels)

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the core kernels (real wall-clock, pytest-benchmark).
+
+Unlike the figure benches (which report simulated device times), these
+measure the NumPy substrate itself: BVH construction, the batched NN
+traversal, the k-NN kernel, label reduction, and a full Borůvka round.
+Useful for tracking regressions in the vectorized kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bvh import batched_knn, batched_nearest, build_bvh
+from repro.core.bounds import compute_upper_bounds
+from repro.core.emst import emst
+from repro.core.labels import reduce_labels
+from repro.data import generate
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def points():
+    return generate("Hacc37M", N, seed=0)
+
+
+@pytest.fixture(scope="module")
+def bvh(points):
+    return build_bvh(points)
+
+
+def bench_bvh_construction(benchmark, points):
+    benchmark(lambda: build_bvh(points))
+
+
+def bench_nearest_neighbors(benchmark, bvh):
+    queries = bvh.points
+    excl = np.arange(bvh.n)
+    benchmark.pedantic(
+        lambda: batched_nearest(bvh, queries, exclude_position=excl),
+        rounds=3, iterations=1)
+
+
+def bench_knn_k8(benchmark, bvh):
+    benchmark.pedantic(lambda: batched_knn(bvh, bvh.points, 8),
+                       rounds=3, iterations=1)
+
+
+def bench_label_reduction(benchmark, bvh):
+    labels = np.arange(bvh.n, dtype=np.int64) % 64
+    benchmark(lambda: reduce_labels(bvh, labels))
+
+
+def bench_upper_bounds(benchmark, bvh):
+    labels = np.arange(bvh.n, dtype=np.int64) % 64
+    benchmark(lambda: compute_upper_bounds(bvh, labels))
+
+
+def bench_full_emst(benchmark, points):
+    benchmark.pedantic(lambda: emst(points), rounds=2, iterations=1)

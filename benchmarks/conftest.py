@@ -1,0 +1,25 @@
+"""Benchmark-suite fixtures.
+
+Each figure driver is executed exactly once per session
+(``benchmark.pedantic(rounds=1)``) because a driver is itself a multi-run
+experiment; pytest-benchmark records its wall time while the driver writes
+its rendered table to ``reports/`` and to stdout.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+
+    def runner(fn):
+        holder = {}
+
+        def target():
+            holder["result"] = fn()
+
+        benchmark.pedantic(target, rounds=1, iterations=1)
+        return holder["result"]
+
+    return runner

@@ -1,0 +1,12 @@
+"""Ensure ``src/`` is importable even when the package is not installed.
+
+This keeps ``pytest`` usable from a fresh checkout in offline environments
+where ``pip install -e .`` may not be possible.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Cosmology: MST statistics of a simulated HACC-like particle snapshot.
+
+The paper's motivating application (Section 1) is analysing cosmological
+simulation data; the MST is an established cosmological statistic beyond
+two-point functions [Naidoo et al. 2020].  This example computes the EMST
+of a halo+filament particle distribution and contrasts its edge-length
+statistics with an unclustered (uniform) distribution of equal size —
+the clustering signal the MST exposes.
+
+Run:  python examples/cosmology_mst.py [n_points]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import emst
+from repro.data import hacc, uniform
+
+n = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+
+print(f"generating {n} cosmology-like and {n} uniform 3D points...")
+cosmo_points = hacc(n, seed=7)
+uniform_points = uniform(n, dim=3, seed=7) + 0.5  # same unit cube
+
+results = {}
+for name, pts in (("cosmology", cosmo_points), ("uniform", uniform_points)):
+    result = emst(pts)
+    results[name] = result
+    w = result.weights
+    print(f"\n{name}: total weight {result.total_weight:.2f}, "
+          f"{result.n_iterations} Boruvka rounds, "
+          f"{result.wall_seconds:.2f}s wall")
+    qs = np.percentile(w, [5, 25, 50, 75, 95, 99.9])
+    print("  edge length percentiles (5/25/50/75/95/99.9):")
+    print("   " + "  ".join(f"{q:.2e}" for q in qs))
+
+# The clustering signal: in a clustered universe the MST has many very
+# short edges (inside halos) and a heavy tail of long filament/void
+# edges; the uniform field's edge lengths concentrate near the mean
+# inter-particle spacing.
+cosmo_w = results["cosmology"].weights
+unif_w = results["uniform"].weights
+ratio_spread = (np.percentile(cosmo_w, 99) / np.percentile(cosmo_w, 1)) / \
+               (np.percentile(unif_w, 99) / np.percentile(unif_w, 1))
+print(f"\nedge-length dynamic range, cosmology vs uniform: "
+      f"{ratio_spread:.1f}x wider")
+assert ratio_spread > 3.0, "clustered data should have far wider MST edges"
+
+# Halo finding by MST edge cutting (friends-of-friends equivalent):
+# cutting all edges longer than a linking length leaves halo fragments.
+linking_length = np.percentile(cosmo_w, 90)
+kept = cosmo_w <= linking_length
+print(f"cutting edges > {linking_length:.2e} (90th pct) leaves "
+      f"{np.count_nonzero(~kept) + 1} connected fragments "
+      "(halo candidates + field points)")

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Performance portability: one run, priced on every simulated device.
+
+The instrumented kernels record device-independent work counters
+(distance evaluations, BVH node visits, warp-divergence traces, bytes
+moved).  A single physical execution can therefore be *repriced* on each
+simulated device — the Kokkos promise of the paper, reproduced as a cost
+model.  This regenerates a miniature of Figure 1 for any dataset.
+
+Run:  python examples/device_comparison.py [dataset] [n_points]
+"""
+
+import sys
+
+from repro.bench.harness import run_arborx, simulated_rate, simulated_seconds
+from repro.data import DATASETS, generate
+from repro.kokkos.costmodel import weighted_ops
+from repro.kokkos.devices import device_registry
+
+dataset = sys.argv[1] if len(sys.argv) > 1 else "Hacc37M"
+n = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+if dataset not in DATASETS:
+    raise SystemExit(f"unknown dataset {dataset!r}; choose from "
+                     f"{sorted(DATASETS)}")
+
+print(f"running single-tree EMST on {dataset} (n={n})...")
+record = run_arborx(generate(dataset, n, seed=0), dataset)
+
+counters = record.total_counters
+print(f"\nmeasured work: {weighted_ops(counters):.3g} weighted ops, "
+      f"{counters.distance_evals} distance evals, "
+      f"divergence factor {counters.divergence_factor:.2f}")
+print(f"wall clock (NumPy substrate): {record.wall_seconds:.2f}s\n")
+
+print(f"{'device':30s} {'simulated':>12s} {'MFeatures/s':>12s}")
+for key, device in device_registry().items():
+    seconds = simulated_seconds(record, device)
+    rate = simulated_rate(record, device)
+    print(f"{device.name:30s} {seconds:11.4f}s {rate:12.1f}")
+
+print("\nper-phase on the A100:")
+a100 = device_registry()["a100"]
+for phase in record.phase_counters:
+    seconds = simulated_seconds(record, a100, phases=[phase])
+    print(f"  T_{phase:6s} {seconds * 1e3:8.3f} ms")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+``pip install -e .`` must use the legacy ``setup.py develop`` path; keeping
+this file (and omitting ``[build-system]`` from ``pyproject.toml``) enables
+that. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

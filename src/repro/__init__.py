@@ -1,0 +1,56 @@
+"""repro — single-tree Borůvka EMST on GPUs, reproduced in Python.
+
+Reproduction of A. Prokopenko, P. Sao, D. Lebrun-Grandié, *"A single-tree
+algorithm to compute the Euclidean minimum spanning tree on GPUs"*
+(ICPP 2022, arXiv:2207.00514).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import emst
+>>> points = np.random.default_rng(0).random((1000, 3))
+>>> tree = emst(points)
+>>> tree.edges.shape
+(999, 2)
+
+Package map
+-----------
+``repro.core``      the paper's single-tree Borůvka EMST (+ m.r.d. metric)
+``repro.bvh``       linear BVH substrate (ArborX analogue)
+``repro.kokkos``    execution-space layer with simulated device cost models
+``repro.baselines`` MLPACK dual-tree, MemoGFK/WSPD, Bentley–Friedman, oracles
+``repro.hdbscan``   HDBSCAN* on the mutual-reachability EMST
+``repro.data``      generators mirroring the paper's 12 datasets
+``repro.bench``     harness regenerating every figure of the evaluation
+"""
+
+from repro.core.emst import EMSTResult, emst, mutual_reachability_emst
+from repro.core.boruvka_emst import SingleTreeConfig
+from repro.bvh.bvh import BVH, build_bvh
+from repro.hdbscan.hdbscan import HDBSCANResult, hdbscan
+from repro.metrics import mfeatures_per_second
+from repro.errors import (
+    ConvergenceError,
+    DimensionError,
+    InvalidInputError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "emst",
+    "mutual_reachability_emst",
+    "EMSTResult",
+    "SingleTreeConfig",
+    "BVH",
+    "build_bvh",
+    "hdbscan",
+    "HDBSCANResult",
+    "mfeatures_per_second",
+    "ReproError",
+    "InvalidInputError",
+    "DimensionError",
+    "ConvergenceError",
+    "__version__",
+]

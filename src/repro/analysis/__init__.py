@@ -1,0 +1,25 @@
+"""MST analysis utilities for the paper's application domains.
+
+The paper's motivating application is cosmology (Section 1), where the
+MST is used as a clustering statistic beyond two-point functions
+[Naidoo et al. 2020].  This package provides the standard MST statistics
+those analyses consume — edge-length distributions, vertex degrees,
+cut-based fragmentation (friends-of-friends-style group finding) —
+operating on any :class:`~repro.core.emst.EMSTResult`.
+"""
+
+from repro.analysis.mst_stats import (
+    MSTStatistics,
+    cut_fragments,
+    degree_histogram,
+    edge_length_statistics,
+    mst_statistics,
+)
+
+__all__ = [
+    "MSTStatistics",
+    "mst_statistics",
+    "edge_length_statistics",
+    "degree_histogram",
+    "cut_fragments",
+]

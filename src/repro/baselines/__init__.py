@@ -1,0 +1,29 @@
+"""EMST baselines the paper compares against (all reimplemented here).
+
+* :mod:`repro.baselines.naive` — dense ``O(n^2)`` Prim on the distance
+  matrix; the correctness oracle for everything else.
+* :mod:`repro.baselines.bentley_friedman` — the original 1978 single-tree
+  Prim with kd-tree nearest-neighbor queries (the historical baseline the
+  paper's introduction starts from).
+* :mod:`repro.baselines.dualtree_boruvka` — March et al. 2010's dual-tree
+  Borůvka, the algorithm behind MLPACK's ``emst``.
+* :mod:`repro.baselines.memogfk` — Wang et al. 2021's WSPD-based EMST
+  (GeoMST2 lineage), the paper's fastest CPU competitor ("MemoGFK").
+* :mod:`repro.baselines.delaunay2d` — 2D-only Delaunay+Kruskal, the
+  classical planar special case mentioned in Section 2.
+"""
+
+from repro.baselines.naive import brute_force_emst, brute_force_mrd_emst
+from repro.baselines.bentley_friedman import bentley_friedman_emst
+from repro.baselines.dualtree_boruvka import dual_tree_emst
+from repro.baselines.memogfk import memogfk_emst
+from repro.baselines.delaunay2d import delaunay_emst_2d
+
+__all__ = [
+    "brute_force_emst",
+    "brute_force_mrd_emst",
+    "bentley_friedman_emst",
+    "dual_tree_emst",
+    "memogfk_emst",
+    "delaunay_emst_2d",
+]

@@ -1,0 +1,68 @@
+"""2D EMST via Delaunay triangulation + Kruskal.
+
+Section 2 notes that in the plane the EMST is a subgraph of the Delaunay
+triangulation (O(n) edges), making this the classical planar special case —
+and that the approach collapses in higher dimensions where the
+triangulation can have Θ(n²) simplices.  Included as a 2D cross-check and
+as a baseline in the 2D benchmark tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from repro.errors import DimensionError, InvalidInputError
+from repro.geometry.distance import gather_pair_sq
+from repro.kokkos.counters import CostCounters
+from repro.mst.kruskal import kruskal
+
+
+def delaunay_emst_2d(
+    points: np.ndarray,
+    *,
+    counters: Optional[CostCounters] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """EMST of 2D points via Delaunay edges; ``(u, v, w)`` with ``u < v``.
+
+    Degenerate inputs (all points collinear or coincident, where Delaunay
+    is undefined) fall back to sorting along the spanning direction, which
+    yields the exact EMST for collinear data.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise InvalidInputError(
+            f"expected non-empty (n, d) points, got {points.shape}")
+    if points.shape[1] != 2:
+        raise DimensionError("delaunay_emst_2d requires 2D input")
+    n = points.shape[0]
+    if n == 1:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64))
+
+    try:
+        tri = Delaunay(points)
+        simplices = tri.simplices
+        edges = np.concatenate([
+            simplices[:, [0, 1]],
+            simplices[:, [1, 2]],
+            simplices[:, [0, 2]],
+        ])
+    except Exception:
+        # Collinear/coincident degeneracy: chain along the widest axis.
+        axis = int(np.argmax(points.max(axis=0) - points.min(axis=0)))
+        order = np.lexsort((np.arange(n), points[:, 1 - axis],
+                            points[:, axis]))
+        edges = np.stack([order[:-1], order[1:]], axis=1)
+
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    uniq = np.unique(np.stack([lo, hi], axis=1), axis=0)
+    u, v = uniq[:, 0], uniq[:, 1]
+    w = np.sqrt(gather_pair_sq(points, u, v))
+    if counters is not None:
+        counters.record_bulk(n, ops_per_item=30.0, bytes_per_item=48.0)
+        counters.distance_evals += u.size
+    return kruskal(n, u, v, w, counters=counters)

@@ -1,0 +1,222 @@
+"""Dual-tree Borůvka EMST (March, Ram & Gray 2010) — the MLPACK baseline.
+
+Instead of one traversal per query point, each Borůvka round runs a single
+*dual* depth-first traversal over pairs of kd-tree nodes, maintaining
+
+* per-component best candidate edges (tie-broken, as everywhere),
+* per-node *component uniformity* — a node fully inside one component
+  prunes against an equally uniform node of the same component (the
+  dual-tree ancestor of the paper's subtree skipping, cf. McInnes & Healy
+  2017), and
+* per-node traversal bounds ``B(Q)`` = the worst current candidate among
+  components under ``Q``; a node pair farther apart than both sides'
+  bounds cannot improve any candidate and is pruned.
+
+Under mild distribution assumptions this has the best known worst case,
+but — as the paper argues — the recursive pair traversal resists GPU
+parallelization; it is reproduced here as the sequential/multithreaded
+reference ("MLPACK" in the figures).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InvalidInputError
+from repro.geometry.distance import box_box_sq
+from repro.kokkos.counters import CostCounters
+from repro.mst.union_find import UnionFind
+from repro.spatial.kdtree import KDTree, build_kdtree
+
+_UNIFORM_INVALID = -1
+
+
+def _node_uniform_components(tree: KDTree, labels: np.ndarray) -> np.ndarray:
+    """Component of each node's subtree, or -1 when mixed.
+
+    Children always have larger ids than their parent (construction order),
+    so one reverse pass is a bottom-up traversal.
+    """
+    uniform = np.empty(tree.n_nodes, dtype=np.int64)
+    for node in range(tree.n_nodes - 1, -1, -1):
+        if tree.is_leaf(node):
+            node_labels = labels[tree.node_indices(node)]
+            first = node_labels[0]
+            uniform[node] = first if np.all(node_labels == first) else _UNIFORM_INVALID
+        else:
+            ul = uniform[tree.left[node]]
+            ur = uniform[tree.right[node]]
+            uniform[node] = ul if (ul == ur and ul != _UNIFORM_INVALID) else _UNIFORM_INVALID
+    return uniform
+
+
+def dual_tree_emst(
+    points: np.ndarray,
+    *,
+    leaf_size: int = 16,
+    counters: Optional[CostCounters] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """EMST via dual-tree Borůvka; returns ``(u, v, w)`` with ``u < v``."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise InvalidInputError(
+            f"expected non-empty (n, d) points, got {points.shape}")
+    n = points.shape[0]
+    if n == 1:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64))
+
+    tree = build_kdtree(points, leaf_size=leaf_size, counters=counters)
+    uf = UnionFind(n)
+    mu_list, mv_list, mw_list = [], [], []
+
+    # The recursion depth is ~ two tree depths; raise the limit defensively
+    # for skewed data.
+    depth_guess = 4 * int(np.ceil(np.log2(max(n, 2)))) + 64
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, depth_guess * 8 + 1000))
+    try:
+        max_rounds = int(np.ceil(np.log2(max(n, 2)))) + 2
+        for _ in range(max_rounds):
+            if uf.n_components == 1:
+                break
+            labels = uf.component_labels()
+            uniform = _node_uniform_components(tree, labels)
+
+            best_d = np.full(n, np.inf)
+            best_key_lo = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+            best_key_hi = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+            best_u = np.full(n, -1, dtype=np.int64)
+            best_v = np.full(n, -1, dtype=np.int64)
+            bound = np.full(tree.n_nodes, np.inf)
+
+            def update_candidate(comp: int, i: int, j: int, d2: float) -> None:
+                klo, khi = (i, j) if i < j else (j, i)
+                if (d2 < best_d[comp]
+                        or (d2 == best_d[comp]
+                            and (klo, khi) < (best_key_lo[comp],
+                                              best_key_hi[comp]))):
+                    best_d[comp] = d2
+                    best_key_lo[comp] = klo
+                    best_key_hi[comp] = khi
+                    best_u[comp] = i
+                    best_v[comp] = j
+
+            def leaf_bound(node: int) -> float:
+                return float(np.max(best_d[labels[tree.node_indices(node)]]))
+
+            def base_case(a: int, b: int) -> None:
+                ia = tree.node_indices(a)
+                ib = tree.node_indices(b) if b != a else ia
+                pa = tree.points[ia]
+                pb = tree.points[ib]
+                # Direct differences so rounding (and therefore distance
+                # ties) matches the rest of the library bit for bit.
+                diff = pa[:, None, :] - pb[None, :, :]
+                d2 = np.sum(diff * diff, axis=2)
+                la = labels[ia]
+                lb = labels[ib]
+                cross = la[:, None] != lb[None, :]
+                if counters is not None:
+                    counters.distance_evals += int(np.count_nonzero(cross))
+                    counters.leaf_visits += 1
+                rows, cols = np.nonzero(cross)
+                if rows.size:
+                    # Candidates for both directions, reduced per component
+                    # under (d, klo, khi) with one vectorized group-min.
+                    pu = ia[rows]
+                    pv = ib[cols]
+                    dd = d2[rows, cols]
+                    comp = np.concatenate([la[rows], lb[cols]])
+                    cu = np.concatenate([pu, pv])
+                    cv = np.concatenate([pv, pu])
+                    cd = np.concatenate([dd, dd])
+                    klo = np.minimum(cu, cv)
+                    khi = np.maximum(cu, cv)
+                    order = np.lexsort((khi, klo, cd, comp))
+                    comp_sorted = comp[order]
+                    heads = np.ones(comp_sorted.size, dtype=bool)
+                    heads[1:] = comp_sorted[1:] != comp_sorted[:-1]
+                    for idx in order[heads]:
+                        update_candidate(int(comp[idx]), int(cu[idx]),
+                                         int(cv[idx]), float(cd[idx]))
+                bound[a] = leaf_bound(a)
+                if b != a:
+                    bound[b] = leaf_bound(b)
+
+            def recurse(a: int, b: int) -> None:
+                if counters is not None:
+                    counters.nodes_visited += 1
+                ua = uniform[a]
+                if ua != _UNIFORM_INVALID and ua == uniform[b]:
+                    return  # both subtrees in one component: skip
+                gap = float(box_box_sq(tree.lo[a], tree.hi[a],
+                                       tree.lo[b], tree.hi[b]))
+                if counters is not None:
+                    counters.box_distance_evals += 1
+                if gap > bound[a] and gap > bound[b]:
+                    return
+                a_leaf = tree.is_leaf(a)
+                b_leaf = tree.is_leaf(b)
+                if a_leaf and b_leaf:
+                    base_case(a, b)
+                    return
+                if a == b:
+                    l, r = int(tree.left[a]), int(tree.right[a])
+                    recurse(l, l)
+                    recurse(l, r)
+                    recurse(r, r)
+                    bound[a] = max(bound[l], bound[r])
+                    return
+                if b_leaf or (not a_leaf
+                              and tree.node_size(a) >= tree.node_size(b)):
+                    l, r = int(tree.left[a]), int(tree.right[a])
+                    dl = box_box_sq(tree.lo[l], tree.hi[l],
+                                    tree.lo[b], tree.hi[b])
+                    dr = box_box_sq(tree.lo[r], tree.hi[r],
+                                    tree.lo[b], tree.hi[b])
+                    first, second = (l, r) if dl <= dr else (r, l)
+                    recurse(first, b)
+                    recurse(second, b)
+                    bound[a] = max(bound[l], bound[r])
+                else:
+                    l, r = int(tree.left[b]), int(tree.right[b])
+                    dl = box_box_sq(tree.lo[a], tree.hi[a],
+                                    tree.lo[l], tree.hi[l])
+                    dr = box_box_sq(tree.lo[a], tree.hi[a],
+                                    tree.lo[r], tree.hi[r])
+                    first, second = (l, r) if dl <= dr else (r, l)
+                    recurse(a, first)
+                    recurse(a, second)
+                    bound[b] = max(bound[l], bound[r])
+
+            recurse(0, 0)
+
+            merged = False
+            comps = np.nonzero(best_u >= 0)[0]
+            order = np.lexsort((best_key_hi[comps], best_key_lo[comps],
+                                best_d[comps]))
+            for comp in comps[order]:
+                i, j = int(best_u[comp]), int(best_v[comp])
+                if uf.union(i, j):
+                    mu_list.append(min(i, j))
+                    mv_list.append(max(i, j))
+                    mw_list.append(float(np.sqrt(best_d[comp])))
+                    merged = True
+            if not merged:
+                raise ConvergenceError("dual-tree round merged no components")
+        else:
+            if uf.n_components != 1:
+                raise ConvergenceError("dual-tree Borůvka did not converge")
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    if counters is not None:
+        counters.record_bulk(n, ops_per_item=2.0)
+        counters.max_batch = max(counters.max_batch, n)
+    return (np.asarray(mu_list, dtype=np.int64),
+            np.asarray(mv_list, dtype=np.int64),
+            np.asarray(mw_list, dtype=np.float64))

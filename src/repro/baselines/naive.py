@@ -1,0 +1,109 @@
+"""Brute-force EMST oracles (dense Prim over the full distance matrix).
+
+``O(n^2)`` time and memory — exactly the cost the paper explains makes
+materializing the distance graph hopeless at scale (Section 2).  Small-n
+only, used as the ground truth in the test suite and as the "no spatial
+index" point of reference in the ablation benchmarks.
+
+Tie-breaking matches the library-wide total order ``(w, min, max)`` so the
+oracle's edge set is comparable edge-for-edge, not only by total weight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.geometry.distance import all_pairs_sq
+from repro.kokkos.counters import CostCounters
+
+
+def _dense_prim(d2: np.ndarray,
+                counters: Optional[CostCounters] = None
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Prim on a dense squared-distance matrix with index tie-breaking."""
+    n = d2.shape[0]
+    in_tree = np.zeros(n, dtype=bool)
+    best_sq = np.full(n, np.inf)
+    best_from = np.full(n, -1, dtype=np.int64)
+    in_tree[0] = True
+    best_sq[:] = d2[0]
+    best_from[:] = 0
+    best_sq[0] = np.inf
+
+    mu = np.empty(n - 1, dtype=np.int64)
+    mv = np.empty(n - 1, dtype=np.int64)
+    mw = np.empty(n - 1, dtype=np.float64)
+    for it in range(n - 1):
+        # Among minimum-weight frontier vertices, break ties by edge
+        # (min, max) pair to match the library's total order.
+        m = np.min(best_sq)
+        cand = np.nonzero(best_sq == m)[0]
+        pair_lo = np.minimum(cand, best_from[cand])
+        pair_hi = np.maximum(cand, best_from[cand])
+        pick = cand[np.lexsort((pair_hi, pair_lo))[0]]
+        src = best_from[pick]
+        mu[it] = min(pick, src)
+        mv[it] = max(pick, src)
+        mw[it] = np.sqrt(m)
+        in_tree[pick] = True
+        best_sq[pick] = np.inf
+        row = d2[pick]
+        verts = np.arange(n)
+        new_lo = np.minimum(verts, pick)
+        new_hi = np.maximum(verts, pick)
+        old_lo = np.minimum(verts, best_from)
+        old_hi = np.maximum(verts, best_from)
+        key_smaller = (new_lo < old_lo) | ((new_lo == old_lo)
+                                           & (new_hi < old_hi))
+        better = (~in_tree) & ((row < best_sq)
+                               | ((row == best_sq) & key_smaller))
+        best_sq[better] = row[better]
+        best_from[better] = pick
+    if counters is not None:
+        counters.record_bulk(n * n, ops_per_item=1.0, bytes_per_item=8.0)
+        counters.distance_evals += n * (n - 1) // 2
+    return mu, mv, mw
+
+
+def brute_force_emst(points: np.ndarray,
+                     counters: Optional[CostCounters] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact EMST by dense Prim; returns ``(u, v, w)`` with ``u < v``."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise InvalidInputError(
+            f"expected non-empty (n, d) points, got {points.shape}")
+    n = points.shape[0]
+    if n == 1:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64))
+    return _dense_prim(all_pairs_sq(points), counters)
+
+
+def brute_force_mrd_emst(points: np.ndarray, k_pts: int,
+                         counters: Optional[CostCounters] = None
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact mutual-reachability MST by dense Prim (HDBSCAN* oracle).
+
+    Core distance of a point is the distance to its ``k_pts``-th nearest
+    neighbor including itself, mirroring Section 4.5.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise InvalidInputError(
+            f"expected non-empty (n, d) points, got {points.shape}")
+    n = points.shape[0]
+    if k_pts < 1 or k_pts > n:
+        raise InvalidInputError(f"k_pts={k_pts} out of range for n={n}")
+    if n == 1:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64))
+    d2 = all_pairs_sq(points)
+    core_sq = np.sort(d2, axis=1)[:, k_pts - 1]  # row includes self (0)
+    m = np.maximum(d2, core_sq[:, None])
+    m = np.maximum(m, core_sq[None, :])
+    np.fill_diagonal(m, 0.0)
+    return _dense_prim(m, counters)

@@ -1,0 +1,42 @@
+"""Benchmark harness regenerating every figure of the paper's evaluation.
+
+Each ``fig*`` module produces the rows/series of the corresponding paper
+figure from the same three ingredients: a dataset generator
+(:mod:`repro.data`), an instrumented algorithm run
+(:mod:`repro.bench.harness`), and the simulated-device pricing
+(:mod:`repro.kokkos.costmodel`).
+
+A single physical execution of an algorithm yields device-independent work
+counters, which are then *repriced* on every simulated device — so one run
+produces the sequential, multithreaded, A100 and MI250X columns of a figure
+consistently.
+
+The ``benchmarks/`` directory at the repository root wraps these drivers in
+``pytest-benchmark`` targets and writes the rendered tables to
+``reports/``.
+"""
+
+from repro.bench.harness import (
+    RunRecord,
+    run_arborx,
+    run_arborx_mrd,
+    run_bentley_friedman,
+    run_memogfk,
+    run_mlpack,
+    simulated_rate,
+    simulated_seconds,
+)
+from repro.bench.tables import render_table, save_report
+
+__all__ = [
+    "RunRecord",
+    "run_arborx",
+    "run_arborx_mrd",
+    "run_memogfk",
+    "run_mlpack",
+    "run_bentley_friedman",
+    "simulated_seconds",
+    "simulated_rate",
+    "render_table",
+    "save_report",
+]

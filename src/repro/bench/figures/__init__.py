@@ -1,0 +1,20 @@
+"""Per-figure benchmark drivers (one module per paper figure).
+
+Each driver regenerates the rows/series of its figure and renders an ASCII
+table saved under ``reports/``.  See ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.bench.figures import (  # noqa: F401
+    ablation,
+    common,
+    fig1,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+)
+
+__all__ = ["common", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9",
+           "ablation"]

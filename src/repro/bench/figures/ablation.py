@@ -1,0 +1,108 @@
+"""Ablation of the paper's two optimizations (Section 3) + extras.
+
+Not a paper figure, but DESIGN.md commits to quantifying the design
+choices the paper motivates qualitatively:
+
+* Optimization 1 (subtree skipping) and Optimization 2 (component upper
+  bounds), toggled independently — measuring distance evaluations, node
+  visits and simulated A100 time;
+* lazy (memoized) vs eager BCP in the WSPD baseline;
+* the Bentley–Friedman 1978 baseline, showing the redundant-query problem
+  the later algorithms fix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.figures.common import dataset_points
+from repro.bench.harness import (
+    run_arborx,
+    run_bentley_friedman,
+    run_memogfk,
+    simulated_seconds,
+)
+from repro.bench.tables import render_table, save_report
+from repro.core.boruvka_emst import SingleTreeConfig
+from repro.kokkos.devices import A100, EPYC_7763_SEQ
+
+DATASETS = ["Hacc37M", "Uniform100M2"]
+
+
+def run(quick: bool = False) -> Tuple[List[Dict], str]:
+    """Run the optimization ablation; returns (rows, table)."""
+    n = 2_000 if quick else 8_000
+    rows: List[Dict] = []
+    for name in DATASETS[:1] if quick else DATASETS:
+        points = dataset_points(name, n)
+        for skip in (True, False):
+            for bounds in (True, False):
+                config = SingleTreeConfig(subtree_skipping=skip,
+                                          component_bounds=bounds)
+                record = run_arborx(points, name, config=config)
+                counters = record.total_counters
+                rows.append({
+                    "dataset": name,
+                    "variant": (f"skip={'on' if skip else 'off'},"
+                                f"bounds={'on' if bounds else 'off'}"),
+                    "n": n,
+                    "distance_evals": counters.distance_evals,
+                    "nodes_visited": counters.nodes_visited,
+                    "sim_a100_seconds": simulated_seconds(record, A100),
+                })
+
+    # The paper's proposed GeoLife fix (Section 4.1): double-width Morton
+    # codes restore Z-curve resolution under extreme density skew.
+    n_geo = 1_000 if quick else 10_000
+    geo = dataset_points("GeoLife24M3D", n_geo)
+    for high_res, label in ((False, "geolife-morton-64bit"),
+                            (True, "geolife-morton-128bit")):
+        config = SingleTreeConfig(high_resolution=high_res)
+        record = run_arborx(geo, "GeoLife24M3D", config=config)
+        counters = record.total_counters
+        rows.append({
+            "dataset": "GeoLife24M3D",
+            "variant": label,
+            "n": n_geo,
+            "distance_evals": counters.distance_evals,
+            "nodes_visited": counters.nodes_visited,
+            "sim_a100_seconds": simulated_seconds(record, A100),
+        })
+
+    # Lazy vs eager BCP (MemoGFK's "memo") and the 1978 baseline.
+    n_small = 500 if quick else 2_000
+    points = dataset_points("Hacc37M", n_small)
+    for lazy in (True, False):
+        record = run_memogfk(points, "Hacc37M", lazy=lazy)
+        rows.append({
+            "dataset": "Hacc37M",
+            "variant": f"memogfk-{'lazy' if lazy else 'eager'}",
+            "n": n_small,
+            "distance_evals": record.total_counters.distance_evals,
+            "nodes_visited": record.total_counters.nodes_visited,
+            "sim_a100_seconds": simulated_seconds(record, EPYC_7763_SEQ),
+        })
+    bf = run_bentley_friedman(points, "Hacc37M")
+    rows.append({
+        "dataset": "Hacc37M",
+        "variant": "bentley-friedman-1978",
+        "n": n_small,
+        "distance_evals": bf.total_counters.distance_evals,
+        "nodes_visited": bf.total_counters.nodes_visited,
+        "sim_a100_seconds": simulated_seconds(bf, EPYC_7763_SEQ),
+    })
+
+    table = render_table(
+        ["dataset", "variant", "n", "dist evals", "nodes visited",
+         "sim seconds"],
+        [[r["dataset"], r["variant"], r["n"], r["distance_evals"],
+          r["nodes_visited"], r["sim_a100_seconds"]] for r in rows],
+        title="Ablation: Optimizations 1 & 2, lazy vs eager BCP, BF78 "
+              "(single-tree rows priced on A100; baseline rows on 1 core)")
+    if not quick:
+        save_report("ablation_optimizations.txt", table)
+    return rows, table
+
+
+if __name__ == "__main__":
+    print(run()[1])

@@ -1,0 +1,73 @@
+"""Figure 1: headline MFeatures/sec on the Hacc37M cosmology dataset.
+
+Paper values: MLPACK 0.2, MemoGFK 0.7, ArborX 0.8 (sequential);
+MemoGFK 16.3, ArborX 17.1 (multithreaded); ArborX 270.7 (A100), 180.3
+(MI250X).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.figures.common import (
+    arborx_record,
+    memogfk_record,
+    mlpack_record,
+    scaled_size,
+)
+from repro.bench.harness import simulated_rate
+from repro.bench.tables import render_table, save_report
+from repro.kokkos.devices import A100, EPYC_7763_MT, EPYC_7763_SEQ, MI250X_GCD
+
+PAPER = {
+    ("MLPACK", "Sequential"): 0.2,
+    ("MemoGFK", "Sequential"): 0.7,
+    ("ArborX", "Sequential"): 0.8,
+    ("MemoGFK", "Multithreaded"): 16.3,
+    ("ArborX", "Multithreaded"): 17.1,
+    ("ArborX", "A100"): 270.7,
+    ("ArborX", "MI250X"): 180.3,
+}
+
+
+def run(quick: bool = False) -> Tuple[List[Dict], str]:
+    """Regenerate the headline comparison; returns (rows, rendered table)."""
+    n_arborx = 4_000 if quick else scaled_size("Hacc37M")
+    n_memogfk = 1_000 if quick else 3_000
+    n_mlpack = 500 if quick else 1_500
+
+    arborx = arborx_record("Hacc37M", n_arborx)
+    memogfk = memogfk_record("Hacc37M", n_memogfk)
+    mlpack = mlpack_record("Hacc37M", n_mlpack)
+
+    rows: List[Dict] = []
+    for record, platform, device in (
+        (mlpack, "Sequential", EPYC_7763_SEQ),
+        (memogfk, "Sequential", EPYC_7763_SEQ),
+        (arborx, "Sequential", EPYC_7763_SEQ),
+        (memogfk, "Multithreaded", EPYC_7763_MT),
+        (arborx, "Multithreaded", EPYC_7763_MT),
+        (arborx, "A100", A100),
+        (arborx, "MI250X", MI250X_GCD),
+    ):
+        rate = simulated_rate(record, device)
+        rows.append({
+            "algorithm": record.algorithm,
+            "platform": platform,
+            "n": record.n,
+            "mfeatures_per_sec": rate,
+            "paper": PAPER.get((record.algorithm, platform)),
+        })
+
+    table = render_table(
+        ["algorithm", "platform", "n", "MFeat/s (sim)", "paper"],
+        [[r["algorithm"], r["platform"], r["n"],
+          r["mfeatures_per_sec"], r["paper"]] for r in rows],
+        title="Figure 1: EMST throughput on Hacc37M (simulated devices)")
+    if not quick:
+        save_report("fig1_headline.txt", table)
+    return rows, table
+
+
+if __name__ == "__main__":
+    print(run()[1])

@@ -1,0 +1,80 @@
+"""Figure 6: parallel EMST comparison across all twelve datasets.
+
+Bars per dataset: MemoGFK on EPYC 7763 (64 cores), ArborX on EPYC 7763,
+Nvidia A100 and AMD MI250X (single GCD).  Paper shape: A100 45-270
+MFeatures/sec and 4-24x over MemoGFK-MT; MI250X qualitatively similar at
+~2/3 of A100; best case Hacc37M, worst GeoLife24M3D; RoadNetwork3D low on
+GPUs because the dataset is too small to saturate them (reproduced here by
+scaling every dataset with the same divisor, which leaves RoadNetwork3D
+tiny).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.figures.common import (
+    FIGURE_DATASETS,
+    MAX_N_MEMOGFK,
+    arborx_record,
+    memogfk_record,
+    scaled_size,
+)
+from repro.bench.harness import simulated_rate
+from repro.bench.tables import render_table, save_report
+from repro.kokkos.devices import A100, EPYC_7763_MT, MI250X_GCD
+
+#: Paper Figure 6 (MFeatures/sec): dataset -> (MemoGFK-MT, ArborX-MT,
+#: ArborX-A100, ArborX-MI250X).
+PAPER: Dict[str, Tuple[float, float, float, float]] = {
+    "GeoLife24M3D": (12, 1, 45, 21),
+    "RoadNetwork3D": (6, 10, 79, 26),
+    "Ngsim": (9, 7, 180, 103),
+    "NgsimLocation3": (8, 9, 197, 117),
+    "PortoTaxi": (10, 6, 198, 129),
+    "VisualVar10M2D": (11, 13, 227, 140),
+    "VisualVar10M3D": (13, 15, 238, 150),
+    "Normal100M3": (12, 10, 212, 131),
+    "Normal100M2": (13, 8, 243, 162),
+    "Uniform100M2": (16, 8, 224, 151),
+    "Uniform100M3": (14, 9, 182, 120),
+    "Hacc37M": (16, 17, 270, 180),
+}
+
+
+def run(quick: bool = False) -> Tuple[List[Dict], str]:
+    """Regenerate the parallel comparison; returns (rows, table)."""
+    datasets = FIGURE_DATASETS[:3] if quick else FIGURE_DATASETS
+    rows: List[Dict] = []
+    for name in datasets:
+        n_arborx = min(scaled_size(name), 4_000) if quick \
+            else scaled_size(name)
+        n_memogfk = min(n_arborx, 1_000 if quick else MAX_N_MEMOGFK)
+        arborx = arborx_record(name, n_arborx)
+        memogfk = memogfk_record(name, n_memogfk)
+        paper = PAPER.get(name, (None,) * 4)
+        rows.append({
+            "dataset": name,
+            "n_arborx": n_arborx,
+            "MemoGFK_MT": simulated_rate(memogfk, EPYC_7763_MT),
+            "ArborX_MT": simulated_rate(arborx, EPYC_7763_MT),
+            "ArborX_A100": simulated_rate(arborx, A100),
+            "ArborX_MI250X": simulated_rate(arborx, MI250X_GCD),
+            "paper": paper,
+        })
+
+    table = render_table(
+        ["dataset", "n", "GFK-MT", "ArbX-MT", "ArbX-A100", "ArbX-MI250X",
+         "paper(GFK/MT/A100/MI)"],
+        [[r["dataset"], r["n_arborx"], r["MemoGFK_MT"], r["ArborX_MT"],
+          r["ArborX_A100"], r["ArborX_MI250X"],
+          "/".join(str(p) for p in r["paper"])] for r in rows],
+        title="Figure 6: parallel MFeatures/sec (simulated devices, "
+              "dataset sizes scaled by one global divisor)")
+    if not quick:
+        save_report("fig6_parallel.txt", table)
+    return rows, table
+
+
+if __name__ == "__main__":
+    print(run()[1])

@@ -1,0 +1,82 @@
+"""Figure 8: phase breakdown and per-phase parallel speed-ups.
+
+(a) MemoGFK's four phases (T_mark, T_mst, T_tree, T_wspd): sequential vs
+multithreaded times and the speed-up ratio per phase.  Paper shape: WSPD
+dominates sequentially but scales well (up to ~57x); tree construction is
+cheap sequentially but scales poorly, becoming the parallel bottleneck.
+
+(b) ArborX's two phases (T_mst, T_tree): sequential CPU vs A100 times and
+speed-ups.  Paper shape: both phases scale by hundreds (best ~350-420x)
+except on datasets too small to saturate the GPU (RoadNetwork3D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.figures.common import (
+    FIG8_DATASETS,
+    MAX_N_MEMOGFK,
+    arborx_record,
+    memogfk_record,
+    scaled_size,
+)
+from repro.bench.harness import simulated_seconds
+from repro.bench.tables import render_table, save_report
+from repro.kokkos.devices import A100, EPYC_7763_MT, EPYC_7763_SEQ
+
+MEMOGFK_PHASES = ["mark", "mst", "tree", "wspd"]
+ARBORX_PHASES = ["mst", "tree"]
+
+
+def run(quick: bool = False) -> Tuple[List[Dict], str]:
+    """Regenerate both phase-breakdown panels; returns (rows, table)."""
+    datasets = FIG8_DATASETS[:2] if quick else FIG8_DATASETS
+    rows: List[Dict] = []
+
+    for name in datasets:
+        n = min(scaled_size(name), 800 if quick else MAX_N_MEMOGFK)
+        record = memogfk_record(name, n)
+        for phase in MEMOGFK_PHASES:
+            seq = simulated_seconds(record, EPYC_7763_SEQ, phases=[phase])
+            mt = simulated_seconds(record, EPYC_7763_MT, phases=[phase])
+            rows.append({
+                "panel": "a:MemoGFK",
+                "dataset": name,
+                "n": n,
+                "phase": f"T_{phase}",
+                "seq_seconds": seq,
+                "parallel_seconds": mt,
+                "speedup": seq / mt if mt > 0 else None,
+            })
+
+    for name in datasets:
+        n = min(scaled_size(name), 4_000) if quick else scaled_size(name)
+        record = arborx_record(name, n)
+        for phase in ARBORX_PHASES:
+            seq = simulated_seconds(record, EPYC_7763_SEQ, phases=[phase])
+            gpu = simulated_seconds(record, A100, phases=[phase])
+            rows.append({
+                "panel": "b:ArborX",
+                "dataset": name,
+                "n": n,
+                "phase": f"T_{phase}",
+                "seq_seconds": seq,
+                "parallel_seconds": gpu,
+                "speedup": seq / gpu if gpu > 0 else None,
+            })
+
+    table = render_table(
+        ["panel", "dataset", "n", "phase", "seq (s)", "parallel (s)",
+         "speedup"],
+        [[r["panel"], r["dataset"], r["n"], r["phase"], r["seq_seconds"],
+          r["parallel_seconds"], r["speedup"]] for r in rows],
+        title="Figure 8: phase breakdown — (a) MemoGFK seq vs 64-core MT; "
+              "(b) ArborX seq vs A100")
+    if not quick:
+        save_report("fig8_phases.txt", table)
+    return rows, table
+
+
+if __name__ == "__main__":
+    print(run()[1])

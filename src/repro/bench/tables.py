@@ -1,0 +1,50 @@
+"""ASCII table rendering and report persistence for the figure drivers."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+REPORTS_DIR = os.environ.get(
+    "REPRO_REPORTS_DIR",
+    os.path.join(os.path.dirname(__file__), "..", "..", "..", "reports"))
+
+
+def render_table(headers: Sequence[str], rows: List[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table; floats get 3 significant digits."""
+
+    def fmt(x) -> str:
+        if isinstance(x, float):
+            if x == 0:
+                return "0"
+            magnitude = abs(x)
+            if magnitude >= 100:
+                return f"{x:.0f}"
+            if magnitude >= 1:
+                return f"{x:.2f}"
+            return f"{x:.3g}"
+        return str(x)
+
+    cells = [[fmt(x) for x in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_report(name: str, content: str) -> str:
+    """Write a rendered figure table under ``reports/`` and return the path."""
+    path = os.path.abspath(REPORTS_DIR)
+    os.makedirs(path, exist_ok=True)
+    full = os.path.join(path, name)
+    with open(full, "w", encoding="utf-8") as fh:
+        fh.write(content.rstrip() + "\n")
+    return full

@@ -1,0 +1,46 @@
+"""Linear bounding volume hierarchy (the ArborX substrate).
+
+Construction follows the approach the paper inherits from ArborX
+[Lebrun-Grandié et al. 2020]:
+
+1. points are linearized along a Z-order space-filling curve
+   (:mod:`repro.geometry.morton`),
+2. the binary hierarchy over the sorted codes is produced with Karras'
+   fully parallel algorithm [Karras 2012] (vectorized over all internal
+   nodes simultaneously; a scalar reference implementation backs the tests),
+3. bounding boxes are filled by a bottom-up refit pass.
+
+Given ``n`` points the tree has ``n - 1`` internal nodes and ``n`` leaves
+(2n - 1 nodes total).  Node ids: internal nodes are ``0 .. n-2`` with the
+root at 0; leaf for sorted position ``i`` is node ``n - 1 + i``.
+
+Traversals (:mod:`repro.bvh.traversal`) are *batched*: every query is a SIMT
+lane with its own traversal stack, executed in lock-step vectorized
+iterations — the NumPy realization of the paper's one-thread-per-query GPU
+kernels, instrumented for the cost model.
+"""
+
+from repro.bvh.build import karras_hierarchy, karras_hierarchy_scalar
+from repro.bvh.bvh import BVH, build_bvh
+from repro.bvh.refit import bottom_up_schedule, refit_bounds
+from repro.bvh.traversal import (
+    batched_knn,
+    batched_nearest,
+    radius_count,
+    radius_search,
+)
+from repro.bvh.validate import check_bvh_invariants
+
+__all__ = [
+    "BVH",
+    "build_bvh",
+    "karras_hierarchy",
+    "karras_hierarchy_scalar",
+    "bottom_up_schedule",
+    "refit_bounds",
+    "batched_nearest",
+    "batched_knn",
+    "radius_search",
+    "radius_count",
+    "check_bvh_invariants",
+]

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``emst``      compute an EMST of a ``.npy`` point file or named dataset
+``hdbscan``   cluster points with HDBSCAN*
+``bench``     regenerate a paper figure (fig1/fig5/fig6/fig7/fig8/fig9/
+              ablation) or ``all``
+``datasets``  list the available dataset generators
+
+Point inputs are either a path to an ``(n, d)`` ``.npy`` file or a spec
+``dataset:NAME:N[:SEED]`` using the generators of :mod:`repro.data`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.boruvka_emst import SingleTreeConfig
+from repro.core.emst import emst, mutual_reachability_emst
+from repro.data import DATASETS, dataset_dimension, generate
+from repro.errors import InvalidInputError
+from repro.metrics import mfeatures_per_second
+
+
+def load_points(spec: str) -> np.ndarray:
+    """Resolve a CLI point-source spec to an array."""
+    if spec.startswith("dataset:"):
+        parts = spec.split(":")
+        if len(parts) not in (3, 4):
+            raise InvalidInputError(
+                f"bad dataset spec {spec!r}; use dataset:NAME:N[:SEED]")
+        name = parts[1]
+        n = int(parts[2])
+        seed = int(parts[3]) if len(parts) == 4 else 0
+        return generate(name, n, seed=seed)
+    points = np.load(spec)
+    if points.ndim != 2:
+        raise InvalidInputError(
+            f"{spec}: expected an (n, d) array, got shape {points.shape}")
+    return points
+
+
+def _config_from_args(args: argparse.Namespace) -> SingleTreeConfig:
+    return SingleTreeConfig(
+        subtree_skipping=not args.no_subtree_skipping,
+        component_bounds=not args.no_component_bounds,
+        high_resolution=args.high_resolution,
+        tree_type=args.tree,
+    )
+
+
+def cmd_emst(args: argparse.Namespace) -> int:
+    points = load_points(args.points)
+    config = _config_from_args(args)
+    if args.mrd > 1:
+        result = mutual_reachability_emst(points, args.mrd, config=config)
+        metric = f"mutual reachability (k_pts={args.mrd})"
+    else:
+        result = emst(points, config=config)
+        metric = "Euclidean"
+    rate = mfeatures_per_second(result.n_points, result.dimension,
+                                max(result.wall_seconds, 1e-12))
+    print(f"{metric} MST of {result.n_points} {result.dimension}D points")
+    print(f"  total weight   : {result.total_weight:.6g}")
+    print(f"  Boruvka rounds : {result.n_iterations}")
+    print(f"  wall time      : {result.wall_seconds:.3f}s "
+          f"({rate:.2f} MFeatures/s)")
+    for name, seconds in result.phases.items():
+        print(f"  T_{name:5s}        : {seconds:.3f}s")
+    if args.out:
+        out = np.concatenate([result.edges.astype(np.float64),
+                              result.weights[:, None]], axis=1)
+        np.save(args.out, out)
+        print(f"  edges written  : {args.out} (u, v, weight rows)")
+    return 0
+
+
+def cmd_hdbscan(args: argparse.Namespace) -> int:
+    from repro.hdbscan import hdbscan
+
+    points = load_points(args.points)
+    result = hdbscan(points, min_cluster_size=args.min_cluster_size,
+                     k_pts=args.k_pts)
+    print(f"HDBSCAN* on {points.shape[0]} points: "
+          f"{result.n_clusters} clusters, "
+          f"{result.noise_fraction:.1%} noise")
+    if result.n_clusters:
+        sizes = np.bincount(result.labels[result.labels >= 0])
+        print("  cluster sizes:", ", ".join(map(str, sorted(sizes)[::-1])))
+    if args.out:
+        np.save(args.out, result.labels)
+        print(f"  labels written: {args.out}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import figures
+
+    drivers = {
+        "fig1": figures.fig1, "fig5": figures.fig5, "fig6": figures.fig6,
+        "fig7": figures.fig7, "fig8": figures.fig8, "fig9": figures.fig9,
+        "ablation": figures.ablation,
+    }
+    names = list(drivers) if args.figure == "all" else [args.figure]
+    for name in names:
+        _, table = drivers[name].run(quick=args.quick)
+        print(table)
+        print()
+    return 0
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'name':18s} dim")
+    for name in sorted(DATASETS):
+        print(f"{name:18s} {dataset_dimension(name)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Single-tree Boruvka EMST (ICPP 2022 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_emst = sub.add_parser("emst", help="compute an EMST")
+    p_emst.add_argument("points", help=".npy file or dataset:NAME:N[:SEED]")
+    p_emst.add_argument("--mrd", type=int, default=1, metavar="K",
+                        help="mutual-reachability metric with k_pts=K")
+    p_emst.add_argument("--tree", choices=("bvh", "kdtree"), default="bvh")
+    p_emst.add_argument("--high-resolution", action="store_true",
+                        help="128-bit Morton codes (GeoLife fix)")
+    p_emst.add_argument("--no-subtree-skipping", action="store_true")
+    p_emst.add_argument("--no-component-bounds", action="store_true")
+    p_emst.add_argument("--out", help="write (u, v, w) edge rows to .npy")
+    p_emst.set_defaults(func=cmd_emst)
+
+    p_hdb = sub.add_parser("hdbscan", help="HDBSCAN* clustering")
+    p_hdb.add_argument("points", help=".npy file or dataset:NAME:N[:SEED]")
+    p_hdb.add_argument("--min-cluster-size", type=int, default=5)
+    p_hdb.add_argument("--k-pts", type=int, default=5)
+    p_hdb.add_argument("--out", help="write labels to .npy")
+    p_hdb.set_defaults(func=cmd_hdbscan)
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper figure")
+    p_bench.add_argument("figure",
+                         choices=("fig1", "fig5", "fig6", "fig7", "fig8",
+                                  "fig9", "ablation", "all"))
+    p_bench.add_argument("--quick", action="store_true",
+                         help="reduced sizes for a fast smoke run")
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_data = sub.add_parser("datasets", help="list dataset generators")
+    p_data.set_defaults(func=cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except InvalidInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: single-tree Borůvka EMST for GPUs.
+
+The algorithm (Section 3, Figure 3) iterates two phases until one component
+remains:
+
+1. ``findComponentsOutgoingEdges`` — every point runs a constrained nearest
+   neighbor traversal (Algorithm 2) over one shared BVH, with
+
+   * **subtree skipping** (Optimization 1): component labels are first
+     propagated bottom-up to internal nodes (``reduceLabels``,
+     :mod:`repro.core.labels`), letting traversals bypass subtrees fully
+     inside the query's own component, and
+   * **component upper bounds** (Optimization 2): Z-curve-adjacent point
+     pairs straddling two components seed per-component cutoff radii
+     (``computeUpperBounds``, :mod:`repro.core.bounds`);
+
+   a per-component reduction then selects each component's shortest
+   outgoing edge under the tie-broken total order.
+
+2. ``mergeComponents`` — the selected edges form chains ending in mutual
+   pairs; labels pointer-jump to the minimum-index component of their chain
+   (:mod:`repro.core.merge`).
+
+The public entry points are :func:`repro.core.emst.emst` and
+:func:`repro.core.emst.mutual_reachability_emst`.
+"""
+
+from repro.core.emst import EMSTResult, emst, mutual_reachability_emst
+from repro.core.boruvka_emst import RoundStats, SingleTreeConfig
+from repro.core.labels import reduce_labels
+from repro.core.bounds import compute_upper_bounds
+from repro.core.merge import merge_components
+
+__all__ = [
+    "emst",
+    "mutual_reachability_emst",
+    "EMSTResult",
+    "SingleTreeConfig",
+    "RoundStats",
+    "reduce_labels",
+    "compute_upper_bounds",
+    "merge_components",
+]

@@ -1,0 +1,58 @@
+"""Synthetic datasets mirroring the paper's evaluation inputs (Section 4).
+
+The paper's datasets are 10M–500M points of real trajectory, road, GPS and
+cosmology data.  Those files are not redistributable (and far exceed this
+environment), so each is replaced by a generator reproducing its
+*distributional character* at 10^3–10^5 scale — the property the EMST
+algorithms are actually sensitive to:
+
+==================  ====  ==============================================
+paper dataset       dim   generator character
+==================  ====  ==============================================
+Ngsim               2     three long highway bands (car trajectories)
+NgsimLocation3      2     a single highway band
+PortoTaxi           2     taxi random-walk trajectories from city hotspots
+RoadNetwork3D       2     jittered road-network polylines (North Jutland)
+GeoLife24M3D        3     extreme hot-spot density skew (GPS logs)
+Hacc37M / Hacc497M  3     cosmology: halos + filaments + background
+VisualVar10M2D/3D   2/3   Gan–Tao style varying-density clusters
+Normal*M2 / *M3     2/3   i.i.d. standard normal
+Uniform*M2 / *M3    2/3   uniform in the unit square/cube
+==================  ====  ==============================================
+
+All generators take ``(n, seed)`` and are deterministic given both.
+``repro.data.sampling`` implements the distribution-preserving subsampling
+used by the paper's scaling study (Section 4.3).
+"""
+
+from repro.data.generators import (
+    DATASETS,
+    dataset_dimension,
+    generate,
+    geolife,
+    hacc,
+    ngsim,
+    ngsim_location3,
+    normal,
+    portotaxi,
+    roadnetwork,
+    uniform,
+    visualvar,
+)
+from repro.data.sampling import sample_preserving
+
+__all__ = [
+    "DATASETS",
+    "generate",
+    "dataset_dimension",
+    "uniform",
+    "normal",
+    "visualvar",
+    "hacc",
+    "geolife",
+    "roadnetwork",
+    "ngsim",
+    "ngsim_location3",
+    "portotaxi",
+    "sample_preserving",
+]

@@ -1,0 +1,299 @@
+"""Dataset generators (see :mod:`repro.data` for the paper mapping)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError, InvalidInputError
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise InvalidInputError(f"dataset size must be >= 1, got {n}")
+
+
+def uniform(n: int, dim: int = 2, seed: int = 0) -> np.ndarray:
+    """Uniform points in the unit square/cube centered at the origin."""
+    _check_n(n)
+    if dim not in (2, 3):
+        raise DimensionError(f"dim must be 2 or 3, got {dim}")
+    return _rng(seed).random((n, dim)) - 0.5
+
+
+def normal(n: int, dim: int = 2, seed: int = 0) -> np.ndarray:
+    """i.i.d. standard normal points (zero mean, unit deviation)."""
+    _check_n(n)
+    if dim not in (2, 3):
+        raise DimensionError(f"dim must be 2 or 3, got {dim}")
+    return _rng(seed).standard_normal((n, dim))
+
+
+def visualvar(n: int, dim: int = 2, seed: int = 0,
+              n_clusters: int = 12) -> np.ndarray:
+    """Varying-density clusters in the style of Gan & Tao's generator.
+
+    Cluster sizes follow a power law and cluster radii are chosen so local
+    densities span several orders of magnitude; 2% of points are uniform
+    noise.  This is the "VisualVar" character: visually distinct clusters
+    with strongly varying variance.
+    """
+    _check_n(n)
+    if dim not in (2, 3):
+        raise DimensionError(f"dim must be 2 or 3, got {dim}")
+    rng = _rng(seed)
+    n_noise = max(n // 50, 1) if n >= 10 else 0
+    n_clustered = n - n_noise
+
+    weights = rng.pareto(1.2, size=n_clusters) + 0.5
+    weights /= weights.sum()
+    sizes = rng.multinomial(n_clustered, weights)
+    centers = rng.random((n_clusters, dim))
+    # Radii spread over ~2.5 decades -> density varies by >5 decades in 2D.
+    radii = 10.0 ** rng.uniform(-3.0, -0.5, size=n_clusters)
+
+    chunks = []
+    for c in range(n_clusters):
+        if sizes[c] == 0:
+            continue
+        chunks.append(centers[c]
+                      + radii[c] * rng.standard_normal((sizes[c], dim)))
+    if n_noise:
+        chunks.append(rng.random((n_noise, dim)))
+    pts = np.concatenate(chunks, axis=0)[:n]
+    return pts[rng.permutation(pts.shape[0])]
+
+
+def hacc(n: int, seed: int = 0, *, n_halos: int = 40,
+         halo_fraction: float = 0.65,
+         filament_fraction: float = 0.2) -> np.ndarray:
+    """Cosmology-like 3D point set (the Hacc37M/Hacc497M stand-in).
+
+    N-body snapshots concentrate mass in *halos* (steep radial profiles)
+    connected by *filaments* over a diffuse background.  The generator
+    places Pareto-size halos with ``r ~ u^2``-concentrated profiles, strings
+    filament points between nearby halo pairs, and fills the rest
+    uniformly — reproducing the multi-scale clustering that makes Hacc the
+    *best-performing* dataset for tree-based EMST in the paper.
+    """
+    _check_n(n)
+    rng = _rng(seed)
+    n_halo_pts = int(n * halo_fraction)
+    n_fil = int(n * filament_fraction)
+    n_bg = n - n_halo_pts - n_fil
+
+    centers = rng.random((n_halos, 3))
+    weights = rng.pareto(1.0, size=n_halos) + 0.3
+    weights /= weights.sum()
+    sizes = rng.multinomial(n_halo_pts, weights)
+    scale_radii = 10.0 ** rng.uniform(-2.6, -1.3, size=n_halos)
+
+    chunks = []
+    for h in range(n_halos):
+        if sizes[h] == 0:
+            continue
+        # Concentrated radial profile: r = r_s * u^2 puts most points in
+        # the core with a shallow tail, qualitatively NFW-like.
+        u = rng.random(sizes[h])
+        r = scale_radii[h] * (u ** 2.0) * 8.0
+        direction = rng.standard_normal((sizes[h], 3))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        chunks.append(centers[h] + r[:, None] * direction)
+
+    if n_fil > 0 and n_halos >= 2:
+        # Filaments between each halo and its nearest neighbors.
+        d2 = np.sum((centers[:, None] - centers[None]) ** 2, axis=2)
+        np.fill_diagonal(d2, np.inf)
+        partner = np.argmin(d2, axis=1)
+        which = rng.integers(0, n_halos, size=n_fil)
+        t = rng.random(n_fil)
+        a = centers[which]
+        b = centers[partner[which]]
+        jitter = 0.004 * rng.standard_normal((n_fil, 3))
+        chunks.append(a + t[:, None] * (b - a) + jitter)
+
+    if n_bg > 0:
+        chunks.append(rng.random((n_bg, 3)))
+    pts = np.concatenate(chunks, axis=0)[:n]
+    return pts[rng.permutation(pts.shape[0])]
+
+
+def geolife(n: int, seed: int = 0, *, n_hotspots: int = 6) -> np.ndarray:
+    """Extremely skewed 3D GPS-log stand-in (the GeoLife pathology).
+
+    Most points concentrate in a handful of hyper-dense hotspots (sigma
+    ~1e-5 of the domain) while the rest spread over a continent-sized
+    extent, with a nearly degenerate third (altitude) coordinate.  This is
+    the density contrast that under-resolves the Z-curve and makes GeoLife
+    the worst case for every implementation in the paper (Section 4.1).
+    """
+    _check_n(n)
+    rng = _rng(seed)
+    n_hot = int(n * 0.9)
+    n_travel = n - n_hot
+
+    hotspot_centers = rng.random((n_hotspots, 2)) * 40.0  # "degrees"
+    weights = rng.pareto(0.8, size=n_hotspots) + 0.2
+    weights /= weights.sum()
+    sizes = rng.multinomial(n_hot, weights)
+    chunks = []
+    for h in range(n_hotspots):
+        if sizes[h] == 0:
+            continue
+        # Hotspot extent below the 21-bit Z-curve cell size of the 40-degree
+        # domain (40 / 2^21 ~ 1.9e-5) in *every* dimension: points inside a
+        # hotspot collapse onto a handful of Morton codes, reproducing the
+        # under-resolution pathology the paper reports for GeoLife
+        # (Section 4.1) — the hierarchy inside a hotspot degenerates to
+        # index order with fully overlapping bounding volumes.
+        sigma = 10.0 ** rng.uniform(-5.3, -4.5)
+        xy = hotspot_centers[h] + sigma * rng.standard_normal((sizes[h], 2))
+        alt = 0.05 + 1e-6 * rng.standard_normal((sizes[h], 1))
+        chunks.append(np.concatenate([xy, alt], axis=1))
+    if n_travel:
+        # Sparse inter-city travel: segments between random hotspots.
+        a = hotspot_centers[rng.integers(0, n_hotspots, n_travel)]
+        b = hotspot_centers[rng.integers(0, n_hotspots, n_travel)]
+        t = rng.random((n_travel, 1))
+        xy = a + t * (b - a) + 0.02 * rng.standard_normal((n_travel, 2))
+        alt = 0.3 + 0.1 * rng.random((n_travel, 1))  # flights higher up
+        chunks.append(np.concatenate([xy, alt], axis=1))
+    pts = np.concatenate(chunks, axis=0)[:n]
+    return pts[rng.permutation(pts.shape[0])]
+
+
+def roadnetwork(n: int, seed: int = 0, *, grid: int = 12) -> np.ndarray:
+    """Road-network stand-in (RoadNetwork3D: North Jutland, 2D points).
+
+    Points sampled along the edges of a jittered grid of roads plus a few
+    diagonal arterials — 1D structure embedded in 2D, low density contrast.
+    """
+    _check_n(n)
+    rng = _rng(seed)
+    # Build road segments: grid streets with jittered vertices.
+    xs = np.linspace(0.0, 1.0, grid)
+    verts = np.stack(np.meshgrid(xs, xs), axis=-1).reshape(-1, 2)
+    verts = verts + 0.015 * rng.standard_normal(verts.shape)
+    segs = []
+    for i in range(grid):
+        for j in range(grid - 1):
+            segs.append((verts[i * grid + j], verts[i * grid + j + 1]))
+            segs.append((verts[j * grid + i], verts[(j + 1) * grid + i]))
+    for _ in range(grid // 2):  # arterials
+        a, b = rng.integers(0, verts.shape[0], 2)
+        segs.append((verts[a], verts[b]))
+    segs_a = np.array([s[0] for s in segs])
+    segs_b = np.array([s[1] for s in segs])
+    lengths = np.linalg.norm(segs_b - segs_a, axis=1)
+    prob = lengths / lengths.sum()
+    which = rng.choice(len(segs), size=n, p=prob)
+    t = rng.random((n, 1))
+    pts = segs_a[which] + t * (segs_b[which] - segs_a[which])
+    pts += 0.0008 * rng.standard_normal(pts.shape)  # GPS noise
+    return pts
+
+
+def _highway(n: int, rng: np.random.Generator, origin: np.ndarray,
+             heading: float, length: float, lanes: int = 4) -> np.ndarray:
+    """Points along one highway: lanes parallel to a gently curving axis."""
+    s = np.sort(rng.random(n)) * length
+    curve = 0.03 * length * np.sin(s / length * 3.0)
+    lane = rng.integers(0, lanes, size=n) * 0.004
+    lateral = lane + 0.0012 * rng.standard_normal(n)
+    c, sn = np.cos(heading), np.sin(heading)
+    x = origin[0] + c * s - sn * (curve + lateral)
+    y = origin[1] + sn * s + c * (curve + lateral)
+    return np.stack([x, y], axis=1)
+
+
+def ngsim_location3(n: int, seed: int = 0) -> np.ndarray:
+    """A single highway of car-trajectory points (NgsimLocation3, 2D)."""
+    _check_n(n)
+    rng = _rng(seed)
+    return _highway(n, rng, np.array([0.0, 0.0]), 0.4, 2.0)
+
+
+def ngsim(n: int, seed: int = 0) -> np.ndarray:
+    """Three highways of car-trajectory points (Ngsim, 2D)."""
+    _check_n(n)
+    rng = _rng(seed)
+    sizes = [n - 2 * (n // 3), n // 3, n // 3]
+    hw = [
+        _highway(sizes[0], rng, np.array([0.0, 0.0]), 0.4, 2.0),
+        _highway(sizes[1], rng, np.array([3.0, 1.0]), -0.7, 1.5),
+        _highway(sizes[2], rng, np.array([-1.0, 2.5]), 1.2, 1.8),
+    ]
+    pts = np.concatenate(hw, axis=0)[:n]
+    return pts[rng.permutation(pts.shape[0])]
+
+
+def portotaxi(n: int, seed: int = 0, *, n_taxis: int = 60) -> np.ndarray:
+    """Taxi-trajectory stand-in (PortoTaxi, 2D).
+
+    Each taxi performs a random walk starting from one of a few city
+    hotspots; successive GPS fixes are strongly autocorrelated, giving the
+    chain-like local structure of real trajectory data.
+    """
+    _check_n(n)
+    rng = _rng(seed)
+    hotspots = rng.random((5, 2))
+    per_taxi = np.full(n_taxis, n // n_taxis)
+    per_taxi[: n - per_taxi.sum()] += 1
+    chunks = []
+    for t in range(n_taxis):
+        m = int(per_taxi[t])
+        if m == 0:
+            continue
+        start = hotspots[rng.integers(0, hotspots.shape[0])]
+        steps = 0.004 * rng.standard_normal((m, 2))
+        drift = 0.002 * rng.standard_normal(2)
+        path = start + np.cumsum(steps + drift, axis=0)
+        chunks.append(path)
+    pts = np.concatenate(chunks, axis=0)[:n]
+    return pts[rng.permutation(pts.shape[0])]
+
+
+# ---------------------------------------------------------------------------
+# Registry mapping the paper's dataset names to generators.
+
+GeneratorFn = Callable[[int, int], np.ndarray]
+
+DATASETS: Dict[str, Tuple[GeneratorFn, int]] = {
+    "GeoLife24M3D": (lambda n, seed: geolife(n, seed), 3),
+    "RoadNetwork3D": (lambda n, seed: roadnetwork(n, seed), 2),
+    "Ngsim": (lambda n, seed: ngsim(n, seed), 2),
+    "NgsimLocation3": (lambda n, seed: ngsim_location3(n, seed), 2),
+    "PortoTaxi": (lambda n, seed: portotaxi(n, seed), 2),
+    "VisualVar10M2D": (lambda n, seed: visualvar(n, 2, seed), 2),
+    "VisualVar10M3D": (lambda n, seed: visualvar(n, 3, seed), 3),
+    "Normal100M3": (lambda n, seed: normal(n, 3, seed), 3),
+    "Normal100M2": (lambda n, seed: normal(n, 2, seed), 2),
+    "Normal300M2": (lambda n, seed: normal(n, 2, seed + 1), 2),
+    "Uniform100M2": (lambda n, seed: uniform(n, 2, seed), 2),
+    "Uniform100M3": (lambda n, seed: uniform(n, 3, seed), 3),
+    "Uniform300M3": (lambda n, seed: uniform(n, 3, seed + 1), 3),
+    "Hacc37M": (lambda n, seed: hacc(n, seed), 3),
+    "Hacc497M": (lambda n, seed: hacc(n, seed + 1), 3),
+}
+
+
+def generate(name: str, n: int, seed: int = 0) -> np.ndarray:
+    """Generate ``n`` points of the named paper dataset."""
+    if name not in DATASETS:
+        raise InvalidInputError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    fn, _ = DATASETS[name]
+    return fn(n, seed)
+
+
+def dataset_dimension(name: str) -> int:
+    """Spatial dimension of the named dataset."""
+    if name not in DATASETS:
+        raise InvalidInputError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    return DATASETS[name][1]

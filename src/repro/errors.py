@@ -1,0 +1,42 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by :mod:`repro`."""
+
+
+class InvalidInputError(ReproError, ValueError):
+    """Raised when user-supplied data fails validation.
+
+    Examples: a point array that is not two-dimensional, contains NaN/Inf,
+    has an unsupported dimensionality for a Morton-coded structure, or is
+    empty where at least one point is required.
+    """
+
+
+class DimensionError(InvalidInputError):
+    """Raised when the spatial dimension of the input is unsupported."""
+
+
+class NotBuiltError(ReproError, RuntimeError):
+    """Raised when querying a spatial index that has not been constructed."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative algorithm fails to make progress.
+
+    Borůvka's algorithm must merge at least two components every round; if a
+    round finds no outgoing edge for any component the input is inconsistent
+    (this cannot happen for a complete distance graph unless there is a bug
+    or the data contains non-finite coordinates).
+    """
+
+
+class ExecutionSpaceError(ReproError, RuntimeError):
+    """Raised for misuse of the :mod:`repro.kokkos` execution-space layer."""

@@ -1,0 +1,77 @@
+"""Axis-aligned bounding boxes stored as parallel ``(k, d)`` arrays.
+
+Boxes are represented structure-of-arrays style — separate ``lo`` and ``hi``
+coordinate arrays — matching how the BVH stores node bounds for coalesced
+access on a GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+
+
+def aabb_of_points(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """The tight bounding box of a non-empty ``(n, d)`` point set.
+
+    Returns ``(lo, hi)`` arrays of shape ``(d,)``.
+
+    >>> lo, hi = aabb_of_points(np.array([[0.0, 1.0], [2.0, -1.0]]))
+    >>> lo.tolist(), hi.tolist()
+    ([0.0, -1.0], [2.0, 1.0])
+    """
+    points = np.asarray(points)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise InvalidInputError(
+            f"expected non-empty (n, d) points, got shape {points.shape}")
+    if not np.all(np.isfinite(points)):
+        raise InvalidInputError("points contain non-finite coordinates")
+    return points.min(axis=0), points.max(axis=0)
+
+
+def aabb_union(lo_a: np.ndarray, hi_a: np.ndarray,
+               lo_b: np.ndarray, hi_b: np.ndarray
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise union of aligned box arrays (any matching shapes)."""
+    return np.minimum(lo_a, lo_b), np.maximum(hi_a, hi_b)
+
+
+def box_contains_points(lo: np.ndarray, hi: np.ndarray,
+                        points: np.ndarray, *, atol: float = 0.0) -> np.ndarray:
+    """Boolean mask of which ``points`` lie inside the single box ``(lo, hi)``.
+
+    ``atol`` loosens the test for floating-point tolerance.
+    """
+    points = np.asarray(points)
+    return np.all((points >= lo - atol) & (points <= hi + atol), axis=1)
+
+
+def box_contains_box(lo_outer: np.ndarray, hi_outer: np.ndarray,
+                     lo_inner: np.ndarray, hi_inner: np.ndarray,
+                     *, atol: float = 0.0) -> np.ndarray:
+    """Elementwise test that each inner box is contained in its outer box."""
+    lo_ok = np.all(lo_outer - atol <= lo_inner, axis=-1)
+    hi_ok = np.all(hi_outer + atol >= hi_inner, axis=-1)
+    return lo_ok & hi_ok
+
+
+def validate_boxes(lo: np.ndarray, hi: np.ndarray) -> None:
+    """Raise :class:`InvalidInputError` unless every box satisfies lo<=hi."""
+    lo = np.asarray(lo)
+    hi = np.asarray(hi)
+    if lo.shape != hi.shape:
+        raise InvalidInputError(
+            f"box array shape mismatch: {lo.shape} vs {hi.shape}")
+    if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+        raise InvalidInputError("box coordinates contain non-finite values")
+    if np.any(lo > hi):
+        raise InvalidInputError("found boxes with lo > hi")
+
+
+def box_diameter_sq(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Squared diagonal length of each box (used by WSPD well-separation)."""
+    diff = np.asarray(hi) - np.asarray(lo)
+    return np.sum(diff * diff, axis=-1)

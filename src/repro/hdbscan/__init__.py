@@ -1,0 +1,34 @@
+"""HDBSCAN* on top of the mutual-reachability EMST (paper Section 4.5).
+
+The paper demonstrates that its single-tree EMST handles the
+mutual-reachability distance, the metric of the HDBSCAN* clustering
+algorithm [Campello et al. 2015; McInnes et al. 2017].  This package
+completes the pipeline so the claim is exercised end to end:
+
+1. core distances — k-NN over the BVH (:mod:`repro.hdbscan.core_distance`);
+2. m.r.d. minimum spanning tree — :func:`repro.core.emst.mutual_reachability_emst`;
+3. single-linkage dendrogram from the MST edges
+   (:mod:`repro.hdbscan.single_linkage`);
+4. condensed tree under a minimum cluster size
+   (:mod:`repro.hdbscan.condense`);
+5. stability-based cluster extraction (:mod:`repro.hdbscan.stability`).
+
+:func:`repro.hdbscan.hdbscan.hdbscan` runs all five.
+"""
+
+from repro.hdbscan.core_distance import core_distances
+from repro.hdbscan.single_linkage import single_linkage_tree
+from repro.hdbscan.condense import CondensedTree, condense_tree
+from repro.hdbscan.stability import cluster_stabilities, extract_clusters
+from repro.hdbscan.hdbscan import HDBSCANResult, hdbscan
+
+__all__ = [
+    "core_distances",
+    "single_linkage_tree",
+    "condense_tree",
+    "CondensedTree",
+    "cluster_stabilities",
+    "extract_clusters",
+    "hdbscan",
+    "HDBSCANResult",
+]

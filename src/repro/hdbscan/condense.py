@@ -1,0 +1,129 @@
+"""Condensed cluster tree (Campello et al. 2015).
+
+Walking the single-linkage dendrogram top-down at decreasing distance
+(increasing density ``lambda = 1/distance``): a split where both sides hold
+at least ``min_cluster_size`` points creates two new clusters; otherwise the
+undersized side's points *fall out* of the surviving cluster at that
+lambda.  The result is a small tree over clusters and point-exits, the input
+to stability-based extraction.
+
+Representation (column arrays, one row per event):
+
+* ``parent`` — condensed cluster id (root is ``n``),
+* ``child`` — point id (< n) or new condensed cluster id (>= n),
+* ``lambda_val`` — density at which the child separated from the parent,
+* ``child_size`` — 1 for points, subtree point count for clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+
+
+@dataclass
+class CondensedTree:
+    """Flat condensed tree; see the module docstring for the columns."""
+
+    parent: np.ndarray
+    child: np.ndarray
+    lambda_val: np.ndarray
+    child_size: np.ndarray
+    n_points: int
+
+    @property
+    def root(self) -> int:
+        """Condensed id of the root cluster."""
+        return self.n_points
+
+    def cluster_ids(self) -> np.ndarray:
+        """All condensed cluster ids (root first, ascending)."""
+        ids = np.unique(self.parent)
+        kids = np.unique(self.child[self.child >= self.n_points])
+        return np.unique(np.concatenate([ids, kids]))
+
+
+def _leaves_of(linkage: np.ndarray, n: int, node: int) -> list:
+    """Point ids under dendrogram ``node`` (iterative DFS)."""
+    out = []
+    stack = [node]
+    while stack:
+        x = stack.pop()
+        if x < n:
+            out.append(x)
+        else:
+            row = x - n
+            stack.append(int(linkage[row, 0]))
+            stack.append(int(linkage[row, 1]))
+    return out
+
+
+def condense_tree(linkage: np.ndarray, min_cluster_size: int) -> CondensedTree:
+    """Condense a SciPy-convention linkage under ``min_cluster_size``."""
+    if min_cluster_size < 2:
+        raise InvalidInputError(
+            f"min_cluster_size must be >= 2, got {min_cluster_size}")
+    linkage = np.asarray(linkage, dtype=np.float64)
+    if linkage.ndim != 2 or linkage.shape[1] != 4:
+        raise InvalidInputError("linkage must be an (n-1, 4) matrix")
+    n = linkage.shape[0] + 1
+
+    parents, children, lambdas, sizes = [], [], [], []
+    next_cluster = n + 1  # n is the root's condensed id
+    root_dendro = 2 * n - 2  # dendrogram id of the top merge
+
+    def size_of(node: int) -> int:
+        return 1 if node < n else int(linkage[node - n, 3])
+
+    def lam_of(row: int) -> float:
+        d = linkage[row, 2]
+        return 1.0 / d if d > 0.0 else np.inf
+
+    # Stack of (dendrogram node, condensed cluster it belongs to).
+    stack = [(root_dendro, n)]
+    while stack:
+        node, cluster = stack.pop()
+        if node < n:
+            # A singleton reached the top of its cluster: it exits when its
+            # parent merge dissolves; handled by the caller pushing it with
+            # the right lambda below, so a bare leaf here means n == 1.
+            continue
+        row = node - n
+        left = int(linkage[row, 0])
+        right = int(linkage[row, 1])
+        lam = lam_of(row)
+        big_l = size_of(left) >= min_cluster_size
+        big_r = size_of(right) >= min_cluster_size
+        if big_l and big_r:
+            # True split: two new condensed clusters are born.
+            for side in (left, right):
+                nonlocal_id = next_cluster
+                next_cluster += 1
+                parents.append(cluster)
+                children.append(nonlocal_id)
+                lambdas.append(lam)
+                sizes.append(size_of(side))
+                stack.append((side, nonlocal_id))
+        else:
+            # Undersized side(s) fall out as points at this lambda; a
+            # surviving big side continues as the same condensed cluster.
+            for side, big in ((left, big_l), (right, big_r)):
+                if big:
+                    stack.append((side, cluster))
+                else:
+                    for p in _leaves_of(linkage, n, side):
+                        parents.append(cluster)
+                        children.append(p)
+                        lambdas.append(lam)
+                        sizes.append(1)
+
+    return CondensedTree(
+        parent=np.asarray(parents, dtype=np.int64),
+        child=np.asarray(children, dtype=np.int64),
+        lambda_val=np.asarray(lambdas, dtype=np.float64),
+        child_size=np.asarray(sizes, dtype=np.int64),
+        n_points=n,
+    )

@@ -1,0 +1,50 @@
+"""Single-linkage dendrogram from MST edges.
+
+Sorting the MST edges by weight and merging with union-find yields exactly
+the single-linkage hierarchy of the underlying metric (here: mutual
+reachability).  Output follows the SciPy linkage convention: row ``i``
+merges clusters ``Z[i,0]`` and ``Z[i,1]`` at distance ``Z[i,2]`` into a new
+cluster with id ``n + i`` and size ``Z[i,3]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.mst.union_find import UnionFind
+
+
+def single_linkage_tree(n: int, u: np.ndarray, v: np.ndarray,
+                        w: np.ndarray) -> np.ndarray:
+    """SciPy-convention linkage matrix from a spanning tree's edges."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    w = np.asarray(w, dtype=np.float64)
+    if u.shape != v.shape or u.shape != w.shape:
+        raise InvalidInputError("edge arrays must have matching shapes")
+    if u.size != n - 1:
+        raise InvalidInputError(
+            f"spanning tree of {n} points needs {n - 1} edges, got {u.size}")
+
+    order = np.argsort(w, kind="stable")
+    uf = UnionFind(n)
+    # cluster id of each union-find root; starts as the point itself.
+    cluster_of_root = np.arange(n, dtype=np.int64)
+    sizes = np.ones(2 * n - 1, dtype=np.int64)
+    Z = np.empty((n - 1, 4), dtype=np.float64)
+    for row, e in enumerate(order):
+        a, b = int(u[e]), int(v[e])
+        ra, rb = uf.find(a), uf.find(b)
+        if ra == rb:
+            raise InvalidInputError("edges contain a cycle")
+        ca, cb = int(cluster_of_root[ra]), int(cluster_of_root[rb])
+        new_id = n + row
+        Z[row, 0] = min(ca, cb)
+        Z[row, 1] = max(ca, cb)
+        Z[row, 2] = w[e]
+        Z[row, 3] = sizes[ca] + sizes[cb]
+        sizes[new_id] = sizes[ca] + sizes[cb]
+        uf.union(ra, rb)
+        cluster_of_root[uf.find(ra)] = new_id
+    return Z

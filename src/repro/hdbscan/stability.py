@@ -1,0 +1,141 @@
+"""Cluster stability and excess-of-mass extraction (Campello et al. 2015).
+
+Stability of a condensed cluster ``c``:
+
+.. code-block:: none
+
+    sigma(c) = sum over children records (lambda_child - lambda_birth(c)) * size
+
+where ``lambda_birth(c)`` is the density at which ``c`` appeared.  A cluster
+is selected when it is more stable than the sum of its descendants'
+stabilities; otherwise its children's stability propagates upward.  The
+root is never selected (matching ``allow_single_cluster=False`` in the
+reference implementation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.hdbscan.condense import CondensedTree
+
+
+def cluster_stabilities(tree: CondensedTree) -> Dict[int, float]:
+    """Stability sigma(c) for every condensed cluster id."""
+    births: Dict[int, float] = {tree.root: 0.0}
+    cluster_children = tree.child >= tree.n_points
+    for child, lam in zip(tree.child[cluster_children],
+                          tree.lambda_val[cluster_children]):
+        births[int(child)] = float(lam)
+
+    stabilities: Dict[int, float] = {cid: 0.0 for cid in births}
+    finite_lambda = tree.lambda_val[np.isfinite(tree.lambda_val)]
+    lam_cap = float(finite_lambda.max()) if finite_lambda.size else 0.0
+    for parent, lam, size in zip(tree.parent, tree.lambda_val,
+                                 tree.child_size):
+        lam_eff = float(lam) if np.isfinite(lam) else lam_cap
+        birth = births[int(parent)]
+        birth_eff = birth if np.isfinite(birth) else lam_cap
+        stabilities[int(parent)] += (lam_eff - birth_eff) * float(size)
+    return stabilities
+
+
+def extract_clusters(tree: CondensedTree) -> Tuple[np.ndarray, np.ndarray]:
+    """Point labels and membership probabilities by excess of mass.
+
+    Returns ``(labels, probabilities)``: labels are 0-based cluster indices
+    (ordered by condensed id) with -1 for noise; probability is the point's
+    exit lambda over its cluster's maximum (1.0 for the densest members).
+    """
+    n = tree.n_points
+    stabilities = cluster_stabilities(tree)
+
+    # Children clusters per parent.
+    kids: Dict[int, list] = {cid: [] for cid in stabilities}
+    cluster_rows = tree.child >= n
+    for parent, child in zip(tree.parent[cluster_rows],
+                             tree.child[cluster_rows]):
+        kids[int(parent)].append(int(child))
+
+    # Bottom-up (descending id = children first): excess of mass.
+    selected: Dict[int, bool] = {}
+    subtree_value: Dict[int, float] = {}
+    for cid in sorted(stabilities, reverse=True):
+        child_sum = sum(subtree_value[k] for k in kids[cid])
+        if cid == tree.root:
+            selected[cid] = False
+            subtree_value[cid] = child_sum
+        elif stabilities[cid] >= child_sum and not kids[cid] == []:
+            # An internal cluster beating its children absorbs them.
+            selected[cid] = True
+            subtree_value[cid] = stabilities[cid]
+        elif not kids[cid]:
+            selected[cid] = True  # leaves of the condensed tree
+            subtree_value[cid] = stabilities[cid]
+        else:
+            selected[cid] = False
+            subtree_value[cid] = child_sum
+
+    # Deselect descendants of selected clusters (top-down).
+    for cid in sorted(stabilities):
+        if not selected.get(cid, False):
+            continue
+        stack = list(kids[cid])
+        while stack:
+            k = stack.pop()
+            selected[k] = False
+            stack.extend(kids[k])
+
+    chosen = sorted(cid for cid, sel in selected.items() if sel)
+    index_of = {cid: i for i, cid in enumerate(chosen)}
+
+    # Map every condensed cluster to its owning selected ancestor (if any).
+    owner: Dict[int, int] = {}
+    for cid in sorted(stabilities):
+        if cid in index_of:
+            owner[cid] = cid
+        else:
+            parent_owner = owner.get(_parent_of(tree, cid), None) \
+                if cid != tree.root else None
+            if parent_owner is not None and not selected.get(cid, False):
+                # Inside a selected ancestor only if that ancestor is
+                # selected; otherwise unowned.
+                owner[cid] = parent_owner
+
+    labels = np.full(n, -1, dtype=np.int64)
+    probabilities = np.zeros(n, dtype=np.float64)
+    point_rows = tree.child < n
+    parents = tree.parent[point_rows]
+    points = tree.child[point_rows]
+    lams = tree.lambda_val[point_rows]
+
+    # Per-cluster max lambda for probability normalization.
+    max_lam: Dict[int, float] = {}
+    for parent, lam in zip(parents, lams):
+        own = owner.get(int(parent))
+        if own is None:
+            continue
+        lam_eff = float(lam) if np.isfinite(lam) else 1.0
+        max_lam[own] = max(max_lam.get(own, 0.0), lam_eff)
+
+    for parent, point, lam in zip(parents, points, lams):
+        own = owner.get(int(parent))
+        if own is None:
+            continue
+        labels[int(point)] = index_of[own]
+        denom = max_lam.get(own, 0.0)
+        if denom <= 0.0 or not np.isfinite(lam):
+            probabilities[int(point)] = 1.0
+        else:
+            probabilities[int(point)] = min(float(lam) / denom, 1.0)
+    return labels, probabilities
+
+
+def _parent_of(tree: CondensedTree, cid: int) -> int:
+    """Condensed parent of cluster ``cid`` (root returns itself)."""
+    rows = np.nonzero(tree.child == cid)[0]
+    if rows.size == 0:
+        return cid
+    return int(tree.parent[rows[0]])

@@ -1,0 +1,68 @@
+"""Kokkos-like performance-portability layer with simulated devices.
+
+The paper implements its EMST on top of `Kokkos <https://github.com/kokkos/kokkos>`_
+(execution/memory-space abstractions, ``parallel_for/reduce/scan`` patterns)
+and runs the same source on an AMD EPYC 7763 CPU, an Nvidia A100 GPU, and an
+AMD MI250X GPU.  This repository has no GPU, so the portability layer is
+reproduced as follows:
+
+* Kernels are executed as **data-parallel batched NumPy operations**; every
+  kernel reports the work it performed (distance evaluations, tree-node
+  visits, SIMT warp steps including divergence, bytes moved, elements
+  sorted) into a :class:`~repro.kokkos.counters.CostCounters` object.  The
+  counters are *device-independent measurements of algorithmic work* — the
+  same quantities the real kernels would issue on any backend.
+* A :class:`~repro.kokkos.devices.DeviceSpec` (presets for EPYC 7763
+  sequential/multithreaded, A100, and an MI250X GCD) converts counters into
+  simulated seconds via :func:`~repro.kokkos.costmodel.simulate_seconds`.
+  Device constants are calibrated against the paper's published rates; see
+  ``EXPERIMENTS.md``.
+
+The package also provides semantic ``parallel_for/reduce/scan`` patterns and
+a ``View`` memory-space abstraction mirroring the Kokkos API so that the
+algorithm drivers in :mod:`repro.core` read like the paper's Figure 3.
+"""
+
+from repro.kokkos.counters import CostCounters, WarpTrace
+from repro.kokkos.devices import (
+    A100,
+    EPYC_7763_MT,
+    EPYC_7763_SEQ,
+    MI250X_GCD,
+    DeviceSpec,
+    device_registry,
+)
+from repro.kokkos.costmodel import CostBreakdown, simulate_seconds
+from repro.kokkos.spaces import (
+    ExecutionSpace,
+    GPUSim,
+    OpenMPSim,
+    Serial,
+    default_space,
+)
+from repro.kokkos.patterns import parallel_for, parallel_reduce, parallel_scan
+from repro.kokkos.views import View, create_mirror_view, deep_copy
+
+__all__ = [
+    "CostCounters",
+    "WarpTrace",
+    "DeviceSpec",
+    "EPYC_7763_SEQ",
+    "EPYC_7763_MT",
+    "A100",
+    "MI250X_GCD",
+    "device_registry",
+    "CostBreakdown",
+    "simulate_seconds",
+    "ExecutionSpace",
+    "Serial",
+    "OpenMPSim",
+    "GPUSim",
+    "default_space",
+    "parallel_for",
+    "parallel_reduce",
+    "parallel_scan",
+    "View",
+    "create_mirror_view",
+    "deep_copy",
+]

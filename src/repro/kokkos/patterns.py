@@ -1,0 +1,123 @@
+"""Kokkos-style parallel execution patterns.
+
+``parallel_for``, ``parallel_reduce`` and ``parallel_scan`` mirror the Kokkos
+dispatch API used in the paper's Figure 3.  Semantically they execute a
+Python callable over an index range; for performance-critical code the
+library uses batched NumPy kernels directly, but these patterns are used by
+the small-scale drivers, by tests, and wherever API parity with the paper's
+listing makes the code easier to compare against the original.
+
+Each dispatch records its work into an optional
+:class:`~repro.kokkos.counters.CostCounters` so that even the pattern-based
+code paths participate in the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TypeVar
+
+import numpy as np
+
+from repro.kokkos.counters import CostCounters
+
+T = TypeVar("T")
+
+
+def parallel_for(
+    n: int,
+    body: Callable[[int], None],
+    *,
+    counters: Optional[CostCounters] = None,
+    ops_per_item: float = 1.0,
+) -> None:
+    """Execute ``body(i)`` for every ``i`` in ``range(n)``.
+
+    The iterations must be independent (as in Kokkos); the sequential
+    execution order here is an implementation detail that correct kernels
+    may not rely on.
+    """
+    if n < 0:
+        raise ValueError(f"negative range: {n}")
+    for i in range(n):
+        body(i)
+    if counters is not None:
+        counters.record_bulk(n, ops_per_item=ops_per_item)
+
+
+def parallel_reduce(
+    n: int,
+    body: Callable[[int], T],
+    combine: Callable[[T, T], T],
+    init: T,
+    *,
+    counters: Optional[CostCounters] = None,
+    ops_per_item: float = 1.0,
+) -> T:
+    """Reduce ``combine(acc, body(i))`` over ``range(n)`` starting at ``init``.
+
+    ``combine`` must be associative and commutative for the result to be
+    execution-order independent, matching the Kokkos contract.
+    """
+    if n < 0:
+        raise ValueError(f"negative range: {n}")
+    acc = init
+    for i in range(n):
+        acc = combine(acc, body(i))
+    if counters is not None:
+        counters.record_bulk(n, ops_per_item=ops_per_item)
+    return acc
+
+
+def parallel_scan(
+    values: np.ndarray,
+    *,
+    exclusive: bool = True,
+    counters: Optional[CostCounters] = None,
+) -> np.ndarray:
+    """Prefix sum of ``values`` (exclusive by default, as in Kokkos).
+
+    >>> parallel_scan(np.array([1, 2, 3]))
+    array([0, 1, 3])
+    >>> parallel_scan(np.array([1, 2, 3]), exclusive=False)
+    array([1, 3, 6])
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("parallel_scan expects a 1-D array")
+    inclusive = np.cumsum(values)
+    if counters is not None:
+        counters.record_bulk(values.shape[0], ops_per_item=2.0,
+                             bytes_per_item=2 * values.itemsize)
+    if exclusive:
+        out = np.empty_like(inclusive)
+        out[0] = 0
+        out[1:] = inclusive[:-1]
+        return out
+    return inclusive
+
+
+def fused_map(
+    arrays: List[np.ndarray],
+    fn: Callable[..., np.ndarray],
+    *,
+    counters: Optional[CostCounters] = None,
+    ops_per_item: float = 1.0,
+) -> np.ndarray:
+    """Apply a vectorized ``fn`` over aligned arrays, recording bulk work.
+
+    This is the bridge the heavy kernels use: the computation is a single
+    NumPy expression, and the dispatch is accounted as one device kernel over
+    ``len(arrays[0])`` items.
+    """
+    if not arrays:
+        raise ValueError("fused_map requires at least one input array")
+    n = arrays[0].shape[0]
+    for a in arrays[1:]:
+        if a.shape[0] != n:
+            raise ValueError("fused_map inputs must share their leading dim")
+    out = fn(*arrays)
+    if counters is not None:
+        bytes_per_item = float(sum(a.itemsize * (a.size // max(n, 1)) for a in arrays))
+        counters.record_bulk(n, ops_per_item=ops_per_item,
+                             bytes_per_item=bytes_per_item)
+    return out

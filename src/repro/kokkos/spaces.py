@@ -1,0 +1,88 @@
+"""Execution spaces: where a kernel (conceptually) runs.
+
+Mirrors Kokkos' execution-space concept: an algorithm is written once against
+the :class:`ExecutionSpace` interface and can be "run" on the sequential CPU
+model, the multithreaded CPU model, or a GPU model.  In this reproduction all
+kernels physically execute as NumPy array programs; the execution space
+determines how the recorded work counters are converted into simulated time
+(see :mod:`repro.kokkos.costmodel`) and how wide the SIMT warp grouping is.
+
+Because the counters are device-independent, a single physical run can be
+re-priced on every device — benchmark drivers exploit this to produce the
+paper's cross-device figures from one execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionSpaceError
+from repro.kokkos.costmodel import CostBreakdown, simulate_seconds
+from repro.kokkos.counters import WARP_SIZE, CostCounters
+from repro.kokkos.devices import A100, EPYC_7763_MT, EPYC_7763_SEQ, DeviceSpec
+
+
+@dataclass(frozen=True)
+class ExecutionSpace:
+    """An execution resource with a cost model.
+
+    Concrete spaces are :class:`Serial`, :class:`OpenMPSim` and
+    :class:`GPUSim`; all are thin wrappers selecting a
+    :class:`~repro.kokkos.devices.DeviceSpec`.
+    """
+
+    device: DeviceSpec
+
+    @property
+    def name(self) -> str:
+        """Display name of the underlying device."""
+        return self.device.name
+
+    @property
+    def is_gpu(self) -> bool:
+        """True for SIMT (GPU) spaces."""
+        return self.device.kind == "gpu"
+
+    @property
+    def warp_size(self) -> int:
+        """SIMT width for divergence accounting (1 on CPUs)."""
+        return WARP_SIZE if self.is_gpu else 1
+
+    def simulate(self, counters: CostCounters) -> CostBreakdown:
+        """Price ``counters`` on this space's device."""
+        return simulate_seconds(counters, self.device)
+
+    def fence(self) -> None:
+        """No-op barrier, mirroring ``ExecutionSpace::fence()`` in Kokkos."""
+
+
+class Serial(ExecutionSpace):
+    """Single-core CPU execution (Kokkos ``Serial`` backend)."""
+
+    def __init__(self, device: DeviceSpec = EPYC_7763_SEQ):
+        if device.kind != "cpu":
+            raise ExecutionSpaceError("Serial space requires a CPU device")
+        super().__init__(device)
+
+
+class OpenMPSim(ExecutionSpace):
+    """Multithreaded CPU execution (Kokkos ``OpenMP`` backend, simulated)."""
+
+    def __init__(self, device: DeviceSpec = EPYC_7763_MT):
+        if device.kind != "cpu":
+            raise ExecutionSpaceError("OpenMPSim space requires a CPU device")
+        super().__init__(device)
+
+
+class GPUSim(ExecutionSpace):
+    """SIMT GPU execution (Kokkos ``Cuda``/``HIP`` backend, simulated)."""
+
+    def __init__(self, device: DeviceSpec = A100):
+        if device.kind != "gpu":
+            raise ExecutionSpaceError("GPUSim space requires a GPU device")
+        super().__init__(device)
+
+
+def default_space() -> ExecutionSpace:
+    """The library default: sequential CPU (cheapest, no assumptions)."""
+    return Serial()

@@ -1,0 +1,99 @@
+"""Kokkos ``View`` analogue: arrays tagged with a memory space.
+
+Kokkos code must place data in a memory space accessible from the execution
+space, inserting explicit host/device transfers otherwise (Section 2 of the
+paper).  :class:`View` wraps a NumPy array with a memory-space label and a
+name; :func:`deep_copy` moves data between spaces and charges the transfer to
+a counter set, so that algorithms that forget to keep data device-resident
+pay a (simulated) PCIe cost — the same discipline real Kokkos enforces at
+compile time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ExecutionSpaceError
+from repro.kokkos.counters import CostCounters
+
+HOST_SPACE = "Host"
+DEVICE_SPACE = "Device"
+_VALID_SPACES = (HOST_SPACE, DEVICE_SPACE)
+
+
+class View:
+    """A labelled, memory-space-tagged array.
+
+    Mirrors ``Kokkos::View<T*, MemorySpace>``: construction either allocates
+    (``View("labels", n, dtype=...)``) or wraps an existing array
+    (``View.wrap("data", array)``).  The underlying buffer is exposed as
+    ``.data``; kernels operate on it directly.
+    """
+
+    def __init__(self, label: str, shape, dtype=np.float64,
+                 space: str = HOST_SPACE):
+        if space not in _VALID_SPACES:
+            raise ExecutionSpaceError(f"unknown memory space: {space!r}")
+        self.label = label
+        self.space = space
+        self.data = np.zeros(shape, dtype=dtype)
+
+    @classmethod
+    def wrap(cls, label: str, array: np.ndarray, space: str = HOST_SPACE) -> "View":
+        """Wrap ``array`` without copying."""
+        view = cls.__new__(cls)
+        if space not in _VALID_SPACES:
+            raise ExecutionSpaceError(f"unknown memory space: {space!r}")
+        view.label = label
+        view.space = space
+        view.data = np.asarray(array)
+        return view
+
+    @property
+    def shape(self):
+        """Shape of the underlying buffer."""
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        """Dtype of the underlying buffer."""
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the underlying buffer in bytes."""
+        return self.data.nbytes
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:
+        return (f"View({self.label!r}, shape={self.data.shape}, "
+                f"dtype={self.data.dtype}, space={self.space})")
+
+
+def create_mirror_view(view: View) -> View:
+    """Allocate a host-space view with the same shape/dtype as ``view``.
+
+    As in Kokkos, the mirror starts uninitialized (here: zeroed) and must be
+    filled with :func:`deep_copy`.
+    """
+    mirror = View(view.label + "_mirror", view.data.shape, dtype=view.data.dtype,
+                  space=HOST_SPACE)
+    return mirror
+
+
+def deep_copy(dst: View, src: View,
+              counters: Optional[CostCounters] = None) -> None:
+    """Copy ``src`` into ``dst``, charging a transfer when spaces differ."""
+    if dst.data.shape != src.data.shape:
+        raise ExecutionSpaceError(
+            f"deep_copy shape mismatch: {dst.data.shape} vs {src.data.shape}")
+    np.copyto(dst.data, src.data)
+    if counters is not None:
+        counters.bytes_moved += src.nbytes
+        if dst.space != src.space:
+            # Host<->device transfers also pay a launch-like latency.
+            counters.kernel_launches += 1

@@ -1,0 +1,66 @@
+"""Rate metrics used throughout the paper's evaluation.
+
+The paper measures throughput in *features per second*: ``n * d / t`` where
+``n`` is the number of points, ``d`` the dimension and ``t`` the time in
+seconds (Section 4).  ``MFeatures/sec`` is that rate divided by 1e6.  The
+dimension factor makes 2D and 3D datasets comparable on one axis, which the
+paper uses to argue dimension-agnostic performance.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def features(n_points: int, dimension: int) -> int:
+    """Number of *features* in a dataset: ``n * d``.
+
+    >>> features(1000, 3)
+    3000
+    """
+    if n_points < 0:
+        raise ValueError(f"negative number of points: {n_points}")
+    if dimension <= 0:
+        raise ValueError(f"non-positive dimension: {dimension}")
+    return n_points * dimension
+
+
+def features_per_second(n_points: int, dimension: int, seconds: float) -> float:
+    """The paper's throughput metric ``n * d / t`` in features/second."""
+    if seconds <= 0:
+        raise ValueError(f"non-positive duration: {seconds}")
+    return features(n_points, dimension) / seconds
+
+
+def mfeatures_per_second(n_points: int, dimension: int, seconds: float) -> float:
+    """Throughput in millions of features per second (MFeatures/sec).
+
+    >>> mfeatures_per_second(1_000_000, 3, 3.0)
+    1.0
+    """
+    return features_per_second(n_points, dimension, seconds) / 1e6
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """Ratio ``baseline / improved`` — how many times faster the latter is."""
+    if baseline_seconds <= 0 or improved_seconds <= 0:
+        raise ValueError("durations must be positive")
+    return baseline_seconds / improved_seconds
+
+
+def format_rate(rate_mfeatures: float) -> str:
+    """Human-readable MFeatures/sec with sensible precision.
+
+    Matches the display convention of the paper's bar charts: one decimal
+    below 10, integers above.
+
+    >>> format_rate(0.74)
+    '0.7'
+    >>> format_rate(270.66)
+    '271'
+    """
+    if not math.isfinite(rate_mfeatures):
+        return "nan"
+    if rate_mfeatures < 10:
+        return f"{rate_mfeatures:.1f}"
+    return f"{rate_mfeatures:.0f}"

@@ -1,0 +1,26 @@
+"""Classical minimum-spanning-tree algorithms on explicit graphs.
+
+The paper's Section 2 surveys Borůvka (1926), Kruskal (1956) and Prim (1957);
+all three are implemented here on explicit edge lists, both as baselines for
+the EMST algorithms (which never materialize the distance graph) and as the
+MST engines inside the WSPD pipeline (:mod:`repro.baselines.memogfk`).
+
+Edge comparison throughout uses the paper's tie-breaking total order
+``(weight, min(u, v), max(u, v))`` so all algorithms agree on one unique MST
+even with duplicate weights.
+"""
+
+from repro.mst.union_find import UnionFind
+from repro.mst.kruskal import kruskal
+from repro.mst.prim import prim
+from repro.mst.boruvka import boruvka_graph
+from repro.mst.validate import is_spanning_tree, total_weight
+
+__all__ = [
+    "UnionFind",
+    "kruskal",
+    "prim",
+    "boruvka_graph",
+    "is_spanning_tree",
+    "total_weight",
+]

@@ -1,0 +1,90 @@
+"""Borůvka's algorithm (1926) on an explicit edge list, vectorized.
+
+Each round every component selects the minimum outgoing edge of its cut
+under the tie-broken total order and the selected edges merge their
+components (Algorithm 1 of the paper).  All per-round work is NumPy
+array passes — the same structure the paper exploits for GPU parallelism —
+which also makes this the fastest explicit-graph MST in the repository.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InvalidInputError
+from repro.kokkos.counters import CostCounters
+from repro.mst.union_find import UnionFind
+
+
+def boruvka_graph(
+    n: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    *,
+    counters: Optional[CostCounters] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Minimum spanning forest via Borůvka rounds.
+
+    Returns ``(mu, mv, mw)`` with ``mu < mv`` per edge, ordered by the
+    round in which each edge was found.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    w = np.asarray(w, dtype=np.float64)
+    if u.shape != v.shape or u.shape != w.shape:
+        raise InvalidInputError("edge arrays must have matching shapes")
+    if u.size and (min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n):
+        raise InvalidInputError("edge endpoint out of range")
+
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    uf = UnionFind(n)
+    mu_list, mv_list, mw_list = [], [], []
+
+    max_rounds = max(int(np.ceil(np.log2(max(n, 2)))) + 2, 4)
+    for _ in range(max_rounds):
+        labels = uf.component_labels()
+        cu = labels[lo]
+        cv = labels[hi]
+        cross = cu != cv
+        if not np.any(cross):
+            break
+        idx = np.nonzero(cross)[0]
+
+        # Minimum cut edge per component under (w, lo, hi): duplicate each
+        # crossing edge for both of its components, sort, take group heads.
+        comp = np.concatenate([cu[idx], cv[idx]])
+        edge = np.concatenate([idx, idx])
+        order = np.lexsort((hi[edge], lo[edge], w[edge], comp))
+        comp_sorted = comp[order]
+        heads = np.ones(comp_sorted.size, dtype=bool)
+        heads[1:] = comp_sorted[1:] != comp_sorted[:-1]
+        chosen = np.unique(edge[order[heads]])
+        if counters is not None:
+            counters.record_bulk(idx.size, ops_per_item=8.0,
+                                 bytes_per_item=32.0)
+            counters.record_sort(2 * idx.size)
+
+        merged_any = False
+        for e in chosen:
+            if uf.union(int(lo[e]), int(hi[e])):
+                mu_list.append(int(lo[e]))
+                mv_list.append(int(hi[e]))
+                mw_list.append(float(w[e]))
+                merged_any = True
+        if not merged_any:
+            raise ConvergenceError("Borůvka round merged no components")
+        if uf.n_components == 1:
+            break
+    else:
+        # The loop bound dlog2(n)e is a theorem; hitting it means a bug.
+        labels = uf.component_labels()
+        if np.any(labels[lo] != labels[hi]):
+            raise ConvergenceError("Borůvka exceeded its round bound")
+
+    return (np.asarray(mu_list, dtype=np.int64),
+            np.asarray(mv_list, dtype=np.int64),
+            np.asarray(mw_list, dtype=np.float64))

@@ -1,0 +1,62 @@
+"""Disjoint-set (union-find) structure with path compression + union by rank.
+
+Used by Kruskal's algorithm, the WSPD pipeline and the HDBSCAN* dendrogram
+construction.  A vectorized ``find_many`` supports bulk queries; the EMST
+merge phase (:mod:`repro.core.merge`) uses its own pointer-jumping scheme
+because component labels there live in a flat array, matching the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Array-based disjoint sets over the vertex ids ``0..n-1``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"negative element count: {n}")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+        self.n_components = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set, compressing the path."""
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def find_many(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized find (pointer jumping, no compression of inputs)."""
+        roots = np.asarray(xs, dtype=np.int64).copy()
+        while True:
+            parents = self.parent[roots]
+            if np.array_equal(parents, roots):
+                return roots
+            roots = self.parent[parents]
+
+    def component_labels(self) -> np.ndarray:
+        """Canonical label (set representative) for every element."""
+        return self.find_many(np.arange(self.parent.shape[0]))

@@ -1,0 +1,49 @@
+"""Spanning-tree validators used by tests and as post-condition checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mst.union_find import UnionFind
+
+
+def is_spanning_tree(n: int, u: np.ndarray, v: np.ndarray) -> bool:
+    """True when edges ``(u, v)`` form a spanning tree of ``n`` vertices.
+
+    A spanning tree has exactly ``n - 1`` edges and connects everything;
+    acyclicity follows from those two properties.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if n == 0:
+        return u.size == 0
+    if u.size != n - 1:
+        return False
+    if u.size and (min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n):
+        return False
+    uf = UnionFind(n)
+    for a, b in zip(u, v):
+        if not uf.union(int(a), int(b)):
+            return False  # cycle
+    return uf.n_components == 1
+
+
+def is_spanning_forest(n: int, u: np.ndarray, v: np.ndarray) -> bool:
+    """True when the edges are acyclic (a forest over ``n`` vertices)."""
+    uf = UnionFind(n)
+    for a, b in zip(np.asarray(u, dtype=np.int64), np.asarray(v, dtype=np.int64)):
+        if not uf.union(int(a), int(b)):
+            return False
+    return True
+
+
+def total_weight(w: np.ndarray) -> float:
+    """Sum of edge weights (float64 accumulation)."""
+    return float(np.sum(np.asarray(w, dtype=np.float64)))
+
+
+def edges_canonical(u: np.ndarray, v: np.ndarray) -> set:
+    """Set of ``(min, max)`` endpoint tuples for order-insensitive equality."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    return {(int(min(a, b)), int(max(a, b))) for a, b in zip(u, v)}

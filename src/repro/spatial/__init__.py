@@ -1,0 +1,24 @@
+"""Spatial index substrate for the CPU baselines.
+
+* :mod:`repro.spatial.kdtree` — median-split kd-tree (array-of-nodes
+  layout), used by the Bentley–Friedman and dual-tree Borůvka baselines.
+* :mod:`repro.spatial.fairsplit` — Callahan–Kosaraju fair-split tree, the
+  decomposition underlying the WSPD.
+* :mod:`repro.spatial.wspd` — well-separated pair decomposition.
+* :mod:`repro.spatial.bcp` — bichromatic closest pair between two subtrees.
+"""
+
+from repro.spatial.kdtree import KDTree, build_kdtree
+from repro.spatial.fairsplit import FairSplitTree, build_fair_split_tree
+from repro.spatial.wspd import WSPDPair, well_separated_pairs
+from repro.spatial.bcp import bichromatic_closest_pair
+
+__all__ = [
+    "KDTree",
+    "build_kdtree",
+    "FairSplitTree",
+    "build_fair_split_tree",
+    "WSPDPair",
+    "well_separated_pairs",
+    "bichromatic_closest_pair",
+]

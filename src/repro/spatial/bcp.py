@@ -1,0 +1,114 @@
+"""Bichromatic closest pair between two subtrees.
+
+Given two nodes of a spatial tree, find the closest pair with one endpoint
+in each — the primitive the WSPD-based EMST executes per well-separated
+pair (Agarwal et al. 1991, Narasimhan et al. 2000).  Classic dual-tree
+branch and bound: recurse into child pairs nearest first, prune pairs whose
+box gap exceeds the best found.
+
+The optional ``component_of`` argument restricts the search to
+cross-component pairs (used by tests and by MemoGFK variants that re-run a
+BCP after a merge); ``core_sq`` switches the metric to mutual reachability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.distance import box_box_sq
+from repro.kokkos.counters import CostCounters
+
+
+def bichromatic_closest_pair(
+    tree,
+    node_a: int,
+    node_b: int,
+    *,
+    component_of: Optional[np.ndarray] = None,
+    core_sq: Optional[np.ndarray] = None,
+    counters: Optional[CostCounters] = None,
+) -> Tuple[int, int, float]:
+    """Closest pair ``(i, j, d_sq)`` with ``i`` under ``node_a``, ``j``
+    under ``node_b``.
+
+    ``tree`` is any flat tree with the ``lo/hi/left/right/node_indices``
+    interface (:class:`~repro.spatial.kdtree.KDTree` or
+    :class:`~repro.spatial.fairsplit.FairSplitTree`).  When
+    ``component_of`` is given, only pairs in *different* components are
+    considered; returns ``(-1, -1, inf)`` if none exists.
+
+    ``core_sq`` (squared core distances per point) switches the metric to
+    mutual reachability: pair distances become
+    ``max(d_sq, core_sq[i], core_sq[j])``.  Box-gap pruning stays valid
+    because the m.r.d. dominates the Euclidean distance.
+
+    Ties resolve by the ``(min(i,j), max(i,j))`` index pair, keeping BCP
+    results consistent with the library-wide edge total order.
+    """
+    best = [np.inf, -1, -1]  # d_sq, i, j
+    best_key = [np.inf, np.inf]
+    points = tree.points
+    lo, hi = tree.lo, tree.hi
+    left = tree.left
+
+    def leaf_pair(a: int, b: int) -> None:
+        ia = tree.node_indices(a)
+        ib = tree.node_indices(b)
+        pa = points[ia]
+        pb = points[ib]
+        # Direct differences: rounding (hence tie behaviour) must match
+        # the library's points_sq exactly.
+        diff = pa[:, None, :] - pb[None, :, :]
+        d2 = np.sum(diff * diff, axis=2)
+        if core_sq is not None:
+            d2 = np.maximum(d2, core_sq[ia][:, None])
+            d2 = np.maximum(d2, core_sq[ib][None, :])
+        if counters is not None:
+            counters.distance_evals += d2.size
+        if component_of is not None:
+            same = component_of[ia][:, None] == component_of[ib][None, :]
+            d2 = np.where(same, np.inf, d2)
+        m = d2.min()
+        if not np.isfinite(m) or m > best[0]:
+            return
+        rows, cols = np.nonzero(d2 == m)
+        cand_i = ia[rows]
+        cand_j = ib[cols]
+        klo = np.minimum(cand_i, cand_j)
+        khi = np.maximum(cand_i, cand_j)
+        pick = np.lexsort((khi, klo))[0]
+        key = (float(klo[pick]), float(khi[pick]))
+        if m < best[0] or (m == best[0] and key < tuple(best_key)):
+            best[0] = m
+            best[1] = int(cand_i[pick])
+            best[2] = int(cand_j[pick])
+            best_key[0], best_key[1] = key
+
+    def recurse(a: int, b: int) -> None:
+        gap = box_box_sq(lo[a], hi[a], lo[b], hi[b])
+        if counters is not None:
+            counters.box_distance_evals += 1
+            counters.nodes_visited += 1
+        if gap > best[0]:
+            return
+        a_leaf = tree.is_leaf(a)
+        b_leaf = tree.is_leaf(b)
+        if a_leaf and b_leaf:
+            leaf_pair(a, b)
+            return
+        # Split the larger node (by subtree size) for balanced recursion.
+        if b_leaf or (not a_leaf and tree.node_size(a) >= tree.node_size(b)):
+            children = [(int(tree.left[a]), b), (int(tree.right[a]), b)]
+        else:
+            children = [(a, int(tree.left[b])), (a, int(tree.right[b]))]
+        children.sort(key=lambda ab: float(
+            box_box_sq(lo[ab[0]], hi[ab[0]], lo[ab[1]], hi[ab[1]])))
+        for ca, cb in children:
+            recurse(ca, cb)
+
+    recurse(node_a, node_b)
+    if best[1] < 0:
+        return -1, -1, np.inf
+    return best[1], best[2], float(best[0])

@@ -1,0 +1,148 @@
+"""Callahan–Kosaraju fair-split tree.
+
+The decomposition tree used by the WSPD (Section 2 of the paper; Callahan &
+Kosaraju 1995).  Each internal node splits its bounding box in the middle
+of its *longest* side, partitioning the points; empty halves cannot occur
+because the box is the tight bound of the node's points.  The fair-split
+rule guarantees geometrically shrinking cells, which is what bounds the
+WSPD size.
+
+Layout matches :class:`repro.spatial.kdtree.KDTree` (flat arrays, point
+ranges in a permutation) so the BCP and WSPD routines work on either tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.kokkos.counters import CostCounters
+
+
+@dataclass
+class FairSplitTree:
+    """Flat fair-split tree; node ``i`` is a leaf iff ``left[i] < 0``."""
+
+    points: np.ndarray
+    perm: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    start: np.ndarray
+    end: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of indexed points."""
+        return self.points.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of tree nodes."""
+        return self.lo.shape[0]
+
+    def is_leaf(self, node: int) -> bool:
+        """True when ``node`` has no children."""
+        return self.left[node] < 0
+
+    def node_indices(self, node: int) -> np.ndarray:
+        """Original point indices in ``node``'s subtree."""
+        return self.perm[self.start[node]:self.end[node]]
+
+    def node_size(self, node: int) -> int:
+        """Number of points under ``node``."""
+        return int(self.end[node] - self.start[node])
+
+    def radius(self, node: int) -> float:
+        """Radius of the enclosing ball (half the box diagonal)."""
+        diff = self.hi[node] - self.lo[node]
+        return 0.5 * float(np.sqrt(np.sum(diff * diff)))
+
+    def center(self, node: int) -> np.ndarray:
+        """Center of the node's bounding box."""
+        return 0.5 * (self.lo[node] + self.hi[node])
+
+
+def build_fair_split_tree(points: np.ndarray,
+                          counters: Optional[CostCounters] = None
+                          ) -> FairSplitTree:
+    """Build the fair-split tree (leaves are single points).
+
+    Duplicate points collapse into multi-point leaves (their box has zero
+    extent and cannot be split), which downstream WSPD/BCP code handles.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise InvalidInputError(
+            f"expected non-empty (n, d) points, got shape {points.shape}")
+    if not np.all(np.isfinite(points)):
+        raise InvalidInputError("points contain non-finite coordinates")
+    n = points.shape[0]
+
+    perm = np.arange(n, dtype=np.int64)
+    lo_list, hi_list = [], []
+    left_list, right_list, start_list, end_list = [], [], [], []
+
+    def new_node(s: int, e: int) -> int:
+        node = len(lo_list)
+        seg = points[perm[s:e]]
+        lo_list.append(seg.min(axis=0))
+        hi_list.append(seg.max(axis=0))
+        left_list.append(-1)
+        right_list.append(-1)
+        start_list.append(s)
+        end_list.append(e)
+        return node
+
+    root = new_node(0, n)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        s, e = start_list[node], end_list[node]
+        if e - s <= 1:
+            continue
+        widths = hi_list[node] - lo_list[node]
+        axis = int(np.argmax(widths))
+        if widths[axis] == 0.0:
+            continue  # all points identical: keep as a multi-point leaf
+        split = 0.5 * (lo_list[node][axis] + hi_list[node][axis])
+        seg = perm[s:e]
+        mask = points[seg, axis] <= split
+        n_left = int(np.count_nonzero(mask))
+        if n_left == 0 or n_left == e - s:
+            # Numerically possible when all points sit on one side of the
+            # midpoint; fall back to a median split on this axis.
+            order = np.argsort(points[seg, axis], kind="stable")
+            seg = seg[order]
+            n_left = (e - s) // 2
+            perm[s:e] = seg
+        else:
+            perm[s:e] = np.concatenate([seg[mask], seg[~mask]])
+        left_list[node] = new_node(s, s + n_left)
+        right_list[node] = new_node(s + n_left, e)
+        stack.append(left_list[node])
+        stack.append(right_list[node])
+
+    tree = FairSplitTree(
+        points=points,
+        perm=perm,
+        lo=np.asarray(lo_list),
+        hi=np.asarray(hi_list),
+        left=np.asarray(left_list, dtype=np.int64),
+        right=np.asarray(right_list, dtype=np.int64),
+        start=np.asarray(start_list, dtype=np.int64),
+        end=np.asarray(end_list, dtype=np.int64),
+    )
+    if counters is not None:
+        depth = max(int(np.ceil(np.log2(max(n, 2)))), 1)
+        counters.record_bulk(n, ops_per_item=5.0 * depth, bytes_per_item=16.0)
+        # The level-by-level partitioning is sort-like and memory-bound;
+        # it is the phase the paper observes scaling poorly on CPUs
+        # (Figure 8a: tree construction becomes the multithreaded
+        # bottleneck), so it is charged to the serial-sort budget.
+        counters.record_sort(n, bytes_per_item=16.0)
+    return tree

@@ -1,0 +1,95 @@
+"""Wall-clock phase timing utilities.
+
+The paper reports per-phase timings (Figure 8: ``T_tree``, ``T_mst`` for the
+single-tree algorithm; ``T_tree``, ``T_wspd``, ``T_mst``, ``T_mark`` for
+MemoGFK).  :class:`PhaseTimer` accumulates named phases so that every
+algorithm in this repository can expose the same breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    A phase may be entered multiple times; durations accumulate.  Phases are
+    reported in first-entry order, which matches the execution order of the
+    pipelines in this library.
+
+    Example
+    -------
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("tree"):
+    ...     pass
+    >>> with timer.phase("mst"):
+    ...     pass
+    >>> list(timer.totals) == ["tree", "mst"]
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager measuring one entry into phase ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to phase ``name`` without running a block."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for phase {name!r}: {seconds}")
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases, in seconds."""
+        return sum(self.totals.values())
+
+    def get(self, name: str) -> float:
+        """Accumulated seconds for ``name`` (0.0 if never entered)."""
+        return self.totals.get(name, 0.0)
+
+    def merged_with(self, other: "PhaseTimer") -> "PhaseTimer":
+        """Return a new timer with phases of ``self`` and ``other`` summed."""
+        merged = PhaseTimer(dict(self.totals))
+        for name, seconds in other.totals.items():
+            merged.add(name, seconds)
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the phase table (phase name -> seconds)."""
+        return dict(self.totals)
+
+
+@contextmanager
+def stopwatch() -> Iterator["_Stopwatch"]:
+    """Measure a block; read ``.seconds`` afterwards.
+
+    >>> with stopwatch() as sw:
+    ...     pass
+    >>> sw.seconds >= 0.0
+    True
+    """
+    sw = _Stopwatch()
+    start = time.perf_counter()
+    try:
+        yield sw
+    finally:
+        sw.seconds = time.perf_counter() - start
+
+
+class _Stopwatch:
+    """Result holder for :func:`stopwatch`."""
+
+    seconds: float = 0.0

@@ -1,0 +1,58 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+# Property tests build spatial indexes, which is slow under the default
+# deadline; a single relaxed profile keeps hypothesis stable on CI.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform_2d(rng):
+    return rng.random((200, 2))
+
+
+@pytest.fixture
+def uniform_3d(rng):
+    return rng.random((200, 3))
+
+
+@pytest.fixture
+def clustered_3d(rng):
+    centers = rng.random((5, 3))
+    pts = centers[rng.integers(0, 5, 300)] + 0.01 * rng.standard_normal((300, 3))
+    return pts
+
+
+def finite_points(min_n=2, max_n=80, dims=(2, 3)):
+    """Hypothesis strategy: well-conditioned (n, d) float point arrays."""
+    return st.integers(min_value=min_n, max_value=max_n).flatmap(
+        lambda n: st.sampled_from(list(dims)).flatmap(
+            lambda d: arrays(
+                dtype=np.float64,
+                shape=(n, d),
+                elements=st.floats(min_value=-1e3, max_value=1e3,
+                                   allow_nan=False, allow_infinity=False,
+                                   width=32),
+            )))
+
+
+# Re-exported for test modules.
+points_strategy = finite_points

@@ -1,0 +1,109 @@
+"""Tests for MST statistics (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cut_fragments,
+    degree_histogram,
+    mst_statistics,
+)
+from repro.core.emst import emst
+from repro.data import hacc, uniform
+from repro.errors import InvalidInputError
+
+
+@pytest.fixture
+def chain():
+    # Path 0-1-2-3 with weights 1, 5, 2.
+    return 4, np.array([0, 1, 2]), np.array([1, 2, 3]), \
+        np.array([1.0, 5.0, 2.0])
+
+
+class TestStatistics:
+    def test_chain_summary(self, chain):
+        stats = mst_statistics(*chain)
+        assert stats.n_vertices == 4
+        assert stats.n_edges == 3
+        assert stats.total_weight == 8.0
+        assert stats.max_edge == 5.0
+        assert stats.min_edge == 1.0
+        assert stats.n_leaves == 2
+        assert stats.n_branch_vertices == 0
+        assert stats.max_degree == 2
+
+    def test_star_degrees(self):
+        stats = mst_statistics(4, np.array([0, 0, 0]),
+                               np.array([1, 2, 3]), np.ones(3))
+        assert stats.max_degree == 3
+        assert stats.n_leaves == 3
+        assert stats.n_branch_vertices == 1
+
+    def test_percentiles_ordered(self, rng):
+        result = emst(rng.random((200, 2)))
+        stats = mst_statistics(200, result.edges[:, 0], result.edges[:, 1],
+                               result.weights)
+        ps = stats.edge_percentiles
+        assert ps[1] <= ps[50] <= ps[99]
+
+    def test_clustered_wider_dynamic_range(self):
+        clustered = emst(hacc(1500, seed=0))
+        flat = emst(uniform(1500, 3, seed=0))
+        s_c = mst_statistics(1500, clustered.edges[:, 0],
+                             clustered.edges[:, 1], clustered.weights)
+        s_u = mst_statistics(1500, flat.edges[:, 0], flat.edges[:, 1],
+                             flat.weights)
+        assert s_c.dynamic_range > 3 * s_u.dynamic_range
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(InvalidInputError):
+            mst_statistics(2, np.array([0]), np.array([5]), np.array([1.0]))
+
+
+class TestDegreeHistogram:
+    def test_chain(self, chain):
+        n, u, v, w = chain
+        hist = degree_histogram(n, u, v)
+        assert hist[1] == 2  # two leaves
+        assert hist[2] == 2  # two interior
+
+    def test_tree_leaf_count_matches(self, rng):
+        result = emst(rng.random((100, 3)))
+        hist = degree_histogram(100, result.edges[:, 0], result.edges[:, 1])
+        assert hist.sum() == 100
+        assert hist[0] == 0  # a tree has no isolated vertices
+
+
+class TestCutFragments:
+    def test_cut_all(self, chain):
+        labels, k = cut_fragments(*chain, cutoff=0.5)
+        assert k == 4
+
+    def test_cut_none(self, chain):
+        labels, k = cut_fragments(*chain, cutoff=10.0)
+        assert k == 1
+        assert np.all(labels == 0)
+
+    def test_cut_middle(self, chain):
+        labels, k = cut_fragments(*chain, cutoff=2.5)
+        assert k == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_labels_first_occurrence_order(self, chain):
+        labels, _ = cut_fragments(*chain, cutoff=2.5)
+        assert labels[0] == 0  # first vertex gets fragment 0
+
+    def test_fof_recovers_blobs(self, rng):
+        blobs = np.concatenate([
+            rng.normal((0, 0), 0.02, size=(40, 2)),
+            rng.normal((5, 5), 0.02, size=(40, 2)),
+        ])
+        result = emst(blobs)
+        labels, k = cut_fragments(80, result.edges[:, 0],
+                                  result.edges[:, 1], result.weights,
+                                  cutoff=1.0)
+        assert k == 2
+        assert len(set(labels[:40])) == 1
+        assert len(set(labels[40:])) == 1

@@ -1,0 +1,197 @@
+"""Tests for the EMST baselines (repro.baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import (
+    bentley_friedman_emst,
+    brute_force_emst,
+    brute_force_mrd_emst,
+    delaunay_emst_2d,
+    dual_tree_emst,
+    memogfk_emst,
+)
+from repro.core.emst import emst
+from repro.errors import DimensionError, InvalidInputError
+from repro.kokkos.counters import CostCounters
+from repro.mst.validate import edges_canonical, is_spanning_tree
+from tests.conftest import finite_points
+
+TREE_BASELINES = [
+    ("bentley-friedman", lambda p: bentley_friedman_emst(p)[:3]),
+    ("dual-tree", lambda p: dual_tree_emst(p)[:3]),
+    ("memogfk", lambda p: (lambda r: (r.u, r.v, r.w))(memogfk_emst(p))),
+    ("memogfk-eager",
+     lambda p: (lambda r: (r.u, r.v, r.w))(memogfk_emst(p, lazy=False))),
+]
+
+
+class TestBruteForce:
+    def test_known_chain(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        u, v, w = brute_force_emst(pts)
+        assert list(zip(u, v)) == [(0, 1), (1, 2)]
+        assert w.tolist() == [1.0, 2.0]
+
+    def test_single_point(self):
+        u, v, w = brute_force_emst(np.array([[0.0, 0.0]]))
+        assert u.size == 0
+
+    def test_matches_single_tree(self, rng):
+        pts = rng.random((120, 3))
+        u, v, w = brute_force_emst(pts)
+        result = emst(pts)
+        assert edges_canonical(u, v) == \
+            edges_canonical(result.edges[:, 0], result.edges[:, 1])
+
+    def test_mrd_k1_equals_euclidean(self, rng):
+        pts = rng.random((50, 2))
+        _, _, w_e = brute_force_emst(pts)
+        _, _, w_m = brute_force_mrd_emst(pts, 1)
+        assert w_m.sum() == pytest.approx(w_e.sum())
+
+    def test_mrd_rejects_bad_k(self, rng):
+        with pytest.raises(InvalidInputError):
+            brute_force_mrd_emst(rng.random((5, 2)), 6)
+
+
+class TestTreeBaselines:
+    @pytest.mark.parametrize("name,fn", TREE_BASELINES,
+                             ids=[t[0] for t in TREE_BASELINES])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_oracle_edge_sets(self, name, fn, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 120))
+        pts = rng.random((n, int(rng.choice([2, 3]))))
+        u0, v0, _ = brute_force_emst(pts)
+        u, v, w = fn(pts)
+        assert is_spanning_tree(n, u, v), name
+        assert edges_canonical(u, v) == edges_canonical(u0, v0), name
+
+    @pytest.mark.parametrize("name,fn", TREE_BASELINES,
+                             ids=[t[0] for t in TREE_BASELINES])
+    def test_grid_ties(self, name, fn):
+        import itertools
+        pts = np.array(list(itertools.product(range(5), range(5))),
+                       dtype=float)
+        u0, v0, w0 = brute_force_emst(pts)
+        u, v, w = fn(pts)
+        assert w.sum() == pytest.approx(w0.sum()), name
+
+    @pytest.mark.parametrize("name,fn", TREE_BASELINES,
+                             ids=[t[0] for t in TREE_BASELINES])
+    def test_duplicates(self, name, fn):
+        rng = np.random.default_rng(9)
+        pts = np.repeat(rng.random((6, 2)), 8, axis=0)
+        u, v, w = fn(pts)
+        assert is_spanning_tree(len(pts), u, v), name
+        u0, v0, w0 = brute_force_emst(pts)
+        assert w.sum() == pytest.approx(w0.sum()), name
+
+    @pytest.mark.parametrize("name,fn", TREE_BASELINES,
+                             ids=[t[0] for t in TREE_BASELINES])
+    def test_two_points(self, name, fn):
+        u, v, w = fn(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert w.tolist() == [5.0]
+
+    def test_dual_tree_counters(self, rng):
+        counters = CostCounters()
+        dual_tree_emst(rng.random((100, 2)), counters=counters)
+        assert counters.distance_evals > 0
+        assert counters.nodes_visited > 0
+
+    def test_bentley_friedman_counters(self, rng):
+        counters = CostCounters()
+        bentley_friedman_emst(rng.random((100, 2)), counters=counters)
+        assert counters.distance_evals > 0
+
+    def test_dual_tree_clustered(self, clustered_3d):
+        u, v, w = dual_tree_emst(clustered_3d)
+        u0, v0, w0 = brute_force_emst(clustered_3d)
+        assert w.sum() == pytest.approx(w0.sum())
+
+
+class TestMemoGFK:
+    def test_phases_recorded(self, rng):
+        result = memogfk_emst(rng.random((80, 2)))
+        assert set(result.phases) >= {"tree", "wspd", "mst"}
+        assert result.n_pairs > 0
+
+    def test_lazy_computes_fewer_bcps(self, rng):
+        pts = rng.random((200, 2))
+        lazy = memogfk_emst(pts, lazy=True)
+        eager = memogfk_emst(pts, lazy=False)
+        assert lazy.n_bcp_computed < eager.n_bcp_computed
+        assert lazy.total_weight == pytest.approx(eager.total_weight)
+        assert lazy.n_pairs == eager.n_pairs == eager.n_bcp_computed
+
+    def test_mrd_matches_oracle(self, rng):
+        for k in (2, 4):
+            pts = rng.random((60, 2))
+            r = memogfk_emst(pts, k_pts=k)
+            _, _, w = brute_force_mrd_emst(pts, k)
+            assert r.total_weight == pytest.approx(float(w.sum()))
+
+    def test_mrd_has_core_phase(self, rng):
+        r = memogfk_emst(rng.random((40, 2)), k_pts=3)
+        assert r.phases.get("core", 0.0) > 0.0
+
+    def test_rejects_small_separation(self, rng):
+        with pytest.raises(InvalidInputError):
+            memogfk_emst(rng.random((10, 2)), separation=1.5)
+
+    def test_single_point(self):
+        r = memogfk_emst(np.array([[0.0, 0.0]]))
+        assert r.u.size == 0
+
+    @given(finite_points(min_n=2, max_n=50))
+    @settings(max_examples=15)
+    def test_property_matches_oracle_weight(self, pts):
+        r = memogfk_emst(pts)
+        _, _, w = brute_force_emst(pts)
+        assert r.total_weight == pytest.approx(float(w.sum()))
+
+
+class TestDelaunay:
+    def test_matches_oracle(self, rng):
+        pts = rng.random((150, 2))
+        u, v, w = delaunay_emst_2d(pts)
+        _, _, w0 = brute_force_emst(pts)
+        assert w.sum() == pytest.approx(w0.sum())
+        assert is_spanning_tree(150, u, v)
+
+    def test_rejects_3d(self, rng):
+        with pytest.raises(DimensionError):
+            delaunay_emst_2d(rng.random((10, 3)))
+
+    def test_collinear_fallback(self):
+        pts = np.stack([np.linspace(0, 1, 20), np.zeros(20)], axis=1)
+        u, v, w = delaunay_emst_2d(pts)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_two_points(self):
+        u, v, w = delaunay_emst_2d(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert w.tolist() == [1.0]
+
+    @given(finite_points(min_n=3, max_n=60, dims=(2,)))
+    @settings(max_examples=15)
+    def test_property_matches_oracle(self, pts):
+        u, v, w = delaunay_emst_2d(pts)
+        _, _, w0 = brute_force_emst(pts)
+        assert w.sum() == pytest.approx(float(w0.sum()))
+
+
+@given(finite_points(min_n=2, max_n=45))
+@settings(max_examples=10)
+def test_property_all_implementations_agree(pts):
+    """The capstone property: five independent implementations, one MST."""
+    n = len(pts)
+    weights = []
+    u0, v0, w0 = brute_force_emst(pts)
+    weights.append(float(w0.sum()))
+    weights.append(emst(pts).total_weight)
+    weights.append(float(dual_tree_emst(pts)[2].sum()))
+    weights.append(float(bentley_friedman_emst(pts)[2].sum()))
+    weights.append(memogfk_emst(pts).total_weight)
+    assert all(w == pytest.approx(weights[0]) for w in weights[1:])

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_points, main
+from repro.errors import InvalidInputError
+
+
+class TestLoadPoints:
+    def test_dataset_spec(self):
+        pts = load_points("dataset:Uniform100M2:100")
+        assert pts.shape == (100, 2)
+
+    def test_dataset_spec_with_seed(self):
+        a = load_points("dataset:Hacc37M:50:1")
+        b = load_points("dataset:Hacc37M:50:2")
+        assert not np.array_equal(a, b)
+
+    def test_npy_file(self, tmp_path, rng):
+        path = tmp_path / "pts.npy"
+        np.save(path, rng.random((20, 3)))
+        assert load_points(str(path)).shape == (20, 3)
+
+    def test_bad_spec(self):
+        with pytest.raises(InvalidInputError):
+            load_points("dataset:OnlyTwoParts")
+
+    def test_bad_shape(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.zeros(5))
+        with pytest.raises(InvalidInputError):
+            load_points(str(path))
+
+
+class TestEmstCommand:
+    def test_basic(self, capsys):
+        assert main(["emst", "dataset:Uniform100M2:200"]) == 0
+        out = capsys.readouterr().out
+        assert "total weight" in out
+        assert "Boruvka rounds" in out
+
+    def test_mrd(self, capsys):
+        assert main(["emst", "dataset:Normal100M3:100", "--mrd", "4"]) == 0
+        assert "mutual reachability" in capsys.readouterr().out
+
+    def test_kdtree_backend(self, capsys):
+        assert main(["emst", "dataset:Uniform100M3:150",
+                     "--tree", "kdtree"]) == 0
+
+    def test_high_resolution(self, capsys):
+        assert main(["emst", "dataset:Uniform100M2:100",
+                     "--high-resolution"]) == 0
+
+    def test_ablation_flags(self, capsys):
+        assert main(["emst", "dataset:Uniform100M2:100",
+                     "--no-subtree-skipping",
+                     "--no-component-bounds"]) == 0
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "edges.npy"
+        assert main(["emst", "dataset:Uniform100M2:50",
+                     "--out", str(out)]) == 0
+        edges = np.load(out)
+        assert edges.shape == (49, 3)
+        assert np.all(edges[:, 2] >= 0)
+
+    def test_error_exit_code(self, capsys):
+        assert main(["emst", "dataset:NoSuch:10"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_hdbscan(self, tmp_path, capsys, rng):
+        path = tmp_path / "pts.npy"
+        blobs = np.concatenate([rng.normal((0, 0), 0.05, size=(60, 2)),
+                                rng.normal((5, 5), 0.05, size=(60, 2))])
+        np.save(path, blobs)
+        labels_out = tmp_path / "labels.npy"
+        assert main(["hdbscan", str(path), "--min-cluster-size", "10",
+                     "--out", str(labels_out)]) == 0
+        labels = np.load(labels_out)
+        assert labels.shape == (120,)
+        assert "2 clusters" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Hacc37M" in out
+        assert "GeoLife24M3D" in out
+
+    def test_bench_quick(self, capsys):
+        assert main(["bench", "fig1", "--quick"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])

@@ -1,0 +1,229 @@
+"""Tests for the Borůvka building blocks (repro.core.{labels,bounds,merge,outgoing})."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_bvh
+from repro.bvh.traversal import INVALID_LABEL
+from repro.core.bounds import compute_upper_bounds
+from repro.core.labels import reduce_labels
+from repro.core.merge import merge_components
+from repro.core.outgoing import OutgoingEdges, find_components_outgoing_edges
+from repro.errors import ConvergenceError
+from repro.geometry.distance import points_sq
+from repro.kokkos.counters import CostCounters
+
+
+@pytest.fixture
+def bvh(rng):
+    return build_bvh(rng.random((128, 3)))
+
+
+class TestReduceLabels:
+    def test_uniform_tree(self, bvh):
+        labels = np.zeros(bvh.n, dtype=np.int64)
+        node_labels = reduce_labels(bvh, labels)
+        assert np.all(node_labels == 0)
+
+    def test_all_distinct(self, bvh):
+        labels = np.arange(bvh.n, dtype=np.int64)
+        node_labels = reduce_labels(bvh, labels)
+        assert np.all(node_labels[: bvh.leaf_base] == INVALID_LABEL)
+        assert np.array_equal(node_labels[bvh.leaf_base:], labels)
+
+    def test_matches_exhaustive_subtree_check(self, rng):
+        bvh = build_bvh(rng.random((64, 2)))
+        labels = rng.integers(0, 3, size=64).astype(np.int64)
+        node_labels = reduce_labels(bvh, labels)
+
+        def leaves_under(node):
+            if node >= bvh.leaf_base:
+                return [node - bvh.leaf_base]
+            return (leaves_under(int(bvh.left[node]))
+                    + leaves_under(int(bvh.right[node])))
+
+        for node in range(bvh.n - 1):
+            subtree = labels[leaves_under(node)]
+            expected = subtree[0] if np.all(subtree == subtree[0]) \
+                else INVALID_LABEL
+            assert node_labels[node] == expected, node
+
+    def test_disabled_marks_internal_invalid(self, bvh):
+        labels = np.zeros(bvh.n, dtype=np.int64)
+        node_labels = reduce_labels(bvh, labels, enabled=False)
+        assert np.all(node_labels[: bvh.leaf_base] == INVALID_LABEL)
+        assert np.all(node_labels[bvh.leaf_base:] == 0)
+
+    def test_out_buffer_reused(self, bvh):
+        labels = np.zeros(bvh.n, dtype=np.int64)
+        buf = np.empty(bvh.n_nodes, dtype=np.int64)
+        out = reduce_labels(bvh, labels, out=buf)
+        assert out is buf
+
+    def test_single_point(self):
+        bvh1 = build_bvh(np.array([[0.0, 0.0]]))
+        node_labels = reduce_labels(bvh1, np.array([7]))
+        assert node_labels.tolist() == [7]
+
+    def test_wrong_shape_rejected(self, bvh):
+        with pytest.raises(ValueError):
+            reduce_labels(bvh, np.zeros(3, dtype=np.int64))
+
+
+class TestUpperBounds:
+    def test_every_component_bounded(self, bvh, rng):
+        labels = rng.integers(0, 10, size=bvh.n).astype(np.int64)
+        bounds = compute_upper_bounds(bvh, labels)
+        for comp in np.unique(labels):
+            assert np.isfinite(bounds[comp]), comp
+
+    def test_bound_is_valid_upper_bound(self, bvh, rng):
+        labels = rng.integers(0, 5, size=bvh.n).astype(np.int64)
+        bounds = compute_upper_bounds(bvh, labels)
+        # Exhaustive check: the true shortest outgoing edge per component
+        # must not exceed the bound.
+        d2 = np.sum((bvh.points[:, None] - bvh.points[None]) ** 2, axis=2)
+        d2[labels[:, None] == labels[None, :]] = np.inf
+        for comp in np.unique(labels):
+            truth = d2[labels == comp].min()
+            assert truth <= bounds[comp] + 1e-12
+
+    def test_adjacent_pair_realizes_bound(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+        bvh = build_bvh(pts)
+        labels_sorted = (np.arange(4) // 2).astype(np.int64)
+        bounds = compute_upper_bounds(bvh, labels_sorted)
+        gap = points_sq(bvh.points[1], bvh.points[2])
+        assert bounds[0] == gap
+        assert bounds[1] == gap
+
+    def test_single_component_infinite(self, bvh):
+        labels = np.zeros(bvh.n, dtype=np.int64)
+        bounds = compute_upper_bounds(bvh, labels)
+        assert np.all(np.isinf(bounds))
+
+    def test_disabled_all_inf(self, bvh, rng):
+        labels = rng.integers(0, 4, size=bvh.n).astype(np.int64)
+        bounds = compute_upper_bounds(bvh, labels, enabled=False)
+        assert np.all(np.isinf(bounds))
+
+    def test_mrd_bound_includes_cores(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        bvh = build_bvh(pts)
+        labels = np.array([0, 1], dtype=np.int64)
+        core_sq = np.array([9.0, 0.0])
+        bounds = compute_upper_bounds(bvh, labels, core_sq=core_sq)
+        assert bounds[0] == 9.0  # max(d^2=1, core0=9, core1=0)
+
+
+def _setup_outgoing(rng, n=100, n_comp=6):
+    bvh = build_bvh(rng.random((n, 2)))
+    labels = rng.integers(0, n_comp, size=n).astype(np.int64)
+    # Canonical labels: use min position per group (merge convention).
+    for value in np.unique(labels):
+        members = np.nonzero(labels == value)[0]
+        labels[members] = members.min()
+    node_labels = reduce_labels(bvh, labels)
+    bounds = compute_upper_bounds(bvh, labels)
+    return bvh, labels, node_labels, bounds
+
+
+class TestOutgoingEdges:
+    def test_matches_brute_force(self, rng):
+        bvh, labels, node_labels, bounds = _setup_outgoing(rng)
+        edges = find_components_outgoing_edges(bvh, labels, node_labels,
+                                               bounds)
+        d2 = np.sum((bvh.points[:, None] - bvh.points[None]) ** 2, axis=2)
+        d2[labels[:, None] == labels[None, :]] = np.inf
+        for comp, w in zip(edges.component, edges.weight_sq):
+            truth = d2[labels == comp].min()
+            assert w == pytest.approx(truth)
+
+    def test_every_component_present(self, rng):
+        bvh, labels, node_labels, bounds = _setup_outgoing(rng)
+        edges = find_components_outgoing_edges(bvh, labels, node_labels,
+                                               bounds)
+        assert set(edges.component) == set(np.unique(labels))
+
+    def test_edges_cross_components(self, rng):
+        bvh, labels, node_labels, bounds = _setup_outgoing(rng)
+        edges = find_components_outgoing_edges(bvh, labels, node_labels,
+                                               bounds)
+        assert np.all(labels[edges.source] == edges.component)
+        assert np.all(labels[edges.target] != edges.component)
+        assert np.all(edges.target_component == labels[edges.target])
+
+    def test_single_component_raises(self, rng):
+        bvh = build_bvh(rng.random((20, 2)))
+        labels = np.zeros(20, dtype=np.int64)
+        node_labels = reduce_labels(bvh, labels)
+        bounds = compute_upper_bounds(bvh, labels)
+        with pytest.raises(ConvergenceError):
+            find_components_outgoing_edges(bvh, labels, node_labels, bounds)
+
+    def test_works_without_optimizations(self, rng):
+        bvh, labels, node_labels, bounds = _setup_outgoing(rng)
+        plain_nodes = reduce_labels(bvh, labels, enabled=False)
+        plain_bounds = compute_upper_bounds(bvh, labels, enabled=False)
+        opt = find_components_outgoing_edges(bvh, labels, node_labels,
+                                             bounds)
+        plain = find_components_outgoing_edges(bvh, labels, plain_nodes,
+                                               plain_bounds)
+        # The optimizations change work, never results.
+        assert np.array_equal(opt.component, plain.component)
+        assert np.allclose(opt.weight_sq, plain.weight_sq)
+        assert np.array_equal(opt.source, plain.source)
+        assert np.array_equal(opt.target, plain.target)
+
+
+class TestMerge:
+    def _edges(self, comp, target_comp, source=None, target=None):
+        comp = np.asarray(comp, dtype=np.int64)
+        target_comp = np.asarray(target_comp, dtype=np.int64)
+        return OutgoingEdges(
+            component=comp,
+            source=comp if source is None else np.asarray(source),
+            target=target_comp if target is None else np.asarray(target),
+            weight_sq=np.ones(comp.size),
+            target_component=target_comp,
+        )
+
+    def test_mutual_pair(self):
+        labels = np.array([0, 0, 3, 3], dtype=np.int64)
+        edges = self._edges([0, 3], [3, 0])
+        new, count = merge_components(labels, 4, edges)
+        assert count == 1
+        assert np.all(new == 0)
+
+    def test_chain_collapses_to_terminal_min(self):
+        # 0 -> 2 -> 5 <-> 7: all merge to label 5.
+        labels = np.array([0, 2, 5, 7], dtype=np.int64)
+        edges = self._edges([0, 2, 5, 7], [2, 5, 7, 5])
+        new, count = merge_components(labels, 8, edges)
+        assert count == 1
+        assert np.all(new == 5)
+
+    def test_two_separate_merges(self):
+        labels = np.array([0, 1, 2, 3], dtype=np.int64)
+        edges = self._edges([0, 1, 2, 3], [1, 0, 3, 2])
+        new, count = merge_components(labels, 4, edges)
+        assert count == 2
+        assert new[0] == new[1] == 0
+        assert new[2] == new[3] == 2
+
+    def test_long_chain_pointer_jumping(self):
+        n = 64
+        labels = np.arange(n, dtype=np.int64)
+        comps = np.arange(n)
+        targets = np.concatenate([np.arange(1, n), [n - 2]])
+        edges = self._edges(comps, targets)
+        new, count = merge_components(labels, n, edges)
+        assert count == 1
+        assert np.all(new == n - 2)
+
+    def test_counters(self):
+        labels = np.array([0, 1], dtype=np.int64)
+        counters = CostCounters()
+        edges = self._edges([0, 1], [1, 0])
+        merge_components(labels, 2, edges, counters=counters)
+        assert counters.scalar_ops > 0

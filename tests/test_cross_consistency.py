@@ -1,0 +1,100 @@
+"""Cross-implementation consistency properties.
+
+The strongest correctness evidence in the repository: six EMST
+implementations (single-tree BVH, single-tree kd, dual-tree, WSPD,
+Bentley–Friedman, Delaunay-2D) built on three different spatial
+substrates must agree with each other and with a dense oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import (
+    delaunay_emst_2d,
+    dual_tree_emst,
+    memogfk_emst,
+)
+from repro.core.boruvka_emst import SingleTreeConfig
+from repro.core.emst import emst, mutual_reachability_emst
+from repro.data import generate
+from repro.hdbscan import hdbscan
+from repro.mst.validate import edges_canonical
+from tests.conftest import finite_points
+
+
+@given(finite_points(min_n=3, max_n=50, dims=(2,)))
+@settings(max_examples=15)
+def test_delaunay_vs_single_tree_2d(pts):
+    r = emst(pts)
+    u, v, w = delaunay_emst_2d(pts)
+    assert r.total_weight == pytest.approx(float(w.sum()))
+
+
+@given(finite_points(min_n=2, max_n=60))
+@settings(max_examples=15)
+def test_kdtree_vs_bvh_backends(pts):
+    r_bvh = emst(pts)
+    r_kd = emst(pts, config=SingleTreeConfig(tree_type="kdtree"))
+    assert edges_canonical(r_bvh.edges[:, 0], r_bvh.edges[:, 1]) == \
+        edges_canonical(r_kd.edges[:, 0], r_kd.edges[:, 1])
+
+
+@given(finite_points(min_n=4, max_n=40))
+@settings(max_examples=10)
+def test_mrd_wspd_vs_single_tree(pts):
+    k = min(3, len(pts))
+    r_tree = mutual_reachability_emst(pts, k)
+    r_wspd = memogfk_emst(pts, k_pts=k)
+    assert r_tree.total_weight == pytest.approx(r_wspd.total_weight)
+
+
+@pytest.mark.parametrize("name", ["Hacc37M", "GeoLife24M3D", "Ngsim",
+                                  "VisualVar10M2D", "PortoTaxi"])
+def test_realistic_datasets_agree(name):
+    pts = generate(name, 400, seed=6)
+    w0 = emst(pts).total_weight
+    assert float(dual_tree_emst(pts)[2].sum()) == pytest.approx(w0)
+    assert memogfk_emst(pts).total_weight == pytest.approx(w0)
+    assert emst(pts, config=SingleTreeConfig(
+        tree_type="kdtree")).total_weight == pytest.approx(w0)
+
+
+def test_hdbscan_partition_permutation_invariant(rng):
+    blobs = np.concatenate([rng.normal((0, 0), 0.05, size=(80, 2)),
+                            rng.normal((4, 4), 0.05, size=(80, 2))])
+    perm = rng.permutation(160)
+    r1 = hdbscan(blobs, min_cluster_size=10, k_pts=4)
+    r2 = hdbscan(blobs[perm], min_cluster_size=10, k_pts=4)
+    # Same partition up to relabelling: compare co-membership matrices.
+    inv = np.empty(160, dtype=np.int64)
+    inv[perm] = np.arange(160)
+    l1 = r1.labels
+    l2 = r2.labels[inv]
+    co1 = (l1[:, None] == l1[None, :]) & (l1[:, None] >= 0)
+    co2 = (l2[:, None] == l2[None, :]) & (l2[:, None] >= 0)
+    assert (co1 == co2).mean() > 0.99
+
+
+def test_emst_total_weight_scale_equivariance(rng):
+    pts = rng.random((150, 3))
+    w1 = emst(pts).total_weight
+    w2 = emst(pts * 7.5).total_weight
+    assert w2 == pytest.approx(7.5 * w1)
+
+
+def test_emst_translation_invariance(rng):
+    pts = rng.random((150, 2))
+    w1 = emst(pts).total_weight
+    w2 = emst(pts + 123.456).total_weight
+    assert w2 == pytest.approx(w1, rel=1e-9)
+
+
+def test_emst_rotation_invariance(rng):
+    pts = rng.random((120, 2))
+    theta = 0.7
+    rot = np.array([[np.cos(theta), -np.sin(theta)],
+                    [np.sin(theta), np.cos(theta)]])
+    w1 = emst(pts).total_weight
+    w2 = emst(pts @ rot.T).total_weight
+    assert w2 == pytest.approx(w1, rel=1e-9)

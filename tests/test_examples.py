@@ -1,0 +1,44 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, argv):
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(os.path.join(EXAMPLES, name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", [])
+    out = capsys.readouterr().out
+    assert "total weight" in out
+    assert "distance evaluations" in out
+
+
+def test_cosmology(capsys):
+    run_example("cosmology_mst.py", ["2000"])
+    out = capsys.readouterr().out
+    assert "dynamic range" in out
+
+
+def test_hdbscan_taxi(capsys):
+    run_example("hdbscan_taxi.py", ["1500"])
+    out = capsys.readouterr().out
+    assert "clusters" in out
+
+
+def test_device_comparison(capsys):
+    run_example("device_comparison.py", ["Uniform100M3", "3000"])
+    out = capsys.readouterr().out
+    assert "Nvidia-A100" in out
+    assert "per-phase" in out

@@ -1,0 +1,160 @@
+"""Tests for AABBs and distance kernels (repro.geometry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidInputError
+from repro.geometry.aabb import (
+    aabb_of_points,
+    aabb_union,
+    box_contains_box,
+    box_contains_points,
+    box_diameter_sq,
+    validate_boxes,
+)
+from repro.geometry.distance import (
+    all_pairs_sq,
+    box_box_max_sq,
+    box_box_sq,
+    gather_pair_sq,
+    point_box_sq,
+    points_sq,
+)
+from tests.conftest import finite_points
+
+
+class TestAABB:
+    def test_tight_bounds(self):
+        lo, hi = aabb_of_points(np.array([[0.0, 1.0], [2.0, -1.0]]))
+        assert lo.tolist() == [0.0, -1.0]
+        assert hi.tolist() == [2.0, 1.0]
+
+    def test_single_point_degenerate(self):
+        lo, hi = aabb_of_points(np.array([[3.0, 4.0, 5.0]]))
+        assert np.array_equal(lo, hi)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInputError):
+            aabb_of_points(np.empty((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidInputError):
+            aabb_of_points(np.array([[np.nan, 0.0]]))
+
+    def test_union(self):
+        lo, hi = aabb_union(np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+                            np.array([-1.0, 0.5]), np.array([0.5, 2.0]))
+        assert lo.tolist() == [-1.0, 0.0]
+        assert hi.tolist() == [1.0, 2.0]
+
+    def test_contains_points(self):
+        mask = box_contains_points(np.zeros(2), np.ones(2),
+                                   np.array([[0.5, 0.5], [1.5, 0.5]]))
+        assert mask.tolist() == [True, False]
+
+    def test_contains_boundary(self):
+        mask = box_contains_points(np.zeros(2), np.ones(2),
+                                   np.array([[1.0, 0.0]]))
+        assert mask[0]
+
+    def test_contains_box(self):
+        assert box_contains_box(np.zeros(2), np.ones(2) * 2,
+                                np.ones(2) * 0.5, np.ones(2))
+        assert not box_contains_box(np.zeros(2), np.ones(2),
+                                    np.ones(2) * 0.5, np.ones(2) * 1.5)
+
+    def test_validate_rejects_inverted(self):
+        with pytest.raises(InvalidInputError):
+            validate_boxes(np.array([[1.0, 0.0]]), np.array([[0.0, 1.0]]))
+
+    def test_validate_rejects_shape_mismatch(self):
+        with pytest.raises(InvalidInputError):
+            validate_boxes(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_diameter(self):
+        d2 = box_diameter_sq(np.zeros(2), np.array([3.0, 4.0]))
+        assert d2 == 25.0
+
+
+class TestPointDistances:
+    def test_points_sq(self):
+        assert points_sq(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 25.0
+
+    def test_points_sq_batched(self, rng):
+        a = rng.random((50, 3))
+        b = rng.random((50, 3))
+        d = points_sq(a, b)
+        ref = np.sum((a - b) ** 2, axis=1)
+        assert np.allclose(d, ref)
+
+    def test_gather_pair(self, rng):
+        pts = rng.random((20, 2))
+        d = gather_pair_sq(pts, np.array([0, 1]), np.array([2, 3]))
+        assert np.allclose(d, [points_sq(pts[0], pts[2]),
+                               points_sq(pts[1], pts[3])])
+
+    def test_point_box_inside_is_zero(self):
+        d = point_box_sq(np.array([0.5, 0.5]), np.zeros(2), np.ones(2))
+        assert d == 0.0
+
+    def test_point_box_outside(self):
+        d = point_box_sq(np.array([2.0, 0.5]), np.zeros(2), np.ones(2))
+        assert d == 1.0
+
+    def test_point_box_corner(self):
+        d = point_box_sq(np.array([2.0, 2.0]), np.zeros(2), np.ones(2))
+        assert d == 2.0
+
+    @given(finite_points(min_n=2, max_n=30))
+    def test_point_box_is_lower_bound(self, pts):
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        q = pts[0] + 10.0
+        bound = point_box_sq(q, lo, hi)
+        exact = points_sq(q[None, :], pts)
+        assert np.all(bound <= exact + 1e-9)
+
+
+class TestBoxBox:
+    def test_overlapping_is_zero(self):
+        d = box_box_sq(np.zeros(2), np.ones(2),
+                       np.array([0.5, 0.5]), np.array([2.0, 2.0]))
+        assert d == 0.0
+
+    def test_gap(self):
+        d = box_box_sq(np.zeros(2), np.ones(2),
+                       np.array([3.0, 0.0]), np.array([4.0, 1.0]))
+        assert d == 4.0
+
+    def test_max_distance_bound(self, rng):
+        a = rng.random((10, 2))
+        b = rng.random((10, 2)) + 2.0
+        lo_a, hi_a = a.min(axis=0), a.max(axis=0)
+        lo_b, hi_b = b.min(axis=0), b.max(axis=0)
+        upper = box_box_max_sq(lo_a, hi_a, lo_b, hi_b)
+        dmax = max(points_sq(pa, pb) for pa in a for pb in b)
+        assert upper >= dmax - 1e-12
+
+
+class TestAllPairs:
+    def test_matches_pairwise(self, rng):
+        pts = rng.random((30, 3))
+        d2 = all_pairs_sq(pts)
+        for i in (0, 7, 29):
+            for j in (3, 15):
+                assert d2[i, j] == pytest.approx(points_sq(pts[i], pts[j]),
+                                                 abs=1e-9)
+
+    def test_symmetric_zero_diagonal(self, rng):
+        d2 = all_pairs_sq(rng.random((20, 2)))
+        assert np.allclose(d2, d2.T)
+        assert np.all(np.diag(d2) == 0.0)
+
+    def test_nonnegative_despite_rounding(self, rng):
+        pts = np.repeat(rng.random((2, 3)), 10, axis=0)
+        assert np.all(all_pairs_sq(pts) >= 0.0)
+
+    def test_refuses_large(self):
+        with pytest.raises(InvalidInputError):
+            all_pairs_sq(np.zeros((20_001, 2)))

@@ -1,0 +1,206 @@
+"""Tests for the HDBSCAN* pipeline (repro.hdbscan)."""
+
+import numpy as np
+import pytest
+from scipy.cluster.hierarchy import linkage as scipy_linkage
+
+from repro.core.emst import emst
+from repro.errors import InvalidInputError
+from repro.hdbscan import (
+    condense_tree,
+    core_distances,
+    hdbscan,
+    single_linkage_tree,
+)
+from repro.hdbscan.stability import cluster_stabilities, extract_clusters
+
+
+@pytest.fixture
+def blobs(rng):
+    clusters = [rng.normal(c, 0.05, size=(100, 2))
+                for c in [(0, 0), (4, 0), (0, 4)]]
+    noise = rng.uniform(-1, 5, size=(30, 2))
+    return np.concatenate(clusters + [noise])
+
+
+class TestCoreDistances:
+    def test_k1_is_zero(self, uniform_2d):
+        assert np.allclose(core_distances(uniform_2d, 1), 0.0)
+
+    def test_monotone_in_k(self, uniform_2d):
+        c2 = core_distances(uniform_2d, 2)
+        c5 = core_distances(uniform_2d, 5)
+        assert np.all(c5 >= c2)
+
+    def test_matches_brute_force(self, rng):
+        pts = rng.random((60, 3))
+        k = 4
+        d = np.sqrt(np.sum((pts[:, None] - pts[None]) ** 2, axis=2))
+        expected = np.sort(d, axis=1)[:, k - 1]  # row includes self (0)
+        assert np.allclose(core_distances(pts, k), expected)
+
+    def test_caller_order(self, rng):
+        # Results must be in the caller's point order, not Z-order.
+        pts = rng.random((50, 2))
+        c = core_distances(pts, 3)
+        perm = rng.permutation(50)
+        c_perm = core_distances(pts[perm], 3)
+        assert np.allclose(c_perm, c[perm])
+
+    def test_rejects_bad_k(self, uniform_2d):
+        with pytest.raises(InvalidInputError):
+            core_distances(uniform_2d, 0)
+        with pytest.raises(InvalidInputError):
+            core_distances(uniform_2d, len(uniform_2d) + 1)
+
+    def test_dense_region_smaller_core(self, rng):
+        dense = rng.normal(0, 0.01, size=(50, 2))
+        sparse = rng.normal(5, 1.0, size=(50, 2))
+        c = core_distances(np.concatenate([dense, sparse]), 5)
+        assert c[:50].mean() < c[50:].mean()
+
+
+class TestSingleLinkage:
+    def test_matches_scipy(self, rng):
+        pts = rng.random((40, 2))
+        result = emst(pts)
+        Z = single_linkage_tree(40, result.edges[:, 0], result.edges[:, 1],
+                                result.weights)
+        Zs = scipy_linkage(pts, method="single")
+        assert np.allclose(np.sort(Z[:, 2]), np.sort(Zs[:, 2]), atol=1e-12)
+        assert np.allclose(Z[:, 3], Zs[:, 3])
+
+    def test_sizes_accumulate(self, rng):
+        pts = rng.random((30, 2))
+        r = emst(pts)
+        Z = single_linkage_tree(30, r.edges[:, 0], r.edges[:, 1], r.weights)
+        assert Z[-1, 3] == 30
+        assert np.all(np.diff(Z[:, 2]) >= 0)
+
+    def test_rejects_wrong_edge_count(self):
+        with pytest.raises(InvalidInputError):
+            single_linkage_tree(5, np.array([0]), np.array([1]),
+                                np.array([1.0]))
+
+    def test_rejects_cycle(self):
+        with pytest.raises(InvalidInputError):
+            single_linkage_tree(3, np.array([0, 1]), np.array([1, 0]),
+                                np.array([1.0, 2.0]))
+
+
+class TestCondense:
+    def _linkage(self, pts):
+        r = emst(pts)
+        return single_linkage_tree(len(pts), r.edges[:, 0], r.edges[:, 1],
+                                   r.weights)
+
+    def test_point_rows_cover_all_points(self, blobs):
+        tree = condense_tree(self._linkage(blobs), 10)
+        points = tree.child[tree.child < tree.n_points]
+        assert np.array_equal(np.sort(points), np.arange(len(blobs)))
+
+    def test_sizes_consistent(self, blobs):
+        tree = condense_tree(self._linkage(blobs), 10)
+        cluster_rows = tree.child >= tree.n_points
+        for parent, child, size in zip(tree.parent[cluster_rows],
+                                       tree.child[cluster_rows],
+                                       tree.child_size[cluster_rows]):
+            # A cluster child's size equals the sum of everything that
+            # ever leaves it (points are counted once).
+            member_rows = _subtree_point_count(tree, int(child))
+            assert member_rows == size
+
+    def test_three_blobs_recovered(self, blobs):
+        # Plain-Euclidean single linkage (no core-distance smoothing, i.e.
+        # k_pts=1) may grant a small noise clump its own cluster; the three
+        # real blobs must be found, possibly plus such a fragment.
+        tree = condense_tree(self._linkage(blobs), 10)
+        stabilities = cluster_stabilities(tree)
+        assert all(np.isfinite(v) for v in stabilities.values())
+        labels, _ = extract_clusters(tree)
+        n_found = len(set(labels[labels >= 0]))
+        assert 3 <= n_found <= 4
+
+    def test_min_cluster_size_2_valid(self, rng):
+        tree = condense_tree(self._linkage(rng.random((30, 2))), 2)
+        assert tree.n_points == 30
+
+    def test_rejects_min_cluster_size_1(self, rng):
+        with pytest.raises(InvalidInputError):
+            condense_tree(self._linkage(rng.random((10, 2))), 1)
+
+    def test_lambda_nonnegative(self, blobs):
+        tree = condense_tree(self._linkage(blobs), 5)
+        assert np.all(tree.lambda_val >= 0)
+
+
+def _subtree_point_count(tree, cluster):
+    count = 0
+    stack = [cluster]
+    while stack:
+        c = stack.pop()
+        rows = tree.parent == c
+        for child, size in zip(tree.child[rows], tree.child_size[rows]):
+            if child < tree.n_points:
+                count += 1
+            else:
+                stack.append(int(child))
+    return count
+
+
+class TestHDBSCAN:
+    def test_recovers_blobs(self, blobs):
+        result = hdbscan(blobs, min_cluster_size=10, k_pts=5)
+        assert result.n_clusters == 3
+        for i in range(3):
+            seg = result.labels[i * 100:(i + 1) * 100]
+            values, counts = np.unique(seg[seg >= 0], return_counts=True)
+            assert counts.max() >= 90  # each blob ~pure
+
+    def test_blob_purity(self, blobs):
+        result = hdbscan(blobs, min_cluster_size=10, k_pts=5)
+        # Majority labels of the three blobs are distinct clusters.
+        majors = []
+        for i in range(3):
+            seg = result.labels[i * 100:(i + 1) * 100]
+            values, counts = np.unique(seg[seg >= 0], return_counts=True)
+            majors.append(values[np.argmax(counts)])
+        assert len(set(majors)) == 3
+
+    def test_noise_detected(self, blobs):
+        result = hdbscan(blobs, min_cluster_size=10, k_pts=5)
+        assert 0.0 < result.noise_fraction < 0.3
+
+    def test_probabilities_range(self, blobs):
+        result = hdbscan(blobs, min_cluster_size=10)
+        assert np.all(result.probabilities >= 0)
+        assert np.all(result.probabilities <= 1)
+        assert np.all(result.probabilities[result.labels < 0] == 0)
+
+    def test_uniform_mostly_one_or_no_cluster(self, rng):
+        result = hdbscan(rng.random((200, 2)), min_cluster_size=20)
+        assert result.n_clusters <= 3
+
+    def test_deterministic(self, blobs):
+        r1 = hdbscan(blobs, min_cluster_size=10)
+        r2 = hdbscan(blobs, min_cluster_size=10)
+        assert np.array_equal(r1.labels, r2.labels)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(InvalidInputError):
+            hdbscan(np.array([[0.0, 0.0]]))
+
+    def test_rejects_bad_min_cluster_size(self, blobs):
+        with pytest.raises(InvalidInputError):
+            hdbscan(blobs, min_cluster_size=1)
+
+    def test_emst_attached(self, blobs):
+        result = hdbscan(blobs, min_cluster_size=10, k_pts=3)
+        assert result.emst.edges.shape == (len(blobs) - 1, 2)
+        assert "core" in result.phases
+
+    def test_duplicate_heavy_data(self, rng):
+        pts = np.repeat(rng.random((8, 2)) * 10, 25, axis=0)
+        pts += 0.001 * rng.standard_normal(pts.shape)
+        result = hdbscan(pts, min_cluster_size=10, k_pts=3)
+        assert result.n_clusters == 8

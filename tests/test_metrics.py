@@ -1,0 +1,76 @@
+"""Tests for the rate metric (repro.metrics)."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    features,
+    features_per_second,
+    format_rate,
+    mfeatures_per_second,
+    speedup,
+)
+
+
+class TestFeatures:
+    def test_product(self):
+        assert features(1000, 3) == 3000
+
+    def test_zero_points(self):
+        assert features(0, 2) == 0
+
+    def test_negative_points_rejected(self):
+        with pytest.raises(ValueError):
+            features(-1, 2)
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            features(10, 0)
+
+
+class TestRates:
+    def test_features_per_second(self):
+        assert features_per_second(100, 2, 2.0) == 100.0
+
+    def test_mfeatures_matches_paper_definition(self):
+        # 37M 3D points in 0.41s ~ 270 MFeatures/sec (the abstract's claim).
+        rate = mfeatures_per_second(37_000_000, 3, 0.41)
+        assert 250 < rate < 290
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            mfeatures_per_second(10, 2, 0.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            features_per_second(10, 2, -1.0)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_slowdown_below_one(self):
+        assert speedup(1.0, 2.0) == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestFormatRate:
+    def test_small_one_decimal(self):
+        assert format_rate(0.74) == "0.7"
+
+    def test_large_integer(self):
+        assert format_rate(270.66) == "271"
+
+    def test_boundary(self):
+        assert format_rate(9.99) == "10.0"
+        assert format_rate(10.0) == "10"
+
+    def test_nan(self):
+        assert format_rate(math.nan) == "nan"

@@ -1,0 +1,203 @@
+"""Tests for classical MST algorithms (repro.mst)."""
+
+import numpy as np
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInputError
+from repro.kokkos.counters import CostCounters
+from repro.mst import (
+    UnionFind,
+    boruvka_graph,
+    is_spanning_tree,
+    kruskal,
+    prim,
+    total_weight,
+)
+from repro.mst.validate import edges_canonical, is_spanning_forest
+
+ALGORITHMS = [kruskal, prim, boruvka_graph]
+
+
+def random_connected_graph(n, m, seed, *, weight_levels=None):
+    rng = np.random.default_rng(seed)
+    # Spanning chain guarantees connectivity; extra random edges on top.
+    chain_u = np.arange(n - 1)
+    chain_v = np.arange(1, n)
+    extra_u = rng.integers(0, n, size=m)
+    extra_v = rng.integers(0, n, size=m)
+    keep = extra_u != extra_v
+    u = np.concatenate([chain_u, extra_u[keep]])
+    v = np.concatenate([chain_v, extra_v[keep]])
+    if weight_levels:
+        w = rng.integers(1, weight_levels + 1, size=u.size).astype(float)
+    else:
+        w = rng.random(u.size)
+    return u, v, w
+
+
+def nx_mst_weight(n, u, v, w):
+    G = nx.Graph()
+    G.add_nodes_from(range(n))
+    for a, b, ww in zip(u, v, w):
+        if not G.has_edge(a, b) or G[a][b]["weight"] > ww:
+            G.add_edge(int(a), int(b), weight=float(ww))
+    return sum(d["weight"]
+               for _, _, d in nx.minimum_spanning_tree(G).edges(data=True))
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.union(1, 0)  # already merged
+        assert uf.n_components == 3
+
+    def test_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_find_many_matches_find(self):
+        uf = UnionFind(20)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            uf.union(int(rng.integers(0, 20)), int(rng.integers(0, 20)))
+        many = uf.find_many(np.arange(20))
+        assert all(many[i] == uf.find(i) for i in range(20))
+
+    def test_component_labels_partition(self):
+        uf = UnionFind(10)
+        uf.union(0, 5)
+        uf.union(5, 7)
+        labels = uf.component_labels()
+        assert labels[0] == labels[5] == labels[7]
+        assert len(np.unique(labels)) == uf.n_components
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_weight_matches(self, alg, seed):
+        n = 30
+        u, v, w = random_connected_graph(n, 60, seed)
+        mu, mv, mw = alg(n, u, v, w)
+        assert is_spanning_tree(n, mu, mv)
+        assert total_weight(mw) == pytest.approx(nx_mst_weight(n, u, v, w))
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_heavy_ties_weight_matches(self, alg, seed):
+        n = 25
+        u, v, w = random_connected_graph(n, 80, seed, weight_levels=3)
+        mu, mv, mw = alg(n, u, v, w)
+        assert is_spanning_tree(n, mu, mv)
+        assert total_weight(mw) == pytest.approx(nx_mst_weight(n, u, v, w))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_algorithms_identical_edge_sets(self, seed):
+        # The tie-broken total order makes the MST unique.
+        n = 30
+        u, v, w = random_connected_graph(n, 90, seed, weight_levels=2)
+        sets = [edges_canonical(*alg(n, u, v, w)[:2]) for alg in ALGORITHMS]
+        assert sets[0] == sets[1] == sets[2]
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_single_vertex(self, alg):
+        mu, mv, mw = alg(1, np.empty(0, int), np.empty(0, int),
+                         np.empty(0, float))
+        assert mu.size == 0
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_two_vertices(self, alg):
+        mu, mv, mw = alg(2, np.array([0]), np.array([1]), np.array([2.5]))
+        assert mu.tolist() == [0]
+        assert mw.tolist() == [2.5]
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_disconnected_forest(self, alg):
+        # Two components: edges within {0,1} and {2,3}.
+        mu, mv, mw = alg(4, np.array([0, 2]), np.array([1, 3]),
+                         np.array([1.0, 2.0]))
+        assert mu.size == 2
+        assert is_spanning_forest(4, mu, mv)
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_parallel_edges(self, alg):
+        mu, mv, mw = alg(2, np.array([0, 0, 1]), np.array([1, 1, 0]),
+                         np.array([5.0, 1.0, 3.0]))
+        assert mw.tolist() == [1.0]
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_rejects_out_of_range(self, alg):
+        with pytest.raises(InvalidInputError):
+            alg(2, np.array([0]), np.array([2]), np.array([1.0]))
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_rejects_shape_mismatch(self, alg):
+        with pytest.raises(InvalidInputError):
+            alg(3, np.array([0]), np.array([1, 2]), np.array([1.0]))
+
+
+class TestValidators:
+    def test_spanning_tree_accepts_path(self):
+        assert is_spanning_tree(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+
+    def test_rejects_cycle(self):
+        assert not is_spanning_tree(3, np.array([0, 1, 0]),
+                                    np.array([1, 2, 2]))
+
+    def test_rejects_wrong_count(self):
+        assert not is_spanning_tree(4, np.array([0]), np.array([1]))
+
+    def test_rejects_disconnected(self):
+        assert not is_spanning_tree(4, np.array([0, 0, 0]),
+                                    np.array([1, 1, 2]))
+
+    def test_forest_accepts_empty(self):
+        assert is_spanning_forest(3, np.empty(0, int), np.empty(0, int))
+
+    def test_empty_graph(self):
+        assert is_spanning_tree(0, np.empty(0, int), np.empty(0, int))
+
+    def test_canonical_edges(self):
+        assert edges_canonical(np.array([2, 1]), np.array([0, 3])) == \
+            {(0, 2), (1, 3)}
+
+
+class TestCounters:
+    def test_kruskal_records_sort(self):
+        counters = CostCounters()
+        u, v, w = random_connected_graph(20, 40, 0)
+        kruskal(20, u, v, w, counters=counters)
+        assert counters.sort_elements == u.size
+
+    def test_boruvka_rounds_bounded(self):
+        u, v, w = random_connected_graph(64, 200, 1)
+        mu, mv, mw = boruvka_graph(64, u, v, w)
+        assert is_spanning_tree(64, mu, mv)
+
+
+@given(st.integers(2, 40), st.integers(0, 100), st.integers(0, 5))
+def test_property_three_algorithms_agree(n, m, seed):
+    u, v, w = random_connected_graph(n, m, seed, weight_levels=4)
+    results = [alg(n, u, v, w) for alg in ALGORITHMS]
+    weights = [total_weight(r[2]) for r in results]
+    assert weights[0] == pytest.approx(weights[1])
+    assert weights[0] == pytest.approx(weights[2])
+    assert edges_canonical(*results[0][:2]) == edges_canonical(*results[1][:2])

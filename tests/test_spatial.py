@@ -1,0 +1,220 @@
+"""Tests for the spatial substrate (repro.spatial)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidInputError
+from repro.geometry.distance import points_sq
+from repro.spatial import (
+    bichromatic_closest_pair,
+    build_fair_split_tree,
+    build_kdtree,
+    well_separated_pairs,
+)
+from repro.spatial.wspd import wspd_covers_all_pairs
+from tests.conftest import finite_points
+
+
+def check_flat_tree(tree, n):
+    """Structural invariants shared by KDTree and FairSplitTree."""
+    assert tree.node_size(0) == n
+    for node in range(tree.n_nodes):
+        idx = tree.node_indices(node)
+        pts = tree.points[idx]
+        assert np.all(pts >= tree.lo[node] - 1e-12)
+        assert np.all(pts <= tree.hi[node] + 1e-12)
+        if not tree.is_leaf(node):
+            l, r = int(tree.left[node]), int(tree.right[node])
+            assert tree.node_size(l) + tree.node_size(r) == tree.node_size(node)
+            assert tree.node_size(l) >= 1
+            assert tree.node_size(r) >= 1
+            combined = np.sort(np.concatenate([tree.node_indices(l),
+                                               tree.node_indices(r)]))
+            assert np.array_equal(combined, np.sort(idx))
+
+
+class TestKDTree:
+    def test_structure(self, rng):
+        tree = build_kdtree(rng.random((257, 3)), leaf_size=8)
+        check_flat_tree(tree, 257)
+
+    def test_leaf_sizes(self, rng):
+        tree = build_kdtree(rng.random((100, 2)), leaf_size=4)
+        for node in range(tree.n_nodes):
+            if tree.is_leaf(node):
+                assert tree.node_size(node) <= 4
+
+    def test_perm_is_permutation(self, rng):
+        tree = build_kdtree(rng.random((64, 2)))
+        assert np.array_equal(np.sort(tree.perm), np.arange(64))
+
+    def test_single_point(self):
+        tree = build_kdtree(np.array([[1.0, 2.0]]))
+        assert tree.n_nodes == 1
+        assert tree.is_leaf(0)
+
+    def test_duplicates(self, rng):
+        pts = np.repeat(rng.random((3, 2)), 20, axis=0)
+        tree = build_kdtree(pts, leaf_size=4)
+        check_flat_tree(tree, 60)
+
+    def test_rejects_bad_leaf_size(self, rng):
+        with pytest.raises(InvalidInputError):
+            build_kdtree(rng.random((10, 2)), leaf_size=0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidInputError):
+            build_kdtree(np.array([[np.nan, 0.0]]))
+
+
+class TestFairSplitTree:
+    def test_structure(self, rng):
+        tree = build_fair_split_tree(rng.random((200, 3)))
+        check_flat_tree(tree, 200)
+
+    def test_leaves_are_single_points(self, rng):
+        tree = build_fair_split_tree(rng.random((50, 2)))
+        for node in range(tree.n_nodes):
+            if tree.is_leaf(node):
+                # only duplicates may share a leaf
+                idx = tree.node_indices(node)
+                assert idx.size == 1 or np.all(
+                    tree.points[idx] == tree.points[idx[0]])
+
+    def test_split_on_longest_side(self, rng):
+        pts = rng.random((100, 2)) * np.array([10.0, 1.0])
+        tree = build_fair_split_tree(pts)
+        # Root must split the long (x) axis: children's x-extents are
+        # strictly smaller than the root's.
+        root_extent = tree.hi[0][0] - tree.lo[0][0]
+        for child in (int(tree.left[0]), int(tree.right[0])):
+            assert tree.hi[child][0] - tree.lo[child][0] < root_extent
+
+    def test_duplicates_become_multipoint_leaf(self):
+        pts = np.zeros((10, 2))
+        tree = build_fair_split_tree(pts)
+        assert tree.n_nodes == 1
+        assert tree.node_size(0) == 10
+
+    def test_radius_and_center(self, rng):
+        tree = build_fair_split_tree(rng.random((30, 2)))
+        r = tree.radius(0)
+        c = tree.center(0)
+        pts = tree.points
+        assert np.all(np.sqrt(points_sq(pts, c)) <= r + 1e-12)
+
+
+class TestWSPD:
+    @pytest.mark.parametrize("s", [2.0, 3.0])
+    def test_covering_property(self, rng, s):
+        pts = rng.random((40, 2))
+        tree = build_fair_split_tree(pts)
+        pairs = well_separated_pairs(tree, s)
+        assert wspd_covers_all_pairs(tree, pairs)
+
+    def test_covering_3d(self, rng):
+        pts = rng.random((30, 3))
+        tree = build_fair_split_tree(pts)
+        assert wspd_covers_all_pairs(tree, well_separated_pairs(tree))
+
+    def test_separation_property(self, rng):
+        pts = rng.random((50, 2))
+        tree = build_fair_split_tree(pts)
+        s = 2.0
+        for pair in well_separated_pairs(tree, s):
+            ra, rb = tree.radius(pair.a), tree.radius(pair.b)
+            if ra == 0.0 and rb == 0.0:
+                continue  # duplicate-point degenerate pairs
+            d = np.sqrt(points_sq(tree.center(pair.a), tree.center(pair.b)))
+            assert d - ra - rb >= s * max(ra, rb) - 1e-9
+
+    def test_gap_is_lower_bound(self, rng):
+        pts = rng.random((40, 2))
+        tree = build_fair_split_tree(pts)
+        for pair in well_separated_pairs(tree)[:50]:
+            ia = tree.node_indices(pair.a)
+            ib = tree.node_indices(pair.b)
+            dmin = min(np.sqrt(points_sq(tree.points[i], tree.points[j]))
+                       for i in ia for j in ib)
+            assert pair.gap <= dmin + 1e-9
+
+    def test_pair_count_linear(self, rng):
+        # O(n) pairs for bounded separation (Callahan-Kosaraju).
+        counts = []
+        for n in (100, 200, 400):
+            tree = build_fair_split_tree(rng.random((n, 2)))
+            counts.append(len(well_separated_pairs(tree, 2.0)))
+        assert counts[2] < 3.0 * counts[1]
+        assert counts[1] < 3.0 * counts[0]
+
+    def test_duplicates_covered(self, rng):
+        pts = np.repeat(rng.random((6, 2)), 5, axis=0)
+        tree = build_fair_split_tree(pts)
+        assert wspd_covers_all_pairs(tree, well_separated_pairs(tree))
+
+    def test_rejects_bad_separation(self, rng):
+        tree = build_fair_split_tree(rng.random((10, 2)))
+        with pytest.raises(InvalidInputError):
+            well_separated_pairs(tree, 0.0)
+
+    @given(finite_points(min_n=2, max_n=30))
+    @settings(max_examples=15)
+    def test_property_covering(self, pts):
+        tree = build_fair_split_tree(pts)
+        assert wspd_covers_all_pairs(tree, well_separated_pairs(tree))
+
+
+class TestBCP:
+    def _brute(self, tree, a, b):
+        ia = tree.node_indices(a)
+        ib = tree.node_indices(b)
+        best = (np.inf, None, None)
+        for i in ia:
+            for j in ib:
+                d = float(points_sq(tree.points[i], tree.points[j]))
+                key = (d, min(i, j), max(i, j))
+                if key < (best[0], min(best[1], best[2]) if best[1] is not None else np.inf,
+                          max(best[1], best[2]) if best[1] is not None else np.inf):
+                    best = (d, int(i), int(j))
+        return best
+
+    def test_matches_brute_force(self, rng):
+        pts = rng.random((60, 2))
+        tree = build_fair_split_tree(pts)
+        root_l, root_r = int(tree.left[0]), int(tree.right[0])
+        u, v, d = bichromatic_closest_pair(tree, root_l, root_r)
+        bd, bi, bj = self._brute(tree, root_l, root_r)
+        assert d == pytest.approx(bd)
+        assert {u, v} == {bi, bj} or d == pytest.approx(bd)
+
+    def test_on_kdtree(self, rng):
+        pts = rng.random((80, 3))
+        tree = build_kdtree(pts, leaf_size=8)
+        root_l, root_r = int(tree.left[0]), int(tree.right[0])
+        u, v, d = bichromatic_closest_pair(tree, root_l, root_r)
+        bd, _, _ = self._brute(tree, root_l, root_r)
+        assert d == pytest.approx(bd)
+
+    def test_component_constraint(self, rng):
+        pts = rng.random((40, 2))
+        tree = build_fair_split_tree(pts)
+        comp = np.zeros(40, dtype=np.int64)  # everything same component
+        root_l, root_r = int(tree.left[0]), int(tree.right[0])
+        u, v, d = bichromatic_closest_pair(tree, root_l, root_r,
+                                           component_of=comp)
+        assert u == -1 and v == -1 and np.isinf(d)
+
+    def test_mrd_metric(self, rng):
+        pts = rng.random((30, 2))
+        tree = build_fair_split_tree(pts)
+        core_sq = rng.random(30)
+        root_l, root_r = int(tree.left[0]), int(tree.right[0])
+        u, v, d = bichromatic_closest_pair(tree, root_l, root_r,
+                                           core_sq=core_sq)
+        ia = tree.node_indices(root_l)
+        ib = tree.node_indices(root_r)
+        expect = min(max(float(points_sq(tree.points[i], tree.points[j])),
+                         core_sq[i], core_sq[j])
+                     for i in ia for j in ib)
+        assert d == pytest.approx(expect)

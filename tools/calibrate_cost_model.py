@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Calibration solver for the simulated-device cost model.
+
+Runs the instrumented algorithms on the Hacc reference workload, then
+solves for (a) the per-device compute throughput constants and (b) the
+per-algorithm work-scale factors so that the simulated rates match the
+paper's Figure-1 anchors:
+
+    ArborX : 0.8 seq / 17.1 MT / 270.7 A100 / 180.3 MI250X  MFeatures/sec
+    MemoGFK: 0.7 seq                                         MFeatures/sec
+    MLPACK : 0.2 seq                                         MFeatures/sec
+
+Everything else in the benchmark suite (other datasets, scaling sweeps,
+phase breakdowns, k_pts sweeps, ablations) uses these constants unchanged.
+Run after any change to kernels or counter accounting, and copy the
+printed values into ``repro/kokkos/devices.py`` and
+``repro.bench.harness.ALGORITHM_WORK_SCALE``.
+
+Usage::
+
+    python tools/calibrate_cost_model.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import run_arborx, run_memogfk, run_mlpack
+from repro.data import generate
+from repro.kokkos.costmodel import traversal_ops, weighted_ops
+from repro.kokkos.devices import A100, EPYC_7763_MT, EPYC_7763_SEQ, MI250X_GCD
+
+TARGETS_MF = {
+    "arborx_seq": 0.8,
+    "arborx_mt": 17.1,
+    "arborx_a100": 270.7,
+    "arborx_mi250x": 180.3,
+    "memogfk_seq": 0.7,
+    "mlpack_seq": 0.2,
+}
+
+REFERENCE = {"arborx_n": 30_000, "memogfk_n": 3_000, "mlpack_n": 1_500}
+
+
+def sort_seconds(counters, rate: float) -> float:
+    n = counters.sort_elements
+    if n == 0:
+        return 0.0
+    return n * math.log2(max(n, 2)) / rate
+
+
+def solve_rate(counters, device, target_seconds: float, *,
+               serial_sort: bool, gpu: bool) -> float:
+    """Compute throughput that makes the record hit ``target_seconds``."""
+    sat = device.saturation(counters.max_batch)
+    rate = device.serial_sort_rate if serial_sort else device.sort_rate * sat
+    t_sort = sort_seconds(counters, rate)
+    t_mem = counters.bytes_moved / device.mem_bandwidth
+    t_launch = counters.kernel_launches * device.launch_overhead
+    budget = target_seconds - t_sort - t_mem - t_launch
+    if budget <= 0:
+        raise SystemExit(
+            f"{device.name}: fixed costs ({t_sort:.2e}s sort, {t_mem:.2e}s "
+            f"mem, {t_launch:.2e}s launch) exceed the {target_seconds:.2e}s "
+            "target; lower sort/launch constants first")
+    trav = traversal_ops(counters)
+    flat = weighted_ops(counters) - trav
+    if gpu:
+        trav *= counters.divergence_factor
+    return (trav + flat) / (budget * sat)
+
+
+def main() -> None:
+    print("running reference workloads (Hacc generator)...")
+    pts = generate("Hacc37M", REFERENCE["arborx_n"], seed=0)
+    arborx = run_arborx(pts, "Hacc37M").total_counters
+    feats = REFERENCE["arborx_n"] * 3
+
+    t_seq = feats / (TARGETS_MF["arborx_seq"] * 1e6)
+    t_mt = feats / (TARGETS_MF["arborx_mt"] * 1e6)
+    t_a100 = feats / (TARGETS_MF["arborx_a100"] * 1e6)
+    t_mi = feats / (TARGETS_MF["arborx_mi250x"] * 1e6)
+
+    r_seq = solve_rate(arborx, EPYC_7763_SEQ, t_seq,
+                       serial_sort=False, gpu=False)
+    r_mt = solve_rate(arborx, EPYC_7763_MT, t_mt,
+                      serial_sort=True, gpu=False)
+    r_a100 = solve_rate(arborx, A100, t_a100, serial_sort=False, gpu=True)
+    r_mi = solve_rate(arborx, MI250X_GCD, t_mi, serial_sort=False, gpu=True)
+
+    print(f"EPYC_7763_SEQ.peak_ops_per_sec = {r_seq:.3e}")
+    print(f"EPYC_7763_MT.peak_ops_per_sec  = {r_mt:.3e}"
+          f"  (implied efficiency {r_mt / r_seq / 64:.2f} on 64 cores)")
+    print(f"A100.peak_ops_per_sec          = {r_a100:.3e}")
+    print(f"MI250X_GCD.peak_ops_per_sec    = {r_mi:.3e}"
+          f"  ({r_mi / r_a100:.2f} of A100)")
+
+    # Per-algorithm work scales against the solved sequential rate.
+    memogfk = run_memogfk(generate("Hacc37M", REFERENCE["memogfk_n"], seed=0),
+                          "Hacc37M").total_counters
+    mlpack = run_mlpack(generate("Hacc37M", REFERENCE["mlpack_n"], seed=0),
+                        "Hacc37M").total_counters
+    for name, counters, n in (("MemoGFK", memogfk, REFERENCE["memogfk_n"]),
+                              ("MLPACK", mlpack, REFERENCE["mlpack_n"])):
+        target = (n * 3) / (TARGETS_MF[f"{name.lower()}_seq"] * 1e6)
+        # Solve scale s: s * (W/r_seq + sort + mem) = target (launches ~0).
+        base = (weighted_ops(counters) / r_seq
+                + sort_seconds(counters, EPYC_7763_SEQ.sort_rate)
+                + counters.bytes_moved / EPYC_7763_SEQ.mem_bandwidth)
+        print(f"ALGORITHM_WORK_SCALE[{name!r}] = {target / base:.3f}")
+
+
+if __name__ == "__main__":
+    main()
