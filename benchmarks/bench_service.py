@@ -1,0 +1,108 @@
+"""Service benchmark — jobs/sec and cache-hit speedup on repeated workloads.
+
+Submits the same dataset workload through the engine three ways:
+
+* **cold** — empty caches: the job pays tree construction and the full
+  Borůvka run;
+* **tree-warm** — a different algorithm over the same points: the result
+  cache misses but the content-addressed tree cache skips ``T_tree``;
+* **result-warm** — an exact repeat: answered from the result cache.
+
+Checks the service-layer claim of the PR: a repeated workload completes at
+least 5x faster than its cold run, and batch throughput (jobs/sec) on a
+many-small-jobs stream exceeds the one-at-a-time rate.
+
+Runs standalone (``python benchmarks/bench_service.py``) or under the
+pytest-benchmark harness like the figure benchmarks.
+"""
+
+import statistics
+
+from repro.bench.tables import render_table, save_report
+from repro.data import generate
+from repro.metrics import speedup
+from repro.service import Engine, JobSpec
+
+REPEATS = 5
+
+
+def _submit_and_time(engine, spec):
+    job_id = engine.submit(spec)
+    result = engine.result(job_id, timeout=600)
+    assert result.status.value == "done", result.error
+    return result, result.timings["run"]
+
+
+def run(n_points: int = 20000):
+    """Execute the workload; returns (measurements dict, rendered table)."""
+    points = generate("Normal100M3", n_points, seed=0)
+    with Engine(max_workers=2, batch_window=0.001) as engine:
+        cold_result, cold = _submit_and_time(
+            engine, JobSpec(points=points, algorithm="emst"))
+        treewarm_result, tree_warm = _submit_and_time(
+            engine, JobSpec(points=points, algorithm="mrd_emst", k_pts=4))
+        warm_times = []
+        for _ in range(REPEATS):
+            warm_result, seconds = _submit_and_time(
+                engine, JobSpec(points=points, algorithm="emst"))
+            assert warm_result.cache["result_hit"]
+            warm_times.append(seconds)
+        warm = statistics.median(warm_times)
+
+        # Throughput on a stream of small jobs (batching + caching active).
+        small_specs = [JobSpec(dataset=f"Uniform100M2:500:{seed % 4}")
+                       for seed in range(20)]
+        ids = [engine.submit(spec) for spec in small_specs]
+        for job_id in ids:
+            engine.result(job_id, timeout=600)
+        sched = engine.stats()["scheduler"]
+
+    assert not cold_result.cache["tree_hit"]
+    assert treewarm_result.cache["tree_hit"]
+    measurements = {
+        "cold_seconds": cold,
+        "tree_warm_seconds": tree_warm,
+        "result_warm_seconds": warm,
+        "tree_warm_speedup": speedup(cold, tree_warm),
+        "result_warm_speedup": speedup(cold, warm),
+        "jobs_per_sec": sched["jobs_per_sec"],
+        "mean_batch_size": sched["mean_batch_size"],
+    }
+    rows = [
+        ["cold (build + solve)", cold * 1e3, 1.0],
+        ["tree cache hit (mrd_emst)", tree_warm * 1e3,
+         measurements["tree_warm_speedup"]],
+        ["result cache hit (median)", warm * 1e3,
+         measurements["result_warm_speedup"]],
+    ]
+    table = render_table(
+        ["workload", "run ms", "speedup vs cold"], rows,
+        title=f"Service cache speedup — Normal100M3 n={n_points} "
+              f"(stream: {sched['jobs_completed']} jobs, "
+              f"{sched['jobs_per_sec']:.1f} jobs/s, "
+              f"mean batch {sched['mean_batch_size']:.1f})")
+    save_report("bench_service.txt", table)
+    return measurements, table
+
+
+def _check(measurements):
+    # Acceptance: a repeated (cache-hit) job is >= 5x faster than cold.
+    assert measurements["result_warm_speedup"] >= 5.0, measurements
+    # Tree reuse alone must already help (T_tree is a real fraction of cold).
+    assert measurements["tree_warm_seconds"] > measurements[
+        "result_warm_seconds"]
+    assert measurements["jobs_per_sec"] > 0
+
+
+def bench_service(run_once):
+    measurements, table = run_once(lambda: run())
+    print("\n" + table)
+    _check(measurements)
+
+
+if __name__ == "__main__":
+    m, t = run()
+    print(t)
+    _check(m)
+    print("\nok: result-cache speedup "
+          f"{m['result_warm_speedup']:.0f}x (>= 5x required)")

@@ -22,6 +22,15 @@ Package map
 ``repro.hdbscan``   HDBSCAN* on the mutual-reachability EMST
 ``repro.data``      generators mirroring the paper's 12 datasets
 ``repro.bench``     harness regenerating every figure of the evaluation
+``repro.service``   batch-serving engine: job scheduling, content-addressed
+                    tree/result caching, JSON-over-HTTP API (``repro serve``)
+
+Serving quickstart
+------------------
+>>> from repro.service import Engine, JobSpec  # doctest: +SKIP
+>>> with Engine() as engine:  # doctest: +SKIP
+...     job_id = engine.submit(JobSpec(dataset="Uniform100M2:10000"))
+...     tree = engine.result(job_id).emst()
 """
 
 from repro.core.emst import EMSTResult, emst, mutual_reachability_emst
@@ -36,9 +45,21 @@ from repro.errors import (
     ReproError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name):
+    # ``repro.service`` is imported lazily: it drags in the HTTP/threading
+    # machinery (and ``repro.service.server`` reads ``repro.__version__``),
+    # which plain library users computing one tree never need.
+    if name == "service":
+        import repro.service
+        return repro.service
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "service",
     "emst",
     "mutual_reachability_emst",
     "EMSTResult",

@@ -7,6 +7,8 @@ Commands
 ``bench``     regenerate a paper figure (fig1/fig5/fig6/fig7/fig8/fig9/
               ablation) or ``all``
 ``datasets``  list the available dataset generators
+``serve``     run the batch-serving JSON-over-HTTP engine (repro.service)
+``submit``    submit one job to a running server and await the result
 
 Point inputs are either a path to an ``(n, d)`` ``.npy`` file or a spec
 ``dataset:NAME:N[:SEED]`` using the generators of :mod:`repro.data`.
@@ -22,23 +24,31 @@ import numpy as np
 
 from repro.core.boruvka_emst import SingleTreeConfig
 from repro.core.emst import emst, mutual_reachability_emst
-from repro.data import DATASETS, dataset_dimension, generate
+from repro.data import DATASETS, dataset_dimension, generate_from_spec
 from repro.errors import InvalidInputError
 from repro.metrics import mfeatures_per_second
 
 
 def load_points(spec: str) -> np.ndarray:
-    """Resolve a CLI point-source spec to an array."""
+    """Resolve a CLI point-source spec to an array.
+
+    Raises :class:`InvalidInputError` (exit code 2 from :func:`main`) for a
+    malformed spec, a missing or unreadable ``.npy`` file, or an array that
+    is not a numeric ``(n, d)`` matrix — never a raw traceback.
+    """
     if spec.startswith("dataset:"):
-        parts = spec.split(":")
-        if len(parts) not in (3, 4):
-            raise InvalidInputError(
-                f"bad dataset spec {spec!r}; use dataset:NAME:N[:SEED]")
-        name = parts[1]
-        n = int(parts[2])
-        seed = int(parts[3]) if len(parts) == 4 else 0
-        return generate(name, n, seed=seed)
-    points = np.load(spec)
+        return generate_from_spec(spec)
+    try:
+        points = np.load(spec)
+    except FileNotFoundError:
+        raise InvalidInputError(f"{spec}: no such file")
+    except (OSError, ValueError, EOFError) as exc:
+        raise InvalidInputError(f"{spec}: not a readable .npy file ({exc})")
+    # Kinds b/i/u/f only: complex would silently drop imaginary parts.
+    if not isinstance(points, np.ndarray) or points.dtype.kind not in "biuf":
+        kind = getattr(points, "dtype", type(points).__name__)
+        raise InvalidInputError(
+            f"{spec}: expected a real numeric array, got dtype {kind}")
     if points.ndim != 2:
         raise InvalidInputError(
             f"{spec}: expected an (n, d) array, got shape {points.shape}")
@@ -114,6 +124,108 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import Engine
+    from repro.service.server import create_server, run_server
+
+    try:
+        engine = Engine(max_workers=args.workers,
+                        max_batch=args.batch_size,
+                        batch_window=args.batch_window,
+                        tree_cache_bytes=args.cache_mb << 20,
+                        result_cache_bytes=args.result_cache_mb << 20)
+    except ValueError as exc:
+        raise InvalidInputError(str(exc))
+    # Only the bind is a user-input error; runtime OSErrors (e.g. a closed
+    # stdout pipe) must not be misreported as bind failures.
+    try:
+        server = create_server(engine, args.host, args.port,
+                               verbose=args.verbose)
+    except OSError as exc:
+        engine.close()
+        raise InvalidInputError(
+            f"cannot bind http://{args.host}:{args.port}: {exc}")
+    run_server(server, engine)
+    return 0
+
+
+def _print_job_result(result_dict: dict) -> None:
+    payload = result_dict.get("payload") or {}
+    timings = result_dict.get("timings", {})
+    cache = result_dict.get("cache", {})
+    print(f"job {result_dict['job_id']}: {result_dict['status']} "
+          f"({result_dict['algorithm']})")
+    if result_dict["status"] == "failed":
+        print(f"  error          : {result_dict.get('error')}")
+        return
+    if result_dict["algorithm"] in ("emst", "mrd_emst"):
+        print(f"  points         : {payload['n_points']} "
+              f"({payload['dimension']}D)")
+        print(f"  total weight   : {payload['total_weight']:.6g}")
+        print(f"  Boruvka rounds : {payload['n_iterations']}")
+    else:
+        print(f"  points         : {payload['emst']['n_points']} "
+              f"({payload['emst']['dimension']}D)")
+        print(f"  clusters       : {payload['n_clusters']} "
+              f"({payload['noise_fraction']:.1%} noise)")
+    print(f"  queue / run    : {timings.get('queue', 0.0):.3f}s / "
+          f"{timings.get('run', 0.0):.3f}s "
+          f"({result_dict.get('mfeatures_per_sec', 0.0):.2f} MFeatures/s)")
+    print(f"  cache          : result_hit={cache.get('result_hit')} "
+          f"tree_hit={cache.get('tree_hit')}")
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    if args.points.startswith("dataset:"):
+        body: dict = {"dataset": args.points}
+    else:
+        body = {"points": load_points(args.points).tolist()}
+    body.update(algorithm=args.algorithm, k_pts=args.k_pts,
+                min_cluster_size=args.min_cluster_size,
+                priority=args.priority)
+    base = args.url.rstrip("/")
+
+    def request(url: str, data: Optional[bytes] = None) -> dict:
+        req = urllib.request.Request(
+            url, data=data,
+            headers={"Content-Type": "application/json"} if data else {})
+        with urllib.request.urlopen(req, timeout=90) as resp:
+            return json.loads(resp.read())
+
+    try:
+        submitted = request(f"{base}/v1/jobs", json.dumps(body).encode())
+        job_id = submitted["job_id"]
+        # The server caps a single long-poll at 60s; poll in chunks until
+        # the job finishes or the local --timeout deadline passes.
+        deadline = time.monotonic() + args.timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            chunk = max(0.0, min(remaining, 30.0))
+            result = request(f"{base}/v1/jobs/{job_id}?wait={chunk:.1f}")
+            if result.get("status") in ("done", "failed") or remaining <= 0:
+                break
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        print(f"error: server rejected the request ({exc.code}): {detail}",
+              file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {base}: {exc}\n"
+              f"       is `python -m repro serve` running?", file=sys.stderr)
+        return 1
+    if result.get("status") not in ("done", "failed"):
+        print(f"error: job {job_id} still {result.get('status')} after "
+              f"{args.timeout}s", file=sys.stderr)
+        return 1
+    _print_job_result(result)
+    return 0 if result["status"] == "done" else 1
+
+
 def cmd_datasets(_args: argparse.Namespace) -> int:
     print(f"{'name':18s} dim")
     for name in sorted(DATASETS):
@@ -157,6 +269,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_data = sub.add_parser("datasets", help="list dataset generators")
     p_data.set_defaults(func=cmd_datasets)
+
+    p_serve = sub.add_parser("serve", help="run the batch-serving HTTP API")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321)
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker pool size")
+    p_serve.add_argument("--batch-size", type=int, default=8,
+                         help="max jobs dispatched per batch")
+    p_serve.add_argument("--batch-window", type=float, default=0.002,
+                         help="seconds a batch stays open for more jobs")
+    p_serve.add_argument("--cache-mb", type=int, default=256,
+                         help="tree-cache budget in MiB")
+    p_serve.add_argument("--result-cache-mb", type=int, default=64,
+                         help="result-cache budget in MiB")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a job to a running server")
+    p_submit.add_argument("points", help=".npy file or dataset:NAME:N[:SEED]")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8321",
+                          help="server base URL")
+    p_submit.add_argument("--algorithm",
+                          choices=("emst", "mrd_emst", "hdbscan"),
+                          default="emst")
+    p_submit.add_argument("--k-pts", type=int, default=5,
+                          help="core-distance k (mrd_emst / hdbscan)")
+    p_submit.add_argument("--min-cluster-size", type=int, default=5,
+                          help="condensation threshold (hdbscan)")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs earlier")
+    p_submit.add_argument("--timeout", type=float, default=60.0,
+                          help="seconds to wait for completion")
+    p_submit.set_defaults(func=cmd_submit)
     return parser
 
 
@@ -165,10 +312,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        code = args.func(args)
+        # Flush inside the try so a broken pipe surfaces here, where it is
+        # handled, instead of at the interpreter's exit-time flush.
+        sys.stdout.flush()
+        return code
     except InvalidInputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early — not an error.
+        # Point stdout at devnull so the interpreter's exit-time flush of
+        # the broken pipe cannot fail (which would exit 120).
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

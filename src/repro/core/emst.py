@@ -10,7 +10,7 @@ the run on the simulated devices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -120,12 +120,58 @@ def _build_tree(points: np.ndarray, config: SingleTreeConfig,
         f"unknown tree_type {config.tree_type!r}; use 'bvh' or 'kdtree'")
 
 
+def build_tree(
+    points: np.ndarray,
+    *,
+    config: SingleTreeConfig = SingleTreeConfig(),
+    counters: Optional[CostCounters] = None,
+) -> BVH:
+    """Construct the spatial index :func:`emst` would build for ``points``.
+
+    Exposed so callers that run several algorithms over the same point set
+    (notably the :mod:`repro.service` engine, which caches trees by content
+    fingerprint) can amortize the construction phase: pass the returned tree
+    back through the ``bvh=`` parameter of :func:`emst` /
+    :func:`mutual_reachability_emst` to skip their ``tree`` phase.
+    """
+    points = _validate_points(points)
+    return _build_tree(points, config,
+                       counters if counters is not None else CostCounters())
+
+
+def _check_injected_tree(points: np.ndarray, bvh: BVH,
+                         check_coords: bool = True) -> None:
+    """Validate that a caller-supplied tree actually indexes ``points``.
+
+    The coordinate comparison is O(n*d); callers that already guarantee
+    identity another way (the service engine keys trees by a content
+    fingerprint of the exact point bytes) pass ``check_coords=False`` to
+    keep only the O(1) shape check.
+    """
+    if bvh.n != points.shape[0] or bvh.dim != points.shape[1]:
+        raise InvalidInputError(
+            f"injected tree indexes {bvh.n} {bvh.dim}D points, "
+            f"got {points.shape[0]} {points.shape[1]}D points")
+    if check_coords and not np.array_equal(bvh.points, points[bvh.order]):
+        raise InvalidInputError(
+            "injected tree was built over different point coordinates")
+
+
 def emst(
     points: np.ndarray,
     *,
     config: SingleTreeConfig = SingleTreeConfig(),
+    bvh: Optional[BVH] = None,
+    check_tree: bool = True,
 ) -> EMSTResult:
     """Euclidean minimum spanning tree of ``points`` (the paper's algorithm).
+
+    ``bvh`` injects a precomputed tree from :func:`build_tree` (it must have
+    been built over the same points and tree configuration); the ``tree``
+    phase is then reported as zero seconds and zero work.  ``check_tree``
+    controls whether the injected tree's coordinates are verified against
+    ``points`` (an O(n*d) pass); disable only when identity is guaranteed
+    by construction.
 
     Example
     -------
@@ -140,8 +186,12 @@ def emst(
     timer = PhaseTimer()
     tree_counters = CostCounters()
     mst_counters = CostCounters()
-    with timer.phase("tree"):
-        bvh = _build_tree(points, config, tree_counters)
+    if bvh is None:
+        with timer.phase("tree"):
+            bvh = _build_tree(points, config, tree_counters)
+    else:
+        _check_injected_tree(points, bvh, check_tree)
+        timer.add("tree", 0.0)
     with timer.phase("mst"):
         output = run_boruvka(bvh, config=config, counters=mst_counters)
     return _finalize(points, bvh, output, timer,
@@ -153,6 +203,8 @@ def mutual_reachability_emst(
     k_pts: int,
     *,
     config: SingleTreeConfig = SingleTreeConfig(),
+    bvh: Optional[BVH] = None,
+    check_tree: bool = True,
 ) -> EMSTResult:
     """MST under the mutual-reachability distance (HDBSCAN*, Section 4.5).
 
@@ -174,8 +226,12 @@ def mutual_reachability_emst(
     tree_counters = CostCounters()
     core_counters = CostCounters()
     mst_counters = CostCounters()
-    with timer.phase("tree"):
-        bvh = _build_tree(points, config, tree_counters)
+    if bvh is None:
+        with timer.phase("tree"):
+            bvh = _build_tree(points, config, tree_counters)
+    else:
+        _check_injected_tree(points, bvh, check_tree)
+        timer.add("tree", 0.0)
     with timer.phase("core"):
         knn = batched_knn(bvh, bvh.points, k_pts, counters=core_counters)
         core_sq = knn.kth_distance_sq.copy()

@@ -29,6 +29,8 @@ from repro.data.generators import (
     DATASETS,
     dataset_dimension,
     generate,
+    generate_from_spec,
+    parse_dataset_spec,
     geolife,
     hacc,
     ngsim,
@@ -44,6 +46,8 @@ from repro.data.sampling import sample_preserving
 __all__ = [
     "DATASETS",
     "generate",
+    "generate_from_spec",
+    "parse_dataset_spec",
     "dataset_dimension",
     "uniform",
     "normal",

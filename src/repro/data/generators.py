@@ -297,3 +297,44 @@ def dataset_dimension(name: str) -> int:
         raise InvalidInputError(
             f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
     return DATASETS[name][1]
+
+
+def parse_dataset_spec(spec: str) -> Tuple[str, int, int]:
+    """Validate a ``NAME:N[:SEED]`` spec and return ``(name, n, seed)``.
+
+    A leading ``dataset:`` prefix (the CLI convention) is accepted and
+    ignored.  Raises :class:`InvalidInputError` for an unknown dataset
+    name, non-integer size/seed, or a non-positive size — so callers (the
+    CLI and the service submit path) can reject bad specs up front.
+    """
+    parts = spec.split(":")
+    if parts and parts[0] == "dataset":
+        parts = parts[1:]
+    if len(parts) not in (2, 3):
+        raise InvalidInputError(
+            f"bad dataset spec {spec!r}; use dataset:NAME:N[:SEED]")
+    name = parts[0]
+    if name not in DATASETS:
+        raise InvalidInputError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    try:
+        n = int(parts[1])
+        seed = int(parts[2]) if len(parts) == 3 else 0
+    except ValueError:
+        raise InvalidInputError(
+            f"bad dataset spec {spec!r}: size and seed must be integers")
+    if n < 1:
+        raise InvalidInputError(f"dataset size must be >= 1, got {n}")
+    if seed < 0:
+        raise InvalidInputError(f"dataset seed must be >= 0, got {seed}")
+    return name, n, seed
+
+
+def generate_from_spec(spec: str) -> np.ndarray:
+    """Generate points from a ``NAME:N[:SEED]`` spec string.
+
+    Shared by the CLI and the service layer so both resolve dataset specs
+    identically; see :func:`parse_dataset_spec` for the accepted form.
+    """
+    name, n, seed = parse_dataset_spec(spec)
+    return generate(name, n, seed=seed)

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.bvh.bvh import BVH
 from repro.core.boruvka_emst import SingleTreeConfig
 from repro.core.emst import EMSTResult, mutual_reachability_emst
 from repro.errors import InvalidInputError
@@ -51,11 +52,15 @@ def hdbscan(
     min_cluster_size: int = 5,
     k_pts: int = 5,
     config: SingleTreeConfig = SingleTreeConfig(),
+    bvh: Optional[BVH] = None,
+    check_tree: bool = True,
 ) -> HDBSCANResult:
     """HDBSCAN* clustering (Campello et al. 2015; McInnes et al. 2017).
 
     ``k_pts`` is the core-distance neighbor count (the paper's Section 4.5
     sweep parameter); ``min_cluster_size`` the condensation threshold.
+    ``bvh`` injects a precomputed spatial index (see
+    :func:`repro.core.emst.build_tree`), skipping the tree phase.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[0] < 2:
@@ -66,7 +71,8 @@ def hdbscan(
         raise InvalidInputError(
             f"min_cluster_size must be >= 2, got {min_cluster_size}")
 
-    result = mutual_reachability_emst(points, k_pts, config=config)
+    result = mutual_reachability_emst(points, k_pts, config=config, bvh=bvh,
+                                      check_tree=check_tree)
     linkage = single_linkage_tree(n, result.edges[:, 0], result.edges[:, 1],
                                   result.weights)
     condensed = condense_tree(linkage, min_cluster_size)

@@ -41,6 +41,37 @@ def mfeatures_per_second(n_points: int, dimension: int, seconds: float) -> float
     return features_per_second(n_points, dimension, seconds) / 1e6
 
 
+def hit_rate(hits: int, misses: int) -> float:
+    """Cache hit rate ``hits / (hits + misses)``, 0.0 for an untouched cache.
+
+    The service-layer caches (:mod:`repro.service.cache`) report their
+    effectiveness through this helper so cache numbers use one convention
+    everywhere.
+
+    >>> hit_rate(3, 1)
+    0.75
+    >>> hit_rate(0, 0)
+    0.0
+    """
+    if hits < 0 or misses < 0:
+        raise ValueError(f"negative counter: hits={hits} misses={misses}")
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def jobs_per_second(n_jobs: int, seconds: float) -> float:
+    """Service throughput in completed jobs per second.
+
+    >>> jobs_per_second(10, 2.0)
+    5.0
+    """
+    if n_jobs < 0:
+        raise ValueError(f"negative job count: {n_jobs}")
+    if seconds <= 0:
+        raise ValueError(f"non-positive duration: {seconds}")
+    return n_jobs / seconds
+
+
 def speedup(baseline_seconds: float, improved_seconds: float) -> float:
     """Ratio ``baseline / improved`` — how many times faster the latter is."""
     if baseline_seconds <= 0 or improved_seconds <= 0:

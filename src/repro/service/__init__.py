@@ -1,0 +1,63 @@
+"""Batch-serving engine for the single-tree EMST algorithms.
+
+Turns the one-shot library into a servable system: jobs (EMST, m.r.d. EMST,
+HDBSCAN*) queue into a batching scheduler over a worker pool, a two-tier
+content-addressed cache amortizes tree construction and answers exact
+repeats instantly, and a stdlib JSON-over-HTTP API exposes the whole thing
+(``python -m repro serve``).
+
+Layers
+------
+``repro.service.jobs``       job specs, statuses and serializable results
+``repro.service.cache``      content-addressed byte-bounded LRU tiers
+``repro.service.scheduler``  size/deadline-triggered batching over workers
+``repro.service.engine``     the embeddable façade (submit/result/stats)
+``repro.service.server``     the HTTP front end (no extra dependencies)
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.service import Engine, JobSpec
+>>> points = np.random.default_rng(0).random((500, 2))
+>>> with Engine(max_workers=1) as engine:
+...     job_id = engine.submit(JobSpec(points=points))
+...     result = engine.result(job_id)
+>>> result.status.value
+'done'
+>>> result.emst().edges.shape
+(499, 2)
+"""
+
+from repro.service.cache import ContentCache, estimate_nbytes, fingerprint
+from repro.service.engine import Engine
+from repro.service.jobs import (
+    ALGORITHMS,
+    JobResult,
+    JobSpec,
+    JobStatus,
+    emst_result_from_dict,
+    emst_result_to_dict,
+    hdbscan_result_from_dict,
+    hdbscan_result_to_dict,
+)
+from repro.service.scheduler import BatchScheduler, JobTicket
+from repro.service.server import create_server, serve
+
+__all__ = [
+    "ALGORITHMS",
+    "BatchScheduler",
+    "ContentCache",
+    "Engine",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
+    "JobTicket",
+    "create_server",
+    "emst_result_from_dict",
+    "emst_result_to_dict",
+    "estimate_nbytes",
+    "fingerprint",
+    "hdbscan_result_from_dict",
+    "hdbscan_result_to_dict",
+    "serve",
+]

@@ -1,0 +1,377 @@
+"""The serving façade: submit jobs, await results, read statistics.
+
+:class:`Engine` wires the batching scheduler and the two cache tiers around
+the core algorithms.  Per job it:
+
+1. resolves the point source (inline array or dataset spec),
+2. consults the **result cache** — an exact repeat (same point bytes, same
+   algorithm and configuration) is answered without any computation,
+3. consults the **tree cache** — a known point set reuses its built
+   :class:`~repro.bvh.bvh.BVH`, injected through the ``bvh=`` parameter of
+   the core entry points so the ``tree`` phase is skipped,
+4. runs the algorithm, serializes the result to a transport-ready
+   :class:`~repro.service.jobs.JobResult`, and fills both caches.
+
+The engine is directly embeddable (no server required)::
+
+    with Engine(max_workers=2) as engine:
+        job_id = engine.submit(JobSpec(dataset="Uniform100M2:10000"))
+        result = engine.result(job_id)
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+
+import numpy as np
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.emst import build_tree, emst, mutual_reachability_emst
+from repro.errors import InvalidInputError, ReproError
+from repro.hdbscan.hdbscan import HDBSCANResult, hdbscan
+from repro.metrics import mfeatures_per_second
+from repro.service.cache import (
+    ContentCache,
+    combine_fingerprint,
+    fingerprint_array,
+)
+from repro.service.jobs import (
+    JobResult,
+    JobSpec,
+    JobStatus,
+    emst_result_to_dict,
+    hdbscan_result_to_dict,
+)
+from repro.service.scheduler import BatchScheduler, JobTicket
+from repro.timing import PhaseTimer
+
+#: Default byte budgets: trees dominate (a BVH is ~20x the point bytes),
+#: serialized results are comparatively small.
+DEFAULT_TREE_CACHE_BYTES = 256 << 20
+DEFAULT_RESULT_CACHE_BYTES = 64 << 20
+#: Byte bound on finished-job payloads kept queryable by id (the result
+#: cache is budgeted separately; per-job records must be too).
+DEFAULT_RETAINED_BYTES = 256 << 20
+
+
+#: A Python list-of-scalars payload costs roughly 4x its raw array buffer.
+_PYLIST_FACTOR = 4
+#: Flat allowance for the payload's small fields (phases, counters, rounds).
+_PAYLOAD_OVERHEAD = 8 << 10
+
+
+def _payload_nbytes(computed: Any) -> int:
+    """O(1) size estimate of a serialized result from its source arrays.
+
+    Walking the ``.tolist()``'ed payload element-by-element would cost
+    seconds for large jobs; the array buffer sizes are available for free
+    and the list expansion factor is roughly constant.
+    """
+    if isinstance(computed, HDBSCANResult):
+        cond = computed.condensed
+        own = (computed.labels.nbytes + computed.probabilities.nbytes +
+               computed.linkage.nbytes + cond.parent.nbytes +
+               cond.child.nbytes + cond.lambda_val.nbytes +
+               cond.child_size.nbytes)
+        return _PYLIST_FACTOR * own + _payload_nbytes(computed.emst)
+    return (_PYLIST_FACTOR * (computed.edges.nbytes + computed.weights.nbytes)
+            + _PAYLOAD_OVERHEAD)
+
+
+@dataclass
+class _JobRecord:
+    """Engine-side bookkeeping for one submitted job.
+
+    ``ticket`` is ``None`` only for the instant between the record being
+    registered and the scheduler accepting the job.
+    """
+
+    spec: JobSpec
+    ticket: Optional[JobTicket]
+    status: JobStatus = JobStatus.PENDING
+    result: Optional[JobResult] = None
+    payload_nbytes: int = 0
+
+
+class Engine:
+    """Batch-serving engine over the single-tree EMST algorithms."""
+
+    def __init__(self, *, max_workers: int = 2, max_batch: int = 8,
+                 batch_window: float = 0.002,
+                 tree_cache_bytes: int = DEFAULT_TREE_CACHE_BYTES,
+                 result_cache_bytes: int = DEFAULT_RESULT_CACHE_BYTES,
+                 max_retained_jobs: int = 1024,
+                 max_retained_bytes: int = DEFAULT_RETAINED_BYTES) -> None:
+        if max_retained_jobs < 1:
+            raise ValueError(
+                f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
+        if max_retained_bytes < 1:
+            raise ValueError(
+                f"max_retained_bytes must be >= 1, got {max_retained_bytes}")
+        self.tree_cache = ContentCache(tree_cache_bytes, name="tree")
+        self.result_cache = ContentCache(result_cache_bytes, name="result")
+        self.scheduler = BatchScheduler(
+            self._run_job, max_workers=max_workers, max_batch=max_batch,
+            batch_window=batch_window)
+        #: Only the newest finished jobs stay queryable, bounded both by
+        #: count and by total payload bytes (specs can carry inline point
+        #: arrays and payloads can be large, so retention must be bounded
+        #: on a long-running server).  In-flight jobs are never evicted.
+        self.max_retained_jobs = max_retained_jobs
+        self.max_retained_bytes = max_retained_bytes
+        self._retain_floor = max(1, max_workers)
+        self._retained_bytes = 0
+        #: Memoized dataset-spec -> content fingerprint (specs are
+        #: deterministic); lets exact repeats skip point regeneration.
+        self._dataset_fp: Dict[str, str] = {}
+        self._records: Dict[str, _JobRecord] = {}
+        self._finished_order: Deque[str] = deque()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._started_at = time.perf_counter()
+        self._closed = False
+
+    # ---------------------------------------------------------------- submit
+
+    def submit(self, spec: JobSpec) -> str:
+        """Queue a job; returns its id.  Spec errors raise synchronously."""
+        spec.validate()
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        job_id = f"job-{next(self._ids):06d}"
+        # The record must exist before the scheduler can hand the job to a
+        # worker, or a fast worker would look it up before it is stored.
+        record = _JobRecord(spec=spec, ticket=None)
+        with self._lock:
+            self._records[job_id] = record
+        try:
+            record.ticket = self.scheduler.submit(job_id, spec,
+                                                  priority=spec.priority)
+        except BaseException:
+            with self._lock:
+                del self._records[job_id]
+            raise
+        return job_id
+
+    # ---------------------------------------------------------------- query
+
+    def _record(self, job_id: str) -> _JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise InvalidInputError(f"unknown job id {job_id!r}")
+        return record
+
+    def status(self, job_id: str) -> JobStatus:
+        """Current lifecycle state of ``job_id``."""
+        return self._record(job_id).status
+
+    def result(self, job_id: str, timeout: Optional[float] = None
+               ) -> JobResult:
+        """Block until ``job_id`` finishes and return its result.
+
+        A failed job returns a ``FAILED`` :class:`JobResult` (it does not
+        raise); ``TimeoutError`` if the job is still queued or running after
+        ``timeout`` seconds.  Results older than ``max_retained_jobs``
+        finished jobs are forgotten and report an unknown id.
+        """
+        record = self._record(job_id)
+        deadline = None if timeout is None \
+            else time.perf_counter() + timeout
+        # The ticket is unset only for the sub-ms window inside submit();
+        # if it stays unset, submit() failed and removed the record — bound
+        # the wait so a caller holding a stale record cannot spin forever.
+        spin_deadline = time.perf_counter() + 1.0
+        while record.ticket is None:
+            now = time.perf_counter()
+            if deadline is not None and now >= deadline:
+                raise FutureTimeoutError(
+                    f"job {job_id!r} was not scheduled within the timeout")
+            if now >= spin_deadline:
+                raise InvalidInputError(
+                    f"job {job_id!r} was never scheduled (submit failed)")
+            time.sleep(0.0005)
+        remaining = None if deadline is None \
+            else max(0.0, deadline - time.perf_counter())
+        return record.ticket.future.result(remaining)
+
+    def poll(self, job_id: str) -> Optional[JobResult]:
+        """The finished result of ``job_id``, or ``None`` if still in flight."""
+        record = self._record(job_id)
+        if record.result is not None:  # set before the future resolves
+            return record.result
+        if record.ticket is None:
+            return None
+        try:
+            return record.ticket.future.result(0)
+        except FutureTimeoutError:
+            return None
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine, scheduler and per-tier cache statistics, JSON-safe."""
+        with self._lock:
+            by_status: Dict[str, int] = {s.value: 0 for s in JobStatus}
+            for record in self._records.values():
+                by_status[record.status.value] += 1
+            total = len(self._records)
+        return {
+            "uptime_seconds": time.perf_counter() - self._started_at,
+            "jobs": {"total": total, **by_status},
+            "scheduler": self.scheduler.stats(),
+            "tree_cache": self.tree_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+        }
+
+    # ---------------------------------------------------------------- worker
+
+    def _run_job(self, ticket: JobTicket) -> JobResult:
+        record = self._record(ticket.job_id)
+        record.status = JobStatus.RUNNING
+        try:
+            result = self._execute(ticket)
+        except Exception as exc:  # noqa: BLE001 — a job failure must not
+            # take down the worker; non-library errors keep their type name.
+            message = str(exc) if isinstance(exc, ReproError) \
+                else f"{type(exc).__name__}: {exc}"
+            result = JobResult(
+                job_id=ticket.job_id, status=JobStatus.FAILED,
+                algorithm=record.spec.algorithm, error=message,
+                timings={"queue": ticket.queue_seconds,
+                         "run": ticket.run_seconds})
+        ticket.failed = result.status is JobStatus.FAILED
+        # record.payload_nbytes was set by _execute: the computed size for
+        # misses, the cached entry's size for hits (a hit-record keeps the
+        # payload alive even after cache eviction, so it must be charged).
+        # Inline point arrays are retained with the spec and are NOT
+        # shared, so they always count toward the byte bound.
+        if record.spec.points is not None:
+            record.payload_nbytes += int(
+                np.asarray(record.spec.points).nbytes)
+        record.result = result  # before .status: a finished status must
+        record.status = result.status  # imply a readable result
+        with self._lock:
+            self._finished_order.append(ticket.job_id)
+            self._retained_bytes += record.payload_nbytes
+            # Keep at least one finished record per worker: with a tiny
+            # budget, concurrent completions must not evict a record in
+            # the instant between its append and its future resolving.
+            while len(self._finished_order) > self._retain_floor and (
+                    len(self._finished_order) > self.max_retained_jobs
+                    or self._retained_bytes > self.max_retained_bytes):
+                old = self._records.pop(self._finished_order.popleft(), None)
+                if old is not None:
+                    self._retained_bytes -= old.payload_nbytes
+        return result
+
+    def _execute(self, ticket: JobTicket) -> JobResult:
+        spec: JobSpec = ticket.payload
+        timer = PhaseTimer()
+        # Dataset specs are deterministic, so their content fingerprint can
+        # be memoized: a repeat job then reaches the result cache without
+        # regenerating or rehashing the point set at all.
+        points: Optional[np.ndarray] = None
+        memo_key = None
+        if spec.dataset is not None:  # normalize the optional CLI prefix
+            memo_key = spec.dataset.removeprefix("dataset:")
+        points_fp = (self._dataset_fp.get(memo_key)
+                     if memo_key is not None else None)
+        if points_fp is None:
+            with timer.phase("resolve"):
+                points = spec.resolve_points()
+            points_fp = fingerprint_array(points)  # hash the buffer once
+            if memo_key is not None:
+                if len(self._dataset_fp) >= 4096:  # tiny entries, safety cap
+                    self._dataset_fp.clear()
+                self._dataset_fp[memo_key] = points_fp
+        result_key = combine_fingerprint(points_fp, spec.params_key())
+        payload = self.result_cache.get(result_key)
+        tree_hit = False
+        if payload is None:
+            if points is None:  # memoized fingerprint but a cache miss
+                with timer.phase("resolve"):
+                    points = spec.resolve_points()
+            # Only actually-computed features count toward the scheduler's
+            # compute-throughput stat; cache hits would inflate it.
+            ticket.features = int(points.shape[0] * points.shape[1])
+            tree_key = combine_fingerprint(points_fp, spec.tree_key())
+            bvh = self.tree_cache.get(tree_key)
+            tree_hit = bvh is not None
+            if bvh is None:
+                with timer.phase("tree_build"):
+                    bvh = build_tree(points, config=spec.config)
+                self.tree_cache.put(tree_key, bvh)
+            # check_tree=False: the cache key is a fingerprint of the exact
+            # point bytes, so the tree is known to index these points.
+            with timer.phase("compute"):
+                if spec.algorithm == "emst":
+                    computed = emst(points, config=spec.config, bvh=bvh,
+                                    check_tree=False)
+                    payload = emst_result_to_dict(computed)
+                elif spec.algorithm == "mrd_emst":
+                    computed = mutual_reachability_emst(
+                        points, spec.k_pts, config=spec.config, bvh=bvh,
+                        check_tree=False)
+                    payload = emst_result_to_dict(computed)
+                elif spec.algorithm == "hdbscan":
+                    computed = hdbscan(
+                        points, min_cluster_size=spec.min_cluster_size,
+                        k_pts=spec.k_pts, config=spec.config,
+                        bvh=bvh, check_tree=False)
+                    payload = hdbscan_result_to_dict(computed)
+                else:
+                    # validate() admits nothing else, but a spec mutated
+                    # after validation must fail loudly, not run the
+                    # wrong algorithm.
+                    raise InvalidInputError(
+                        f"unknown algorithm {spec.algorithm!r}")
+            payload_nbytes = _payload_nbytes(computed)
+            self.result_cache.put(result_key, payload, payload_nbytes)
+            self._record(ticket.job_id).payload_nbytes = payload_nbytes
+            result_hit = False
+        else:
+            result_hit = True
+            # A hit-record keeps the payload alive even after the result
+            # cache evicts it, so it must be charged too — the retention
+            # bound would otherwise under-count shared dicts whose
+            # computing record already aged out.
+            self._record(ticket.job_id).payload_nbytes = \
+                self.result_cache.size_of(result_key) or 0
+
+        for name, seconds in payload.get("phases", {}).items():
+            timer.add(f"algo_{name}", seconds)
+        if points is not None:
+            n_points, dimension = points.shape
+        else:  # fully memoized hit; the payload knows the shape
+            inner = payload.get("emst", payload)
+            n_points, dimension = inner["n_points"], inner["dimension"]
+        run_seconds = ticket.run_seconds
+        return JobResult(
+            job_id=ticket.job_id,
+            status=JobStatus.DONE,
+            algorithm=spec.algorithm,
+            payload=payload,
+            timings={"queue": ticket.queue_seconds, "run": run_seconds,
+                     **timer.as_dict()},
+            cache={"result_hit": result_hit, "tree_hit": tree_hit},
+            mfeatures_per_sec=mfeatures_per_second(
+                n_points, dimension, max(run_seconds, 1e-12)),
+        )
+
+    # ---------------------------------------------------------------- close
+
+    def close(self) -> None:
+        """Drain queued jobs and stop the worker pool (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.scheduler.shutdown(wait=True)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

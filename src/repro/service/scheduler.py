@@ -1,0 +1,238 @@
+"""Batching job scheduler over a :mod:`concurrent.futures` worker pool.
+
+Submitted jobs queue under a priority order (higher first, FIFO within a
+priority).  A collector thread gathers queued jobs into *batches* — closed
+when either ``max_batch`` jobs have accumulated or ``batch_window`` seconds
+have passed since the batch opened — and releases each batch to the worker
+pool in priority order.  Batching amortizes dispatch overhead across small
+jobs, the serving
+analogue of the paper's RoadNetwork3D observation that small problems are
+"too small to saturate" a device (the same launch-overhead effect
+:mod:`repro.kokkos.devices` models with per-kernel launch costs).
+
+The scheduler is algorithm-agnostic: it runs an arbitrary ``runner``
+callable per job and accounts wall time and features processed, reporting
+throughput in MFeatures/s (via :func:`repro.metrics.mfeatures_per_second`)
+so service numbers sit on the same axis as the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.metrics import jobs_per_second, mfeatures_per_second
+
+
+@dataclass
+class JobTicket:
+    """Scheduler-side view of one submitted job.
+
+    ``payload`` is opaque to the scheduler (the engine stores the job spec
+    there).  The runner should set ``features`` (``n_points * dimension``)
+    once known, feeding the throughput accounting.  Timestamps are
+    ``time.perf_counter`` readings.
+    """
+
+    job_id: str
+    payload: Any
+    priority: int = 0
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    batch_size: int = 0
+    features: int = 0
+    #: Set by the runner when the job ended in a failure it absorbed (the
+    #: engine returns FAILED results instead of raising), so the
+    #: scheduler's failure counter covers both absorbed and raised errors.
+    failed: bool = False
+
+    @property
+    def queue_seconds(self) -> float:
+        """Seconds spent waiting before a worker picked the job up."""
+        if self.started_at is None:
+            return time.perf_counter() - self.enqueued_at
+        return self.started_at - self.enqueued_at
+
+    @property
+    def run_seconds(self) -> float:
+        """Seconds the runner spent on the job (0.0 until started)."""
+        if self.started_at is None:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None \
+            else time.perf_counter()
+        return end - self.started_at
+
+
+class BatchScheduler:
+    """Collects queued jobs into batches and runs them on a worker pool.
+
+    ``runner(ticket)`` executes one job and returns its result (delivered
+    through ``ticket.future``); an exception from the runner fails only that
+    job's future.  ``max_batch=1`` or ``batch_window=0.0`` degrade to plain
+    per-job dispatch.
+    """
+
+    def __init__(self, runner: Callable[[JobTicket], Any], *,
+                 max_workers: int = 2, max_batch: int = 8,
+                 batch_window: float = 0.002) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        self._runner = runner
+        self.max_workers = max_workers
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-worker")
+        self._heap: List[Any] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._shutdown = False
+        # Accounting (guarded by _cond's lock).
+        self._jobs_submitted = 0
+        self._jobs_completed = 0
+        self._jobs_failed = 0
+        self._batches = 0
+        self._largest_batch = 0
+        self._busy_seconds = 0.0
+        self._features_done = 0
+        self._first_enqueue: Optional[float] = None
+        self._last_finish: Optional[float] = None
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-batcher", daemon=True)
+        self._collector.start()
+
+    def submit(self, job_id: str, payload: Any, *,
+               priority: int = 0) -> JobTicket:
+        """Queue one job; returns its ticket (result on ``ticket.future``)."""
+        ticket = JobTicket(job_id=job_id, payload=payload, priority=priority,
+                           enqueued_at=time.perf_counter())
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            heapq.heappush(self._heap,
+                           (-priority, next(self._seq), ticket))
+            self._jobs_submitted += 1
+            if self._first_enqueue is None:
+                self._first_enqueue = ticket.enqueued_at
+            self._cond.notify_all()
+        return ticket
+
+    def _collect_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._shutdown:
+                    self._cond.wait()
+                if not self._heap and self._shutdown:
+                    return
+                # A batch opens with the first available job and closes when
+                # full or when the window since opening expires.
+                deadline = time.perf_counter() + self.batch_window
+                while (len(self._heap) < self.max_batch
+                       and not self._shutdown):
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch = [heapq.heappop(self._heap)[2]
+                         for _ in range(min(self.max_batch,
+                                            len(self._heap)))]
+                self._batches += 1
+                self._largest_batch = max(self._largest_batch, len(batch))
+            # A batch is the scheduling quantum: its jobs enter the pool
+            # together, in priority order.  Each job is its own pool task so
+            # a batch still spreads across idle workers.
+            for ticket in batch:
+                ticket.batch_size = len(batch)
+                try:
+                    self._executor.submit(self._run_one, ticket)
+                except RuntimeError as exc:
+                    # shutdown(wait=False) stopped the executor under us;
+                    # resolve the future so no client blocks forever.
+                    ticket.future.set_exception(RuntimeError(
+                        f"scheduler shut down before job "
+                        f"{ticket.job_id} ran: {exc}"))
+
+    def _run_one(self, ticket: JobTicket) -> None:
+        ticket.started_at = time.perf_counter()
+        try:
+            result = self._runner(ticket)
+        except BaseException as exc:  # noqa: BLE001 — forwarded to future
+            ticket.finished_at = time.perf_counter()
+            self._account(ticket, failed=True)
+            ticket.future.set_exception(exc)
+        else:
+            ticket.finished_at = time.perf_counter()
+            self._account(ticket, failed=False)
+            ticket.future.set_result(result)
+
+    def _account(self, ticket: JobTicket, *, failed: bool) -> None:
+        with self._cond:
+            self._jobs_completed += 1
+            if failed or ticket.failed:
+                self._jobs_failed += 1
+            else:
+                # Failed jobs keep their busy time but contribute no
+                # features: throughput counts only completed compute.
+                self._features_done += ticket.features
+            self._busy_seconds += ticket.run_seconds
+            self._last_finish = ticket.finished_at
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and stop the workers.
+
+        ``wait=True`` drains queued jobs first; ``wait=False`` returns
+        immediately and still-queued jobs fail their futures with
+        ``RuntimeError`` instead of running.
+        """
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        if wait:
+            self._collector.join()
+        self._executor.shutdown(wait=wait)
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue depth, batch shape and throughput counters, JSON-safe.
+
+        ``mfeatures_per_sec`` prices completed work against worker-busy
+        seconds (compute throughput); ``jobs_per_sec`` against the wall-clock
+        span from first enqueue to last finish (service throughput).
+        """
+        with self._cond:
+            span = None
+            if self._first_enqueue is not None \
+                    and self._last_finish is not None:
+                span = self._last_finish - self._first_enqueue
+            return {
+                "queue_depth": len(self._heap),
+                "max_workers": self.max_workers,
+                "max_batch": self.max_batch,
+                "batch_window_seconds": self.batch_window,
+                "jobs_submitted": self._jobs_submitted,
+                "jobs_completed": self._jobs_completed,
+                "jobs_failed": self._jobs_failed,
+                "batches_dispatched": self._batches,
+                "largest_batch": self._largest_batch,
+                "mean_batch_size": (self._jobs_completed / self._batches
+                                    if self._batches else 0.0),
+                "busy_seconds": self._busy_seconds,
+                "features_done": self._features_done,
+                "mfeatures_per_sec": (
+                    mfeatures_per_second(self._features_done, 1,
+                                         self._busy_seconds)
+                    if self._busy_seconds > 0 and self._features_done else 0.0),
+                "jobs_per_sec": (
+                    jobs_per_second(self._jobs_completed, span)
+                    if span and span > 0 and self._jobs_completed else 0.0),
+            }

@@ -1,0 +1,184 @@
+"""JSON-over-HTTP front end for the serving engine (stdlib only).
+
+Endpoints (all JSON):
+
+``POST /v1/jobs``
+    Body is a :meth:`~repro.service.jobs.JobSpec.to_dict` object.  Returns
+    ``202 {"job_id": ..., "status": "pending"}``; malformed specs get 400.
+``GET /v1/jobs/<id>[?wait=SECONDS]``
+    The job's :class:`~repro.service.jobs.JobResult` once finished, else
+    ``{"job_id": ..., "status": "pending" | "running"}``.  ``wait`` blocks
+    up to that many seconds for completion (long-poll).
+``GET /v1/stats``
+    :meth:`Engine.stats` — scheduler throughput and cache hit rates.
+``GET /v1/healthz``
+    Liveness probe.
+
+Built on :class:`http.server.ThreadingHTTPServer`; request threads only
+ever block on an engine future, the compute happens on the engine's worker
+pool.  No dependencies outside the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlparse
+
+import repro
+from repro.errors import InvalidInputError
+from repro.service.engine import Engine
+from repro.service.jobs import JobSpec
+
+#: Largest accepted request body (an inline 1M-point 3D job is ~60 MB of
+#: JSON; anything bigger should arrive as a dataset spec).
+MAX_BODY_BYTES = 256 << 20
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the ``/v1`` API onto the server's :class:`Engine`."""
+
+    server_version = f"repro-service/{repro.__version__}"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: a client that sends less body than Content-Length
+    #: (or stalls mid-request) frees its handler thread instead of
+    #: blocking it forever.
+    timeout = 60
+
+    @property
+    def engine(self) -> Engine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, code: int, obj: Any) -> None:
+        body = json.dumps(obj).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts == ["v1", "healthz"]:
+            self._send_json(200, {"status": "ok",
+                                  "version": repro.__version__})
+        elif parts == ["v1", "stats"]:
+            self._send_json(200, self.engine.stats())
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._get_job(parts[2], url.query)
+        else:
+            self._send_error_json(404, f"no such endpoint: {url.path}")
+
+    def _get_job(self, job_id: str, query: str) -> None:
+        wait = 0.0
+        params = parse_qs(query)
+        if "wait" in params:
+            try:
+                wait = min(float(params["wait"][0]), 60.0)
+            except ValueError:
+                self._send_error_json(400, "wait must be a number")
+                return
+        try:
+            if wait > 0:
+                try:
+                    result = self.engine.result(job_id, timeout=wait)
+                except FutureTimeoutError:
+                    result = None
+            else:
+                result = self.engine.poll(job_id)
+            if result is None:
+                # Status is only consulted with no result in hand (the
+                # record may be retention-evicted once the result is out).
+                status = self.engine.status(job_id)
+                if status.finished:
+                    # Finished between the wait/poll and the status read; a
+                    # terminal status must carry its result.
+                    result = self.engine.poll(job_id)
+        except InvalidInputError as exc:
+            self._send_error_json(404, str(exc))
+            return
+        if result is None:
+            self._send_json(200, {"job_id": job_id, "status": status.value})
+        else:
+            self._send_json(200, result.to_dict())
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts != ["v1", "jobs"]:
+            # Replying without consuming the body would leave its bytes to
+            # be parsed as the next request on this keep-alive connection.
+            self.close_connection = True
+            self._send_error_json(404, f"no such endpoint: {url.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True
+            self._send_error_json(400, "missing or oversized request body")
+            return
+        try:
+            data = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_json(400, f"bad JSON body: {exc}")
+            return
+        try:
+            spec = JobSpec.from_dict(data)
+            job_id = self.engine.submit(spec)
+        except InvalidInputError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(202, {"job_id": job_id, "status": "pending"})
+
+
+def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
+                  *, verbose: bool = False) -> ThreadingHTTPServer:
+    """Bind a service HTTP server (``port=0`` picks a free port).
+
+    The caller owns the lifecycle: run ``serve_forever()`` (typically on a
+    thread), later ``shutdown()`` + ``server_close()``, and close the engine.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.engine = engine  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def run_server(server: ThreadingHTTPServer, engine: Engine) -> None:
+    """Run a bound server until interrupted, then drain the engine."""
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro.service listening on http://{bound_host}:{bound_port} "
+          f"(POST /v1/jobs, GET /v1/jobs/<id>, /v1/stats, /v1/healthz)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        engine.close()
+
+
+def serve(engine: Engine, host: str = "127.0.0.1", port: int = 8321,
+          *, verbose: bool = False) -> None:
+    """Bind and run the API until interrupted, then drain the engine."""
+    try:
+        server = create_server(engine, host, port, verbose=verbose)
+    except OSError:
+        engine.close()  # bind failed; don't leak the worker pool
+        raise
+    run_server(server, engine)

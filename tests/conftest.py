@@ -25,6 +25,27 @@ def rng():
 
 
 @pytest.fixture
+def api():
+    """A live repro.service HTTP server on a free port; yields its base URL."""
+    import threading
+
+    from repro.service import Engine
+    from repro.service.server import create_server
+
+    engine = Engine(max_workers=1, batch_window=0.001)
+    server = create_server(engine)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+
+
+@pytest.fixture
 def uniform_2d(rng):
     return rng.random((200, 2))
 

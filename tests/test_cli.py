@@ -32,6 +32,47 @@ class TestLoadPoints:
         with pytest.raises(InvalidInputError):
             load_points(str(path))
 
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidInputError, match="no such file"):
+            load_points(str(tmp_path / "absent.npy"))
+
+    def test_not_an_npy_file(self, tmp_path):
+        path = tmp_path / "garbage.npy"
+        path.write_bytes(b"this is not a numpy file")
+        with pytest.raises(InvalidInputError, match="not a readable"):
+            load_points(str(path))
+
+    def test_non_numeric_array(self, tmp_path):
+        path = tmp_path / "words.npy"
+        np.save(path, np.array([["a", "b"], ["c", "d"]]))
+        with pytest.raises(InvalidInputError, match="numeric"):
+            load_points(str(path))
+
+    def test_non_integer_dataset_size(self):
+        with pytest.raises(InvalidInputError, match="integer"):
+            load_points("dataset:Uniform100M2:many")
+        with pytest.raises(InvalidInputError, match="integer"):
+            load_points("dataset:Uniform100M2:100:later")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(InvalidInputError, match="seed"):
+            load_points("dataset:Uniform100M2:100:-5")
+
+    def test_bool_array_still_accepted(self, tmp_path):
+        path = tmp_path / "bool.npy"
+        np.save(path, np.array([[0, 0], [1, 0], [0, 1]], dtype=bool))
+        assert load_points(str(path)).shape == (3, 2)
+
+    def test_complex_array_rejected(self, tmp_path):
+        path = tmp_path / "complex.npy"
+        np.save(path, np.array([[1 + 2j, 2.0], [3.0, 4.0]]))
+        with pytest.raises(InvalidInputError, match="numeric"):
+            load_points(str(path))
+
+    def test_missing_file_exit_code(self, tmp_path, capsys):
+        assert main(["emst", str(tmp_path / "absent.npy")]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestEmstCommand:
     def test_basic(self, capsys):
@@ -92,6 +133,42 @@ class TestOtherCommands:
     def test_bench_quick(self, capsys):
         assert main(["bench", "fig1", "--quick"]) == 0
         assert "Figure 1" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    """CLI submit against the live-server ``api`` fixture (conftest.py)."""
+
+    def test_submit_dataset_round_trip(self, api, capsys):
+        assert main(["submit", "dataset:Uniform100M2:300",
+                     "--url", api]) == 0
+        out = capsys.readouterr().out
+        assert "done (emst)" in out
+        assert "total weight" in out
+
+    def test_submit_npy_file(self, api, tmp_path, capsys, rng):
+        path = tmp_path / "pts.npy"
+        np.save(path, rng.random((150, 3)))
+        assert main(["submit", str(path), "--url", api]) == 0
+        assert "150 (3D)" in capsys.readouterr().out
+
+    def test_submit_hdbscan(self, api, capsys):
+        assert main(["submit", "dataset:VisualVar10M2D:400",
+                     "--algorithm", "hdbscan", "--url", api]) == 0
+        assert "clusters" in capsys.readouterr().out
+
+    def test_submit_bad_dataset_rejected_by_server(self, api, capsys):
+        assert main(["submit", "dataset:NoSuchDataset:50",
+                     "--url", api]) == 1
+        assert "rejected" in capsys.readouterr().err
+
+    def test_submit_unreachable_server(self, capsys):
+        assert main(["submit", "dataset:Uniform100M2:50",
+                     "--url", "http://127.0.0.1:1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_bad_local_file_exit_code(self, tmp_path, capsys):
+        assert main(["submit", str(tmp_path / "absent.npy")]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestParser:

@@ -121,7 +121,7 @@ class TestPublicAPI:
 
     def test_version(self):
         import repro
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_emst_accepts_lists(self):
         result = emst(np.asarray([[0.0, 0.0], [1.0, 0.0]]))

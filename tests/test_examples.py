@@ -37,6 +37,14 @@ def test_hdbscan_taxi(capsys):
     assert "clusters" in out
 
 
+def test_service_quickstart(capsys):
+    run_example("service_quickstart.py", ["1200"])
+    out = capsys.readouterr().out
+    assert "exact repeat" in out
+    assert "hit rate" in out
+    assert "'result_hit': True" in out
+
+
 def test_device_comparison(capsys):
     run_example("device_comparison.py", ["Uniform100M3", "3000"])
     out = capsys.readouterr().out

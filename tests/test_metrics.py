@@ -8,9 +8,35 @@ from repro.metrics import (
     features,
     features_per_second,
     format_rate,
+    hit_rate,
+    jobs_per_second,
     mfeatures_per_second,
     speedup,
 )
+
+
+class TestServiceRates:
+    def test_hit_rate(self):
+        assert hit_rate(3, 1) == 0.75
+        assert hit_rate(0, 5) == 0.0
+        assert hit_rate(5, 0) == 1.0
+
+    def test_hit_rate_untouched_cache(self):
+        assert hit_rate(0, 0) == 0.0
+
+    def test_hit_rate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hit_rate(-1, 2)
+
+    def test_jobs_per_second(self):
+        assert jobs_per_second(10, 2.0) == 5.0
+        assert jobs_per_second(0, 1.0) == 0.0
+
+    def test_jobs_per_second_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            jobs_per_second(-1, 1.0)
+        with pytest.raises(ValueError):
+            jobs_per_second(1, 0.0)
 
 
 class TestFeatures:

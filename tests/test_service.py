@@ -1,0 +1,483 @@
+"""Tests for the batch-serving subsystem (repro.service)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import emst, hdbscan
+from repro.core.boruvka_emst import SingleTreeConfig
+from repro.core.emst import build_tree, mutual_reachability_emst
+from repro.errors import InvalidInputError
+from repro.service import (
+    ContentCache,
+    Engine,
+    JobResult,
+    JobSpec,
+    JobStatus,
+    emst_result_from_dict,
+    emst_result_to_dict,
+    fingerprint,
+    hdbscan_result_from_dict,
+    hdbscan_result_to_dict,
+)
+from repro.service.cache import estimate_nbytes, fingerprint_array
+from repro.service.scheduler import BatchScheduler
+
+
+@pytest.fixture
+def engine():
+    with Engine(max_workers=2, batch_window=0.001) as eng:
+        yield eng
+
+
+class TestTreeInjection:
+    def test_emst_with_prebuilt_tree_is_identical(self, uniform_3d):
+        direct = emst(uniform_3d)
+        bvh = build_tree(uniform_3d)
+        injected = emst(uniform_3d, bvh=bvh)
+        assert np.array_equal(direct.edges, injected.edges)
+        assert np.array_equal(direct.weights, injected.weights)
+        assert injected.phases["tree"] == 0.0
+        assert injected.counters["tree"].scalar_ops == 0
+
+    def test_mrd_with_prebuilt_tree(self, uniform_2d):
+        bvh = build_tree(uniform_2d)
+        direct = mutual_reachability_emst(uniform_2d, 4)
+        injected = mutual_reachability_emst(uniform_2d, 4, bvh=bvh)
+        assert np.array_equal(direct.edges, injected.edges)
+        assert np.allclose(direct.weights, injected.weights)
+
+    def test_hdbscan_with_prebuilt_tree(self, clustered_3d):
+        bvh = build_tree(clustered_3d)
+        direct = hdbscan(clustered_3d)
+        injected = hdbscan(clustered_3d, bvh=bvh)
+        assert np.array_equal(direct.labels, injected.labels)
+
+    def test_mismatched_tree_rejected(self, uniform_2d, uniform_3d, rng):
+        bvh = build_tree(uniform_2d)
+        with pytest.raises(InvalidInputError):
+            emst(uniform_3d, bvh=bvh)
+        with pytest.raises(InvalidInputError):
+            emst(rng.random(uniform_2d.shape), bvh=bvh)
+
+    def test_check_tree_false_skips_coordinate_pass(self, uniform_2d, rng):
+        bvh = build_tree(uniform_2d)
+        # An O(1) shape mismatch is always rejected...
+        with pytest.raises(InvalidInputError):
+            emst(rng.random((50, 2)), bvh=bvh, check_tree=False)
+        # ...but the O(n*d) coordinate pass is the caller's guarantee.
+        same_shape = rng.random(uniform_2d.shape)
+        emst(same_shape, bvh=bvh, check_tree=False)  # no raise
+
+
+class TestJobSpec:
+    def test_requires_exactly_one_source(self, uniform_2d):
+        with pytest.raises(InvalidInputError):
+            JobSpec().validate()
+        with pytest.raises(InvalidInputError):
+            JobSpec(points=uniform_2d, dataset="Uniform100M2:10").validate()
+
+    def test_rejects_unknown_algorithm(self, uniform_2d):
+        with pytest.raises(InvalidInputError):
+            JobSpec(points=uniform_2d, algorithm="dbscan").validate()
+
+    def test_rejects_non_matrix_inline_points(self):
+        with pytest.raises(InvalidInputError, match=r"\(n, d\)"):
+            JobSpec(points=np.array([1.0, 2.0, 3.0])).validate()
+        with pytest.raises(InvalidInputError, match=r"\(n, d\)"):
+            JobSpec.from_dict({"points": [1.0, 2.0, 3.0]})
+
+    def test_rejects_core_invalid_inline_points(self, rng):
+        with pytest.raises(InvalidInputError, match="d in"):
+            JobSpec(points=rng.random((10, 5))).validate()  # 5D
+        nan_pts = rng.random((10, 2))
+        nan_pts[0, 0] = np.nan
+        with pytest.raises(InvalidInputError, match="finite"):
+            JobSpec(points=nan_pts).validate()
+        with pytest.raises(InvalidInputError):
+            JobSpec(points=np.array([["a", "b"]])).validate()
+
+    def test_rejects_non_integer_numeric_fields(self, uniform_2d):
+        with pytest.raises(InvalidInputError, match="integer"):
+            JobSpec(points=uniform_2d, k_pts="5").validate()
+        with pytest.raises(InvalidInputError, match="integer"):
+            JobSpec(points=uniform_2d, priority="high").validate()
+
+    def test_rejects_wrong_typed_config_fields(self, uniform_2d):
+        with pytest.raises(InvalidInputError, match="config.bits"):
+            JobSpec.from_dict({"points": uniform_2d.tolist(),
+                               "config": {"bits": "8"}})
+        with pytest.raises(InvalidInputError, match="boolean"):
+            JobSpec.from_dict({"points": uniform_2d.tolist(),
+                               "config": {"high_resolution": "yes"}})
+
+    def test_rejects_bad_config_values(self, uniform_2d):
+        with pytest.raises(InvalidInputError, match="tree_type"):
+            JobSpec.from_dict({"points": uniform_2d.tolist(),
+                               "config": {"tree_type": "octree"}})
+        with pytest.raises(InvalidInputError, match="BVH backend only"):
+            JobSpec.from_dict({"points": uniform_2d.tolist(),
+                               "config": {"tree_type": "kdtree", "bits": 32}})
+
+    def test_spec_mutated_after_validation_fails_loudly(self, engine,
+                                                        uniform_2d):
+        spec = JobSpec(points=uniform_2d)
+        engine.result(engine.submit(spec), timeout=60)
+        spec.algorithm = "dbscan"  # bypasses the memoized validate()
+        result = engine.result(engine.submit(spec), timeout=60)
+        assert result.status is JobStatus.FAILED
+        assert "unknown algorithm" in result.error
+
+    def test_dict_round_trip(self, uniform_2d):
+        spec = JobSpec(points=uniform_2d, algorithm="hdbscan", k_pts=7,
+                       min_cluster_size=9, priority=3,
+                       config=SingleTreeConfig(high_resolution=True))
+        back = JobSpec.from_dict(spec.to_dict())
+        assert np.array_equal(back.points, uniform_2d)
+        assert back.algorithm == "hdbscan"
+        assert back.k_pts == 7 and back.min_cluster_size == 9
+        assert back.priority == 3
+        assert back.config == spec.config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(InvalidInputError):
+            JobSpec.from_dict({"dataset": "Uniform100M2:10", "metric": "l1"})
+        with pytest.raises(InvalidInputError):
+            JobSpec.from_dict({"dataset": "Uniform100M2:10",
+                               "config": {"warp": 64}})
+
+    def test_dataset_resolution(self):
+        spec = JobSpec(dataset="Uniform100M2:64:3")
+        prefixed = JobSpec(dataset="dataset:Uniform100M2:64:3")
+        assert np.array_equal(spec.resolve_points(),
+                              prefixed.resolve_points())
+
+    def test_tree_key_independent_of_algorithm(self, uniform_2d):
+        a = JobSpec(points=uniform_2d, algorithm="emst")
+        b = JobSpec(points=uniform_2d, algorithm="hdbscan", k_pts=9)
+        assert a.tree_key() == b.tree_key()
+        assert a.params_key() != b.params_key()
+
+
+class TestResultSerialization:
+    def test_emst_round_trip(self, uniform_3d):
+        direct = emst(uniform_3d)
+        back = emst_result_from_dict(emst_result_to_dict(direct))
+        assert np.array_equal(back.edges, direct.edges)
+        assert back.edges.dtype == direct.edges.dtype
+        assert np.array_equal(back.weights, direct.weights)
+        assert back.n_iterations == direct.n_iterations
+        assert back.phases == direct.phases
+        assert back.total_counters.as_dict() == \
+            direct.total_counters.as_dict()
+        assert len(back.rounds) == len(direct.rounds)
+        assert back.rounds[0] == direct.rounds[0]
+
+    def test_hdbscan_round_trip(self, clustered_3d):
+        direct = hdbscan(clustered_3d)
+        back = hdbscan_result_from_dict(hdbscan_result_to_dict(direct))
+        assert np.array_equal(back.labels, direct.labels)
+        assert np.allclose(back.probabilities, direct.probabilities)
+        assert back.n_clusters == direct.n_clusters
+        assert np.allclose(back.linkage, direct.linkage)
+        assert np.array_equal(back.condensed.parent, direct.condensed.parent)
+
+    def test_job_result_round_trip(self):
+        result = JobResult(job_id="job-7", status=JobStatus.DONE,
+                           algorithm="emst", payload={"n_points": 3},
+                           timings={"queue": 0.5}, cache={"result_hit": True},
+                           mfeatures_per_sec=2.5)
+        back = JobResult.from_dict(result.to_dict())
+        assert back == result
+
+
+class TestContentCache:
+    def test_fingerprint_content_addressing(self, rng):
+        a = rng.random((50, 2))
+        assert fingerprint_array(a) == fingerprint_array(a.copy())
+        assert fingerprint_array(a) != fingerprint_array(a.reshape(100, 1))
+        b = a.copy()
+        b[0, 0] += 1e-12
+        assert fingerprint_array(a) != fingerprint_array(b)
+        assert fingerprint(a, "emst") != fingerprint(a, "hdbscan")
+
+    def test_byte_budget_respected(self):
+        kb = np.zeros(128, dtype=np.float64)  # 1 KiB each
+        cache = ContentCache(4096)
+        for i in range(10):
+            assert cache.put(f"k{i}", kb)
+            assert cache.current_bytes <= 4096
+        assert len(cache) == 4
+        assert cache.evictions == 6
+
+    def test_lru_eviction_order(self):
+        kb = np.zeros(128, dtype=np.float64)
+        cache = ContentCache(4096)
+        for i in range(4):
+            cache.put(f"k{i}", kb)
+        assert cache.get("k0") is not None  # refresh k0: k1 is now LRU
+        cache.put("k4", kb)
+        assert cache.keys() == ["k2", "k3", "k0", "k4"]
+        assert cache.get("k1") is None
+
+    def test_oversized_value_rejected(self):
+        cache = ContentCache(100)
+        assert not cache.put("big", np.zeros(1000))
+        assert len(cache) == 0
+        assert cache.oversized == 1
+
+    def test_hit_miss_counters(self):
+        cache = ContentCache(1 << 20)
+        cache.put("a", np.zeros(8))
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_estimate_nbytes_counts_buffers(self, uniform_2d):
+        bvh = build_tree(uniform_2d)
+        size = estimate_nbytes(bvh)
+        assert size >= bvh.points.nbytes + bvh.lo.nbytes + bvh.hi.nbytes
+        assert estimate_nbytes({"edges": [[0, 1]], "w": 1.0}) > 0
+
+
+class TestEngine:
+    def test_determinism_vs_direct_call(self, engine, uniform_3d):
+        direct = emst(uniform_3d)
+        job_id = engine.submit(JobSpec(points=uniform_3d))
+        result = engine.result(job_id, timeout=60)
+        assert result.status is JobStatus.DONE
+        served = result.emst()
+        assert np.array_equal(served.edges, direct.edges)
+        assert np.array_equal(served.weights, direct.weights)
+        assert served.edges.tobytes() == direct.edges.tobytes()
+        assert served.weights.tobytes() == direct.weights.tobytes()
+
+    def test_dataset_repeat_skips_resolution(self, engine):
+        first = engine.result(
+            engine.submit(JobSpec(dataset="Uniform100M2:400")), timeout=60)
+        second = engine.result(
+            engine.submit(JobSpec(dataset="Uniform100M2:400")), timeout=60)
+        assert "resolve" in first.timings
+        assert second.cache["result_hit"]
+        # The memoized fingerprint answers the repeat without regenerating
+        # or rehashing the dataset.
+        assert "resolve" not in second.timings
+        assert second.payload == first.payload
+
+    def test_result_cache_hit_on_repeat(self, engine, uniform_2d):
+        first = engine.result(engine.submit(JobSpec(points=uniform_2d)),
+                              timeout=60)
+        second = engine.result(engine.submit(JobSpec(points=uniform_2d)),
+                               timeout=60)
+        assert first.cache == {"result_hit": False, "tree_hit": False}
+        assert second.cache["result_hit"]
+        assert np.array_equal(second.emst().edges, first.emst().edges)
+
+    def test_tree_reused_across_algorithms(self, engine, uniform_2d):
+        engine.result(engine.submit(JobSpec(points=uniform_2d)), timeout=60)
+        mrd = engine.result(
+            engine.submit(JobSpec(points=uniform_2d, algorithm="mrd_emst",
+                                  k_pts=4)), timeout=60)
+        assert not mrd.cache["result_hit"]
+        assert mrd.cache["tree_hit"]
+        assert "tree_build" not in mrd.timings
+        direct = mutual_reachability_emst(uniform_2d, 4)
+        assert np.array_equal(mrd.emst().edges, direct.edges)
+
+    def test_failed_job_reports_error(self, engine):
+        # Passes submit-time validation but fails inside the worker
+        # (clustering needs at least 2 points).
+        job_id = engine.submit(JobSpec(points=np.zeros((1, 2)),
+                                       algorithm="hdbscan"))
+        result = engine.result(job_id, timeout=60)
+        assert result.status is JobStatus.FAILED
+        assert result.error
+        assert engine.status(job_id) is JobStatus.FAILED
+        # Absorbed failures still reach the scheduler's failure counter.
+        assert engine.stats()["scheduler"]["jobs_failed"] == 1
+
+    def test_bad_dataset_spec_rejected_at_submit(self, engine):
+        for spec in ("NoSuchDataset:100", "Uniform100M2:many",
+                     "Uniform100M2:0"):
+            with pytest.raises(InvalidInputError):
+                engine.submit(JobSpec(dataset=spec))
+
+    def test_unknown_job_id(self, engine):
+        with pytest.raises(InvalidInputError):
+            engine.result("job-999999")
+
+    def test_invalid_spec_raises_at_submit(self, engine):
+        with pytest.raises(InvalidInputError):
+            engine.submit(JobSpec())
+
+    def test_stats_shape(self, engine, uniform_2d):
+        engine.result(engine.submit(JobSpec(points=uniform_2d)), timeout=60)
+        stats = engine.stats()
+        assert stats["jobs"]["done"] == 1
+        assert stats["scheduler"]["jobs_completed"] == 1
+        assert stats["tree_cache"]["entries"] == 1
+        assert stats["result_cache"]["entries"] == 1
+        assert 0.0 <= stats["tree_cache"]["hit_rate"] <= 1.0
+
+    def test_retention_byte_bounded(self, rng):
+        with Engine(max_workers=1, max_retained_bytes=1) as eng:
+            ids = []
+            for _ in range(3):  # one at a time: the newest is never evicted
+                job_id = eng.submit(JobSpec(points=rng.random((50, 2))))
+                assert eng.result(job_id, timeout=60).status is JobStatus.DONE
+                ids.append(job_id)
+            # Over the byte budget everything but the newest is evicted.
+            with pytest.raises(InvalidInputError):
+                eng.status(ids[0])
+            assert eng.status(ids[-1]) is JobStatus.DONE
+
+    def test_finished_job_retention_bounded(self, rng):
+        with Engine(max_workers=1, max_retained_jobs=3) as eng:
+            ids = [eng.submit(JobSpec(points=rng.random((40 + i, 2))))
+                   for i in range(6)]
+            for job_id in ids:
+                eng.result(job_id, timeout=60)
+            # The oldest finished jobs are forgotten; the newest remain.
+            with pytest.raises(InvalidInputError):
+                eng.status(ids[0])
+            assert eng.status(ids[-1]) is JobStatus.DONE
+            assert eng.result(ids[-1]).status is JobStatus.DONE
+
+    def test_concurrent_submissions(self, rng):
+        """Stress: many threads race submissions through one engine."""
+        point_sets = [rng.random((120 + 10 * i, 2)) for i in range(8)]
+        expected = [emst(p).edges for p in point_sets]
+        with Engine(max_workers=4, max_batch=4, batch_window=0.001) as eng:
+            ids = [None] * 24
+            errors = []
+
+            def submitter(slot):
+                try:
+                    ids[slot] = eng.submit(
+                        JobSpec(points=point_sets[slot % 8],
+                                priority=slot % 3))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submitter, args=(i,))
+                       for i in range(24)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            for slot, job_id in enumerate(ids):
+                result = eng.result(job_id, timeout=120)
+                assert result.status is JobStatus.DONE, result.error
+                assert np.array_equal(result.emst().edges,
+                                      expected[slot % 8])
+            stats = eng.stats()
+            assert stats["jobs"]["done"] == 24
+            # 8 unique inputs for 24 jobs: repeats hit the result cache
+            # except when concurrent duplicates race past each other.
+            assert stats["result_cache"]["hits"] >= 1
+            assert stats["scheduler"]["jobs_failed"] == 0
+
+
+class TestBatchScheduler:
+    def test_batches_and_throughput_accounting(self):
+        release = threading.Event()
+
+        def runner(ticket):
+            release.wait(timeout=10)
+            ticket.features = 100
+            return ticket.job_id
+
+        sched = BatchScheduler(runner, max_workers=1, max_batch=4,
+                               batch_window=0.05)
+        try:
+            tickets = [sched.submit(f"j{i}", None) for i in range(8)]
+            release.set()
+            results = [t.future.result(timeout=30) for t in tickets]
+            assert results == [f"j{i}" for i in range(8)]
+            stats = sched.stats()
+            assert stats["jobs_completed"] == 8
+            assert stats["features_done"] == 800
+            assert stats["batches_dispatched"] <= 8
+            assert stats["largest_batch"] >= 1
+            assert stats["mfeatures_per_sec"] >= 0.0
+            assert stats["jobs_per_sec"] > 0.0
+        finally:
+            sched.shutdown()
+
+    def test_priority_order_within_batch(self):
+        """Jobs queued in the same window dispatch higher-priority first."""
+        order = []
+        started = threading.Event()
+        gate = threading.Event()
+
+        def runner(ticket):
+            if ticket.job_id == "blocker":
+                started.set()
+                gate.wait(timeout=10)
+            else:
+                order.append(ticket.job_id)
+
+        sched = BatchScheduler(runner, max_workers=1, max_batch=2,
+                               batch_window=0.5)
+        try:
+            blocker = sched.submit("blocker", None)
+            assert started.wait(timeout=10)
+            # The worker is busy: these two land in one collection window
+            # and must leave it in priority order despite FIFO submission.
+            low = sched.submit("low", None, priority=0)
+            high = sched.submit("high", None, priority=5)
+            gate.set()
+            for t in (blocker, low, high):
+                t.future.result(timeout=30)
+            assert order == ["high", "low"]
+            assert low.batch_size == 2
+        finally:
+            sched.shutdown()
+
+    def test_shutdown_without_wait_fails_queued_futures(self):
+        gate = threading.Event()
+
+        def runner(ticket):
+            gate.wait(timeout=10)
+            return "ok"
+
+        sched = BatchScheduler(runner, max_workers=1, max_batch=1,
+                               batch_window=0.5)
+        try:
+            tickets = [sched.submit(f"j{i}", None) for i in range(4)]
+            sched.shutdown(wait=False)
+            gate.set()
+            # Every future resolves: ran jobs return, stranded jobs raise.
+            outcomes = []
+            for t in tickets:
+                try:
+                    outcomes.append(t.future.result(timeout=30))
+                except RuntimeError as exc:
+                    outcomes.append(str(exc))
+            assert len(outcomes) == 4
+        finally:
+            sched.shutdown()
+
+    def test_runner_exception_fails_only_that_job(self):
+        def runner(ticket):
+            if ticket.job_id == "bad":
+                raise RuntimeError("boom")
+            return "ok"
+
+        sched = BatchScheduler(runner, max_workers=1, max_batch=2,
+                               batch_window=0.0)
+        try:
+            bad = sched.submit("bad", None)
+            good = sched.submit("good", None)
+            with pytest.raises(RuntimeError):
+                bad.future.result(timeout=30)
+            assert good.future.result(timeout=30) == "ok"
+            assert sched.stats()["jobs_failed"] == 1
+        finally:
+            sched.shutdown()
