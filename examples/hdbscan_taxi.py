@@ -30,7 +30,7 @@ for k_pts in (2, 5, 10):
     print(f"\nk_pts={k_pts:2d}: {result.n_clusters} clusters, "
           f"{result.noise_fraction:.1%} noise")
     print(f"  largest clusters: {top}")
-    print(f"  phases: " + ", ".join(
+    print("  phases: " + ", ".join(
         f"{name}={seconds * 1e3:.1f}ms"
         for name, seconds in result.phases.items()))
 

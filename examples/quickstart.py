@@ -21,7 +21,7 @@ print(f"points          : {result.n_points} ({result.dimension}D)")
 print(f"edges           : {len(result.edges)}")
 print(f"total weight    : {result.total_weight:.4f}")
 print(f"Boruvka rounds  : {result.n_iterations}")
-print(f"phase times     : " + ", ".join(
+print("phase times     : " + ", ".join(
     f"{name}={seconds * 1e3:.2f}ms" for name, seconds in result.phases.items()))
 
 # The longest MST edges are the cluster bridges — the basis of

@@ -132,6 +132,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine = Engine(max_workers=args.workers,
                         max_batch=args.batch_size,
                         batch_window=args.batch_window,
+                        backend=args.backend,
                         tree_cache_bytes=args.cache_mb << 20,
                         result_cache_bytes=args.result_cache_mb << 20)
     except ValueError as exc:
@@ -275,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8321)
     p_serve.add_argument("--workers", type=int, default=2,
                          help="worker pool size")
+    p_serve.add_argument("--backend", choices=("thread", "process"),
+                         default="thread",
+                         help="execution backend: 'process' runs jobs in a "
+                              "process pool so CPU-bound batches use real "
+                              "cores instead of serializing on the GIL")
     p_serve.add_argument("--batch-size", type=int, default=8,
                          help="max jobs dispatched per batch")
     p_serve.add_argument("--batch-window", type=float, default=0.002,

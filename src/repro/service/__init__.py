@@ -11,6 +11,8 @@ Layers
 ``repro.service.jobs``       job specs, statuses and serializable results
 ``repro.service.cache``      content-addressed byte-bounded LRU tiers
 ``repro.service.scheduler``  size/deadline-triggered batching over workers
+                             (thread or process execution backend)
+``repro.service.executor``   the pure, picklable per-job execution path
 ``repro.service.engine``     the embeddable façade (submit/result/stats)
 ``repro.service.server``     the HTTP front end (no extra dependencies)
 
@@ -30,21 +32,24 @@ Example
 
 from repro.service.cache import ContentCache, estimate_nbytes, fingerprint
 from repro.service.engine import Engine
+from repro.service.executor import execute_spec
 from repro.service.jobs import (
     ALGORITHMS,
     JobResult,
     JobSpec,
     JobStatus,
+    canonical_payload_bytes,
     emst_result_from_dict,
     emst_result_to_dict,
     hdbscan_result_from_dict,
     hdbscan_result_to_dict,
 )
-from repro.service.scheduler import BatchScheduler, JobTicket
+from repro.service.scheduler import BACKENDS, BatchScheduler, JobTicket
 from repro.service.server import create_server, serve
 
 __all__ = [
     "ALGORITHMS",
+    "BACKENDS",
     "BatchScheduler",
     "ContentCache",
     "Engine",
@@ -52,10 +57,12 @@ __all__ = [
     "JobSpec",
     "JobStatus",
     "JobTicket",
+    "canonical_payload_bytes",
     "create_server",
     "emst_result_from_dict",
     "emst_result_to_dict",
     "estimate_nbytes",
+    "execute_spec",
     "fingerprint",
     "hdbscan_result_from_dict",
     "hdbscan_result_to_dict",

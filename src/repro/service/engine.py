@@ -9,8 +9,16 @@ the core algorithms.  Per job it:
 3. consults the **tree cache** — a known point set reuses its built
    :class:`~repro.bvh.bvh.BVH`, injected through the ``bvh=`` parameter of
    the core entry points so the ``tree`` phase is skipped,
-4. runs the algorithm, serializes the result to a transport-ready
-   :class:`~repro.service.jobs.JobResult`, and fills both caches.
+4. dispatches the compute to :func:`~repro.service.executor.execute_spec`
+   — in-process under ``backend="thread"``, on a ``ProcessPoolExecutor``
+   worker under ``backend="process"`` (escaping the GIL for CPU-bound
+   batches) — and fills both caches from the outcome.
+
+Both backends run the identical pure execution path, so a job's payload is
+byte-for-byte the same whichever one served it.  All cache state lives in
+the parent process: lookups happen before dispatch, insertions after
+completion, and a tree built by a process worker comes back serialized for
+the parent to cache and re-ship to later jobs over the same points.
 
 The engine is directly embeddable (no server required)::
 
@@ -27,27 +35,30 @@ import time
 from collections import deque
 
 import numpy as np
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Optional
 
-from repro.core.emst import build_tree, emst, mutual_reachability_emst
 from repro.errors import InvalidInputError, ReproError
-from repro.hdbscan.hdbscan import HDBSCANResult, hdbscan
 from repro.metrics import mfeatures_per_second
 from repro.service.cache import (
     ContentCache,
     combine_fingerprint,
     fingerprint_array,
 )
+from repro.service.executor import (
+    bvh_from_state,
+    bvh_to_state,
+    execute_spec,
+    make_exec_spec,
+)
 from repro.service.jobs import (
     JobResult,
     JobSpec,
     JobStatus,
-    emst_result_to_dict,
-    hdbscan_result_to_dict,
 )
-from repro.service.scheduler import BatchScheduler, JobTicket
+from repro.service.scheduler import BACKENDS, BatchScheduler, JobTicket
 from repro.timing import PhaseTimer
 
 #: Default byte budgets: trees dominate (a BVH is ~20x the point bytes),
@@ -57,30 +68,6 @@ DEFAULT_RESULT_CACHE_BYTES = 64 << 20
 #: Byte bound on finished-job payloads kept queryable by id (the result
 #: cache is budgeted separately; per-job records must be too).
 DEFAULT_RETAINED_BYTES = 256 << 20
-
-
-#: A Python list-of-scalars payload costs roughly 4x its raw array buffer.
-_PYLIST_FACTOR = 4
-#: Flat allowance for the payload's small fields (phases, counters, rounds).
-_PAYLOAD_OVERHEAD = 8 << 10
-
-
-def _payload_nbytes(computed: Any) -> int:
-    """O(1) size estimate of a serialized result from its source arrays.
-
-    Walking the ``.tolist()``'ed payload element-by-element would cost
-    seconds for large jobs; the array buffer sizes are available for free
-    and the list expansion factor is roughly constant.
-    """
-    if isinstance(computed, HDBSCANResult):
-        cond = computed.condensed
-        own = (computed.labels.nbytes + computed.probabilities.nbytes +
-               computed.linkage.nbytes + cond.parent.nbytes +
-               cond.child.nbytes + cond.lambda_val.nbytes +
-               cond.child_size.nbytes)
-        return _PYLIST_FACTOR * own + _payload_nbytes(computed.emst)
-    return (_PYLIST_FACTOR * (computed.edges.nbytes + computed.weights.nbytes)
-            + _PAYLOAD_OVERHEAD)
 
 
 @dataclass
@@ -102,7 +89,7 @@ class Engine:
     """Batch-serving engine over the single-tree EMST algorithms."""
 
     def __init__(self, *, max_workers: int = 2, max_batch: int = 8,
-                 batch_window: float = 0.002,
+                 batch_window: float = 0.002, backend: str = "thread",
                  tree_cache_bytes: int = DEFAULT_TREE_CACHE_BYTES,
                  result_cache_bytes: int = DEFAULT_RESULT_CACHE_BYTES,
                  max_retained_jobs: int = 1024,
@@ -113,11 +100,15 @@ class Engine:
         if max_retained_bytes < 1:
             raise ValueError(
                 f"max_retained_bytes must be >= 1, got {max_retained_bytes}")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.backend = backend
         self.tree_cache = ContentCache(tree_cache_bytes, name="tree")
         self.result_cache = ContentCache(result_cache_bytes, name="result")
         self.scheduler = BatchScheduler(
             self._run_job, max_workers=max_workers, max_batch=max_batch,
-            batch_window=batch_window)
+            batch_window=batch_window, backend=backend)
         #: Only the newest finished jobs stay queryable, bounded both by
         #: count and by total payload bytes (specs can carry inline point
         #: arrays and payloads can be large, so retention must be bounded
@@ -221,6 +212,7 @@ class Engine:
             total = len(self._records)
         return {
             "uptime_seconds": time.perf_counter() - self._started_at,
+            "backend": self.backend,
             "jobs": {"total": total, **by_status},
             "scheduler": self.scheduler.stats(),
             "tree_cache": self.tree_cache.stats(),
@@ -292,46 +284,36 @@ class Engine:
         payload = self.result_cache.get(result_key)
         tree_hit = False
         if payload is None:
-            if points is None:  # memoized fingerprint but a cache miss
-                with timer.phase("resolve"):
-                    points = spec.resolve_points()
-            # Only actually-computed features count toward the scheduler's
-            # compute-throughput stat; cache hits would inflate it.
-            ticket.features = int(points.shape[0] * points.shape[1])
             tree_key = combine_fingerprint(points_fp, spec.tree_key())
             bvh = self.tree_cache.get(tree_key)
             tree_hit = bvh is not None
-            if bvh is None:
-                with timer.phase("tree_build"):
-                    bvh = build_tree(points, config=spec.config)
-                self.tree_cache.put(tree_key, bvh)
-            # check_tree=False: the cache key is a fingerprint of the exact
-            # point bytes, so the tree is known to index these points.
-            with timer.phase("compute"):
-                if spec.algorithm == "emst":
-                    computed = emst(points, config=spec.config, bvh=bvh,
-                                    check_tree=False)
-                    payload = emst_result_to_dict(computed)
-                elif spec.algorithm == "mrd_emst":
-                    computed = mutual_reachability_emst(
-                        points, spec.k_pts, config=spec.config, bvh=bvh,
-                        check_tree=False)
-                    payload = emst_result_to_dict(computed)
-                elif spec.algorithm == "hdbscan":
-                    computed = hdbscan(
-                        points, min_cluster_size=spec.min_cluster_size,
-                        k_pts=spec.k_pts, config=spec.config,
-                        bvh=bvh, check_tree=False)
-                    payload = hdbscan_result_to_dict(computed)
-                else:
-                    # validate() admits nothing else, but a spec mutated
-                    # after validation must fail loudly, not run the
-                    # wrong algorithm.
-                    raise InvalidInputError(
-                        f"unknown algorithm {spec.algorithm!r}")
-            payload_nbytes = _payload_nbytes(computed)
+            # Dataset-backed jobs never ship the array to a process worker
+            # — regenerating from the deterministic spec is cheaper than
+            # pickling a large buffer across the boundary (the thread
+            # backend passes the parent-resolved array by reference, which
+            # is free).  Inline-point jobs have no spec to regenerate from,
+            # so their array always travels.
+            send_points = points
+            if spec.dataset is not None and self.backend == "process":
+                send_points = None
+            exec_spec = make_exec_spec(
+                spec, points=send_points,
+                tree_state=bvh_to_state(bvh) if tree_hit else None)
+            outcome = self._dispatch(exec_spec)
+            payload = outcome["payload"]
+            # Only actually-computed features count toward the scheduler's
+            # compute-throughput stat; cache hits would inflate it.
+            ticket.features = outcome["features"]
+            if outcome["tree_state"] is not None:
+                self.tree_cache.put(tree_key,
+                                    bvh_from_state(outcome["tree_state"]))
+            payload_nbytes = outcome["payload_nbytes"]
             self.result_cache.put(result_key, payload, payload_nbytes)
             self._record(ticket.job_id).payload_nbytes = payload_nbytes
+            for name, seconds in outcome["phases"].items():
+                timer.add(name, seconds)
+            n_points = outcome["n_points"]
+            dimension = outcome["dimension"]
             result_hit = False
         else:
             result_hit = True
@@ -341,14 +323,11 @@ class Engine:
             # computing record already aged out.
             self._record(ticket.job_id).payload_nbytes = \
                 self.result_cache.size_of(result_key) or 0
+            inner = payload.get("emst", payload)
+            n_points, dimension = inner["n_points"], inner["dimension"]
 
         for name, seconds in payload.get("phases", {}).items():
             timer.add(f"algo_{name}", seconds)
-        if points is not None:
-            n_points, dimension = points.shape
-        else:  # fully memoized hit; the payload knows the shape
-            inner = payload.get("emst", payload)
-            n_points, dimension = inner["n_points"], inner["dimension"]
         run_seconds = ticket.run_seconds
         return JobResult(
             job_id=ticket.job_id,
@@ -361,6 +340,36 @@ class Engine:
             mfeatures_per_sec=mfeatures_per_second(
                 n_points, dimension, max(run_seconds, 1e-12)),
         )
+
+    def _dispatch(self, exec_spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Run :func:`execute_spec` on the configured backend.
+
+        The thread backend calls it in-process; the process backend submits
+        it to the scheduler's process pool and blocks this worker thread on
+        the pickled outcome (the GIL is released while waiting, which is
+        the whole point).  A worker-side exception propagates and is
+        absorbed by :meth:`_run_job` like any other job failure.
+
+        A ``BrokenProcessPool`` (a worker died: OOM kill, segfault) would
+        otherwise poison the executor permanently, so the pool is replaced
+        and the job retried once on the fresh pool — a job that was merely
+        sharing a pool another job broke then succeeds, while a job whose
+        own compute crashes the worker fails its retry and is reported
+        FAILED without taking the engine down with it.
+        """
+        pool = self.scheduler.compute_pool
+        if pool is None:
+            return execute_spec(exec_spec)
+        try:
+            return pool.submit(execute_spec, exec_spec).result()
+        except BrokenExecutor:
+            self.scheduler.replace_broken_compute_pool(pool)
+            retry_pool = self.scheduler.compute_pool
+            try:
+                return retry_pool.submit(execute_spec, exec_spec).result()
+            except BrokenExecutor:
+                self.scheduler.replace_broken_compute_pool(retry_pool)
+                raise
 
     # ---------------------------------------------------------------- close
 

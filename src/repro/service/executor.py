@@ -1,0 +1,161 @@
+"""Pure, picklable job execution for the serving engine.
+
+:func:`execute_spec` is the compute half of what used to be
+``Engine._execute``: it takes a plain-dict *execution spec* (points or a
+dataset spec, the algorithm and its parameters, optionally a serialized
+spatial index) and returns a plain-dict outcome.  It touches no engine
+state — no caches, no records, no locks — so the engine can run it either
+in-process (thread backend) or ship it to a ``ProcessPoolExecutor`` worker
+(process backend) and get byte-identical payloads from both.
+
+Cache interaction stays in the parent: the engine fingerprints and consults
+its tiers *before* dispatch and inserts the returned tree/payload *after*
+completion.  A :class:`~repro.bvh.bvh.BVH` crosses the process boundary as
+a plain dict of arrays (:func:`bvh_to_state` / :func:`bvh_from_state`);
+building that state is a matter of collecting array references, so the
+thread backend pays nothing for sharing the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.bvh.bvh import BVH
+from repro.core.boruvka_emst import SingleTreeConfig
+from repro.core.emst import build_tree, emst, mutual_reachability_emst
+from repro.errors import InvalidInputError
+from repro.hdbscan.hdbscan import HDBSCANResult, hdbscan
+from repro.service.jobs import (
+    JobSpec,
+    emst_result_to_dict,
+    hdbscan_result_to_dict,
+)
+from repro.timing import PhaseTimer
+
+#: A Python list-of-scalars payload costs roughly 4x its raw array buffer.
+_PYLIST_FACTOR = 4
+#: Flat allowance for the payload's small fields (phases, counters, rounds).
+_PAYLOAD_OVERHEAD = 8 << 10
+
+
+def payload_nbytes(computed: Any) -> int:
+    """O(1) size estimate of a serialized result from its source arrays.
+
+    Walking the ``.tolist()``'ed payload element-by-element would cost
+    seconds for large jobs; the array buffer sizes are available for free
+    and the list expansion factor is roughly constant.
+    """
+    if isinstance(computed, HDBSCANResult):
+        cond = computed.condensed
+        own = (computed.labels.nbytes + computed.probabilities.nbytes +
+               computed.linkage.nbytes + cond.parent.nbytes +
+               cond.child.nbytes + cond.lambda_val.nbytes +
+               cond.child_size.nbytes)
+        return _PYLIST_FACTOR * own + payload_nbytes(computed.emst)
+    return (_PYLIST_FACTOR * (computed.edges.nbytes + computed.weights.nbytes)
+            + _PAYLOAD_OVERHEAD)
+
+
+def bvh_to_state(tree: BVH) -> Dict[str, Any]:
+    """Flatten a :class:`BVH` to a dict of arrays (references, no copies).
+
+    The state is what the engine ships to process-pool workers: plain
+    ndarrays and a list of ndarrays pickle efficiently (raw buffers, no
+    per-element boxing), and reconstruction is allocation-free.
+    """
+    return {
+        "points": tree.points, "order": tree.order, "codes": tree.codes,
+        "left": tree.left, "right": tree.right, "parent": tree.parent,
+        "lo": tree.lo, "hi": tree.hi, "schedule": list(tree.schedule),
+        "codes_lo": tree.codes_lo,
+    }
+
+
+def bvh_from_state(state: Dict[str, Any]) -> BVH:
+    """Rebuild a :class:`BVH` from :func:`bvh_to_state` output."""
+    return BVH(**state)
+
+
+def make_exec_spec(spec: JobSpec, *,
+                   points: Optional[np.ndarray] = None,
+                   tree_state: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """The plain-dict execution spec for ``spec``.
+
+    ``points`` forwards an already-resolved array (the engine resolves when
+    it needs the content fingerprint); left ``None`` for a dataset job, the
+    worker resolves it instead — regenerating from the deterministic spec
+    is cheaper than pickling a large array across the process boundary.
+    """
+    return {
+        "points": points,
+        "dataset": spec.dataset,
+        "algorithm": spec.algorithm,
+        "config": asdict(spec.config),
+        "k_pts": spec.k_pts,
+        "min_cluster_size": spec.min_cluster_size,
+        "tree_state": tree_state,
+    }
+
+
+def execute_spec(exec_spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job to completion; pure function of its argument.
+
+    Returns a dict with the serialized result ``payload``, its estimated
+    ``payload_nbytes``, the execution ``phases`` (``resolve`` /
+    ``tree_build`` / ``compute`` wall seconds), the problem shape
+    (``n_points`` / ``dimension`` / ``features``) and — when the worker had
+    to build the spatial index itself — its ``tree_state`` so the parent
+    can cache it for the next job over the same points.
+    """
+    timer = PhaseTimer()
+    config = SingleTreeConfig(**exec_spec["config"])
+    points = exec_spec.get("points")
+    if points is None:
+        from repro.data import generate_from_spec
+        with timer.phase("resolve"):
+            points = generate_from_spec(exec_spec["dataset"])
+    algorithm = exec_spec["algorithm"]
+    tree_state = exec_spec.get("tree_state")
+    built_tree = None
+    if tree_state is not None:
+        bvh = bvh_from_state(tree_state)
+    else:
+        with timer.phase("tree_build"):
+            bvh = build_tree(points, config=config)
+        built_tree = bvh
+    # check_tree=False: the engine keys trees by a fingerprint of the exact
+    # point bytes, so an injected tree is known to index these points.
+    with timer.phase("compute"):
+        if algorithm == "emst":
+            computed = emst(points, config=config, bvh=bvh, check_tree=False)
+            payload = emst_result_to_dict(computed)
+        elif algorithm == "mrd_emst":
+            computed = mutual_reachability_emst(
+                points, exec_spec["k_pts"], config=config, bvh=bvh,
+                check_tree=False)
+            payload = emst_result_to_dict(computed)
+        elif algorithm == "hdbscan":
+            computed = hdbscan(
+                points, min_cluster_size=exec_spec["min_cluster_size"],
+                k_pts=exec_spec["k_pts"], config=config,
+                bvh=bvh, check_tree=False)
+            payload = hdbscan_result_to_dict(computed)
+        else:
+            # JobSpec.validate() admits nothing else, but a spec mutated
+            # after validation must fail loudly, not run the wrong
+            # algorithm.
+            raise InvalidInputError(f"unknown algorithm {algorithm!r}")
+    return {
+        "payload": payload,
+        "payload_nbytes": payload_nbytes(computed),
+        "phases": timer.as_dict(),
+        "n_points": int(points.shape[0]),
+        "dimension": int(points.shape[1]),
+        "features": int(points.shape[0] * points.shape[1]),
+        "tree_state": bvh_to_state(built_tree)
+        if built_tree is not None else None,
+    }

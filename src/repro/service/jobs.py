@@ -11,6 +11,7 @@ pair) losslessly convert the library's result dataclasses.
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass, field, fields
 from enum import Enum
 from typing import Any, Dict, List, Optional
@@ -212,6 +213,26 @@ class JobSpec:
             raise InvalidInputError(f"bad job spec: {exc}") from exc
         spec.validate()
         return spec
+
+
+def _strip_phases(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        return {k: _strip_phases(v) for k, v in obj.items() if k != "phases"}
+    return obj
+
+
+def canonical_payload_bytes(payload: Dict[str, Any]) -> bytes:
+    """Deterministic byte serialization of a result payload.
+
+    Drops the wall-clock ``phases`` dicts — the only non-deterministic
+    payload fields; edges, weights, labels, work counters and round stats
+    are all pure functions of the spec — and dumps sorted-key compact JSON.
+    Two jobs over the same spec then compare byte-equal regardless of which
+    execution backend (or which run) produced them; the backend-equivalence
+    tests and the CI smoke check both assert on exactly these bytes.
+    """
+    return json.dumps(_strip_phases(payload), sort_keys=True,
+                      separators=(",", ":")).encode()
 
 
 def _rounds_to_dicts(rounds: List[RoundStats]) -> List[Dict[str, int]]:

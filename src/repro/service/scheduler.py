@@ -14,19 +14,48 @@ The scheduler is algorithm-agnostic: it runs an arbitrary ``runner``
 callable per job and accounts wall time and features processed, reporting
 throughput in MFeatures/s (via :func:`repro.metrics.mfeatures_per_second`)
 so service numbers sit on the same axis as the figure benchmarks.
+
+Execution backends
+------------------
+Orchestration (batching, bookkeeping, futures) always runs on a thread
+pool.  With ``backend="process"`` the scheduler additionally owns a
+``ProcessPoolExecutor`` of the same width, exposed as :attr:`compute_pool`;
+the runner dispatches its CPU-bound phase there (see
+:func:`repro.service.executor.execute_spec`) and the worker thread merely
+blocks on the process future — releasing the GIL, so concurrent jobs use
+real cores instead of serializing on one.  ``backend="thread"`` keeps
+``compute_pool`` as ``None`` and the runner computes in-process.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import multiprocessing
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.metrics import jobs_per_second, mfeatures_per_second
+
+#: Execution backends a scheduler (and the engine above it) can run.
+BACKENDS = ("thread", "process")
+
+
+def _process_context() -> multiprocessing.context.BaseContext:
+    """The safest available multiprocessing start method.
+
+    Plain ``fork`` is unsafe here: the engine always has live threads (the
+    collector, HTTP handlers) whose locks would be cloned mid-flight, and
+    CPython 3.12+ deprecates forking a multi-threaded process.
+    ``forkserver`` (Linux) forks workers from a clean single-threaded
+    helper; elsewhere ``spawn`` starts fresh interpreters.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "forkserver" if "forkserver" in methods else "spawn")
 
 
 @dataclass
@@ -81,19 +110,30 @@ class BatchScheduler:
 
     def __init__(self, runner: Callable[[JobTicket], Any], *,
                  max_workers: int = 2, max_batch: int = 8,
-                 batch_window: float = 0.002) -> None:
+                 batch_window: float = 0.002,
+                 backend: str = "thread") -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {backend!r}")
         self._runner = runner
         self.max_workers = max_workers
         self.max_batch = max_batch
         self.batch_window = batch_window
+        self.backend = backend
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-worker")
+        #: ``ProcessPoolExecutor`` the runner dispatches compute to under the
+        #: process backend; ``None`` under the thread backend.
+        self.compute_pool: Optional[ProcessPoolExecutor] = None
+        if backend == "process":
+            self.compute_pool = ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=_process_context())
         self._heap: List[Any] = []
         self._seq = itertools.count()
         self._cond = threading.Condition()
@@ -111,6 +151,23 @@ class BatchScheduler:
         self._collector = threading.Thread(
             target=self._collect_loop, name="repro-batcher", daemon=True)
         self._collector.start()
+
+    def replace_broken_compute_pool(
+            self, broken: ProcessPoolExecutor) -> None:
+        """Swap in a fresh process pool after ``broken`` lost a worker.
+
+        A crashed worker (OOM kill, segfault) marks the whole
+        ``ProcessPoolExecutor`` broken forever; without replacement every
+        later job on a long-running server would fail instantly.  The
+        identity check makes concurrent calls idempotent: only the first
+        observer of a given broken pool replaces it.
+        """
+        with self._cond:
+            if self._shutdown or self.compute_pool is not broken:
+                return
+            self.compute_pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=_process_context())
+        broken.shutdown(wait=False)
 
     def submit(self, job_id: str, payload: Any, *,
                priority: int = 0) -> JobTicket:
@@ -201,6 +258,8 @@ class BatchScheduler:
         if wait:
             self._collector.join()
         self._executor.shutdown(wait=wait)
+        if self.compute_pool is not None:
+            self.compute_pool.shutdown(wait=wait)
 
     def stats(self) -> Dict[str, Any]:
         """Queue depth, batch shape and throughput counters, JSON-safe.
@@ -216,6 +275,7 @@ class BatchScheduler:
                 span = self._last_finish - self._first_enqueue
             return {
                 "queue_depth": len(self._heap),
+                "backend": self.backend,
                 "max_workers": self.max_workers,
                 "max_batch": self.max_batch,
                 "batch_window_seconds": self.batch_window,

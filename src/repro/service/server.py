@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional
+from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 import repro
@@ -73,7 +73,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         if parts == ["v1", "healthz"]:
             self._send_json(200, {"status": "ok",
-                                  "version": repro.__version__})
+                                  "version": repro.__version__,
+                                  "backend": self.engine.backend})
         elif parts == ["v1", "stats"]:
             self._send_json(200, self.engine.stats())
         elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
@@ -163,6 +164,8 @@ def run_server(server: ThreadingHTTPServer, engine: Engine) -> None:
     """Run a bound server until interrupted, then drain the engine."""
     bound_host, bound_port = server.server_address[:2]
     print(f"repro.service listening on http://{bound_host}:{bound_port} "
+          f"[{engine.backend} backend, "
+          f"{engine.scheduler.max_workers} workers] "
           f"(POST /v1/jobs, GET /v1/jobs/<id>, /v1/stats, /v1/healthz)")
     try:
         server.serve_forever()

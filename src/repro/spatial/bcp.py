@@ -51,7 +51,6 @@ def bichromatic_closest_pair(
     best_key = [np.inf, np.inf]
     points = tree.points
     lo, hi = tree.lo, tree.hi
-    left = tree.left
 
     def leaf_pair(a: int, b: int) -> None:
         ia = tree.node_indices(a)

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
-from hypothesis.extra.numpy import array_shapes, arrays
+from hypothesis.extra.numpy import arrays
 
 # Property tests build spatial indexes, which is slow under the default
 # deadline; a single relaxed profile keeps hypothesis stable on CI.

@@ -186,7 +186,6 @@ class TestDelaunay:
 @settings(max_examples=10)
 def test_property_all_implementations_agree(pts):
     """The capstone property: five independent implementations, one MST."""
-    n = len(pts)
     weights = []
     u0, v0, w0 = brute_force_emst(pts)
     weights.append(float(w0.sum()))

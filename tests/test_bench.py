@@ -2,7 +2,6 @@
 
 import os
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import (
@@ -16,7 +15,7 @@ from repro.bench.harness import (
     simulated_seconds,
     wall_rate,
 )
-from repro.bench.tables import render_table, save_report
+from repro.bench.tables import render_table
 from repro.bench.figures.common import (
     FIGURE_DATASETS,
     PAPER_SIZES,

@@ -1,7 +1,6 @@
 """Tests of the Borůvka iteration structure and its paper-stated properties."""
 
 import numpy as np
-import pytest
 
 from repro.core.boruvka_emst import SingleTreeConfig
 from repro.core.emst import emst

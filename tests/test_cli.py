@@ -179,3 +179,16 @@ class TestParser:
     def test_bench_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "fig99"])
+
+    def test_serve_backend_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "--backend", "process", "--workers", "3"])
+        assert args.backend == "process"
+        assert args.workers == 3
+        # Thread is the default (process pays worker startup and pickling;
+        # it only wins on CPU-bound concurrent batches).
+        assert build_parser().parse_args(["serve"]).backend == "thread"
+
+    def test_serve_backend_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "greenlet"])

@@ -7,7 +7,6 @@ from repro.baselines.delaunay2d import delaunay_emst_2d
 from repro.bvh import build_bvh
 from repro.bvh.traversal import batched_nearest
 from repro.core.emst import emst
-from repro.errors import InvalidInputError
 from repro.kokkos.counters import CostCounters
 from repro.kokkos.costmodel import simulate_phases
 from repro.kokkos.devices import A100, EPYC_7763_SEQ

@@ -4,8 +4,6 @@ import os
 import runpy
 import sys
 
-import pytest
-
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
 
 

@@ -1,6 +1,8 @@
 """Tests for the batch-serving subsystem (repro.service)."""
 
+import pickle
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -10,24 +12,31 @@ from repro.core.boruvka_emst import SingleTreeConfig
 from repro.core.emst import build_tree, mutual_reachability_emst
 from repro.errors import InvalidInputError
 from repro.service import (
+    BACKENDS,
     ContentCache,
     Engine,
     JobResult,
     JobSpec,
     JobStatus,
+    canonical_payload_bytes,
     emst_result_from_dict,
     emst_result_to_dict,
+    execute_spec,
     fingerprint,
     hdbscan_result_from_dict,
     hdbscan_result_to_dict,
 )
 from repro.service.cache import estimate_nbytes, fingerprint_array
+from repro.service.executor import bvh_from_state, bvh_to_state, make_exec_spec
 from repro.service.scheduler import BatchScheduler
 
 
-@pytest.fixture
-def engine():
-    with Engine(max_workers=2, batch_window=0.001) as eng:
+@pytest.fixture(params=BACKENDS)
+def engine(request):
+    """An engine per execution backend: every engine-level guarantee —
+    caching, retention, failure absorption, stats — must hold under both."""
+    with Engine(max_workers=2, batch_window=0.001,
+                backend=request.param) as eng:
         yield eng
 
 
@@ -384,6 +393,127 @@ class TestEngine:
             assert stats["scheduler"]["jobs_failed"] == 0
 
 
+class TestExecutionBackends:
+    """The process backend must be indistinguishable from the thread one
+    (modulo wall-clock), and its moving parts — the pure executor, the
+    tree-state round trip — must hold on their own."""
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            Engine(backend="greenlet")
+        with pytest.raises(ValueError, match="backend"):
+            BatchScheduler(lambda t: None, backend="fiber")
+
+    @pytest.mark.parametrize("algorithm,kwargs", [
+        ("emst", {}),
+        ("mrd_emst", {"k_pts": 4}),
+        ("hdbscan", {"min_cluster_size": 6, "k_pts": 4}),
+    ])
+    def test_backends_payloads_byte_identical(self, uniform_3d,
+                                              algorithm, kwargs):
+        produced = {}
+        for backend in BACKENDS:
+            with Engine(max_workers=2, batch_window=0.001,
+                        backend=backend) as eng:
+                result = eng.result(
+                    eng.submit(JobSpec(points=uniform_3d,
+                                       algorithm=algorithm, **kwargs)),
+                    timeout=120)
+                assert result.status is JobStatus.DONE, result.error
+                produced[backend] = canonical_payload_bytes(result.payload)
+        assert produced["thread"] == produced["process"]
+
+    def test_process_backend_matches_direct_call(self, uniform_2d):
+        direct = emst(uniform_2d)
+        with Engine(max_workers=2, backend="process",
+                    batch_window=0.001) as eng:
+            result = eng.result(eng.submit(JobSpec(points=uniform_2d)),
+                                timeout=120)
+        served = result.emst()
+        assert served.edges.tobytes() == direct.edges.tobytes()
+        assert served.weights.tobytes() == direct.weights.tobytes()
+
+    def test_process_backend_ships_cached_tree_to_workers(self, uniform_2d):
+        """A tree built in one worker process must be reusable by the
+        next job, which may land in a different process."""
+        with Engine(max_workers=2, backend="process",
+                    batch_window=0.001) as eng:
+            first = eng.result(eng.submit(JobSpec(points=uniform_2d)),
+                               timeout=120)
+            mrd = eng.result(
+                eng.submit(JobSpec(points=uniform_2d, algorithm="mrd_emst",
+                                   k_pts=4)), timeout=120)
+            assert not first.cache["tree_hit"]
+            assert mrd.cache["tree_hit"]
+            assert "tree_build" not in mrd.timings
+            direct = mutual_reachability_emst(uniform_2d, 4)
+            assert np.array_equal(mrd.emst().edges, direct.edges)
+
+    def test_engine_survives_a_crashed_worker_process(self, uniform_2d):
+        """A dead pool worker (OOM kill, segfault) must not poison the
+        engine: the broken pool is replaced and later jobs compute."""
+        import os
+
+        with Engine(max_workers=1, backend="process",
+                    batch_window=0.001) as eng:
+            pool = eng.scheduler.compute_pool
+            # Hard-kill the worker mid-task: the pool is now broken.
+            with pytest.raises(Exception):
+                pool.submit(os._exit, 1).result(timeout=60)
+            result = eng.result(eng.submit(JobSpec(points=uniform_2d)),
+                                timeout=120)
+            assert result.status is JobStatus.DONE, result.error
+            assert eng.scheduler.compute_pool is not pool
+            served = result.emst()
+            assert np.array_equal(served.edges, emst(uniform_2d).edges)
+
+    def test_execute_spec_is_pure_and_picklable(self, uniform_3d):
+        """The extracted worker function computes the same answer as the
+        library and survives pickling (the process-pool contract)."""
+        assert pickle.loads(pickle.dumps(execute_spec)) is execute_spec
+        spec = JobSpec(points=uniform_3d)
+        spec.validate()
+        outcome = execute_spec(make_exec_spec(spec, points=uniform_3d))
+        direct = emst(uniform_3d)
+        assert outcome["payload"]["edges"] == direct.edges.tolist()
+        assert outcome["n_points"] == 200 and outcome["dimension"] == 3
+        assert outcome["features"] == 600
+        assert outcome["tree_state"] is not None
+        assert "tree_build" in outcome["phases"]
+        assert outcome["payload_nbytes"] > 0
+
+    def test_execute_spec_reuses_injected_tree_state(self, uniform_2d):
+        spec = JobSpec(points=uniform_2d)
+        spec.validate()
+        state = bvh_to_state(build_tree(uniform_2d))
+        outcome = execute_spec(
+            make_exec_spec(spec, points=uniform_2d, tree_state=state))
+        assert outcome["tree_state"] is None  # nothing new to cache
+        assert "tree_build" not in outcome["phases"]
+        assert outcome["payload"]["edges"] == emst(uniform_2d).edges.tolist()
+
+    def test_bvh_state_round_trip(self, uniform_3d):
+        tree = build_tree(uniform_3d)
+        back = bvh_from_state(bvh_to_state(tree))
+        assert np.array_equal(back.points, tree.points)
+        assert np.array_equal(back.left, tree.left)
+        assert np.array_equal(back.lo, tree.lo)
+        assert len(back.schedule) == len(tree.schedule)
+        # The rebuilt tree drives the solver to the same answer.
+        assert np.array_equal(
+            emst(uniform_3d, bvh=back).edges, emst(uniform_3d).edges)
+
+    def test_canonical_payload_bytes_ignores_timings_only(self):
+        a = {"edges": [[0, 1]], "phases": {"mst": 0.5},
+             "emst": {"n_points": 2, "phases": {"tree": 0.1}}}
+        b = {"edges": [[0, 1]], "phases": {"mst": 0.9},
+             "emst": {"n_points": 2, "phases": {"tree": 0.7}}}
+        c = {"edges": [[0, 2]], "phases": {"mst": 0.5},
+             "emst": {"n_points": 2, "phases": {"tree": 0.1}}}
+        assert canonical_payload_bytes(a) == canonical_payload_bytes(b)
+        assert canonical_payload_bytes(a) != canonical_payload_bytes(c)
+
+
 class TestBatchScheduler:
     def test_batches_and_throughput_accounting(self):
         release = threading.Event()
@@ -437,6 +567,99 @@ class TestBatchScheduler:
                 t.future.result(timeout=30)
             assert order == ["high", "low"]
             assert low.batch_size == 2
+        finally:
+            sched.shutdown()
+
+    def test_fifo_within_equal_priority(self):
+        """Equal-priority jobs leave the queue in submission order."""
+        order = []
+        started = threading.Event()
+        gate = threading.Event()
+
+        def runner(ticket):
+            if ticket.job_id == "blocker":
+                started.set()
+                gate.wait(timeout=10)
+            else:
+                order.append(ticket.job_id)
+
+        sched = BatchScheduler(runner, max_workers=1, max_batch=8,
+                               batch_window=0.5)
+        try:
+            blocker = sched.submit("blocker", None)
+            assert started.wait(timeout=10)
+            # All queued behind the busy worker with the same priority:
+            # dispatch must preserve submission order exactly.
+            tickets = [sched.submit(f"j{i}", None, priority=1)
+                       for i in range(5)]
+            gate.set()
+            for t in [blocker] + tickets:
+                t.future.result(timeout=30)
+            assert order == [f"j{i}" for i in range(5)]
+        finally:
+            sched.shutdown()
+
+    def test_priority_beats_fifo_across_batch(self):
+        """Mixed priorities: higher first, FIFO only as the tiebreak."""
+        order = []
+        started = threading.Event()
+        gate = threading.Event()
+
+        def runner(ticket):
+            if ticket.job_id == "blocker":
+                started.set()
+                gate.wait(timeout=10)
+            else:
+                order.append(ticket.job_id)
+
+        sched = BatchScheduler(runner, max_workers=1, max_batch=8,
+                               batch_window=0.5)
+        try:
+            blocker = sched.submit("blocker", None)
+            assert started.wait(timeout=10)
+            submitted = [("a0", 0), ("b2", 2), ("c1", 1), ("d2", 2),
+                         ("e0", 0)]
+            tickets = [sched.submit(job_id, None, priority=p)
+                       for job_id, p in submitted]
+            gate.set()
+            for t in [blocker] + tickets:
+                t.future.result(timeout=30)
+            assert order == ["b2", "d2", "c1", "a0", "e0"]
+        finally:
+            sched.shutdown()
+
+    def test_batch_window_deadline_flushes_partial_batch(self):
+        """A lone job must not wait for ``max_batch`` peers: the window
+        deadline closes the batch and releases it."""
+        window = 0.25
+        sched = BatchScheduler(lambda ticket: ticket.job_id,
+                               max_workers=1, max_batch=64,
+                               batch_window=window)
+        try:
+            submitted_at = time.perf_counter()
+            ticket = sched.submit("lone", None)
+            assert ticket.future.result(timeout=30) == "lone"
+            elapsed = time.perf_counter() - submitted_at
+            # The batch was held open for (roughly) the full window waiting
+            # for more jobs, then flushed with just the one.
+            assert elapsed >= 0.8 * window
+            assert ticket.batch_size == 1
+            stats = sched.stats()
+            assert stats["batches_dispatched"] == 1
+            assert stats["largest_batch"] == 1
+        finally:
+            sched.shutdown()
+
+    def test_zero_window_dispatches_immediately(self):
+        sched = BatchScheduler(lambda ticket: ticket.job_id,
+                               max_workers=1, max_batch=64,
+                               batch_window=0.0)
+        try:
+            submitted_at = time.perf_counter()
+            ticket = sched.submit("eager", None)
+            assert ticket.future.result(timeout=30) == "eager"
+            assert time.perf_counter() - submitted_at < 5.0
+            assert ticket.batch_size == 1
         finally:
             sched.shutdown()
 

@@ -27,6 +27,9 @@ def test_healthz(api):
     status, body = get(f"{api}/v1/healthz")
     assert status == 200
     assert body["status"] == "ok"
+    # The probe names the execution backend so deployment smoke checks can
+    # assert the server runs the one they asked for.
+    assert body["backend"] == "thread"
 
 
 def test_job_round_trip_dataset(api):

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""CI smoke check: a served job must byte-match in-process execution.
+
+Submits a deterministic dataset job to a running ``repro serve`` instance
+over HTTP, recomputes the same job in-process through the pure executor
+(:func:`repro.service.executor.execute_spec`), and asserts the two payloads
+are byte-identical in canonical form (wall-clock ``phases`` stripped — see
+:func:`repro.service.jobs.canonical_payload_bytes`).
+
+Both legs of the CI backend matrix (``--backend thread`` and
+``--backend process``) run this against the same spec; each leg agreeing
+with the common in-process reference proves the backends agree with each
+other, without shipping artifacts between jobs.  The canonical SHA-256 is
+printed so the two legs' logs can also be compared directly.
+
+Usage::
+
+    python tools/ci_service_smoke.py --url http://127.0.0.1:8321 \
+        --dataset Uniform100M2:10000 --expect-backend process
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+import urllib.request
+
+from repro.service import JobSpec, canonical_payload_bytes
+from repro.service.executor import execute_spec, make_exec_spec
+
+
+def _request(url, data=None, timeout=90):
+    req = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {})
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8321")
+    parser.add_argument("--dataset", default="Uniform100M2:10000")
+    parser.add_argument("--algorithm", default="emst",
+                        choices=("emst", "mrd_emst", "hdbscan"))
+    parser.add_argument("--expect-backend", default=None,
+                        help="fail unless /v1/healthz reports this backend")
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+
+    health = _request(f"{base}/v1/healthz")
+    if args.expect_backend and health.get("backend") != args.expect_backend:
+        print(f"FAIL: server runs backend {health.get('backend')!r}, "
+              f"expected {args.expect_backend!r}", file=sys.stderr)
+        return 1
+
+    body = {"dataset": args.dataset, "algorithm": args.algorithm}
+    job_id = _request(f"{base}/v1/jobs",
+                      json.dumps(body).encode())["job_id"]
+    deadline = time.monotonic() + args.timeout
+    while True:
+        chunk = max(0.0, min(deadline - time.monotonic(), 30.0))
+        result = _request(f"{base}/v1/jobs/{job_id}?wait={chunk:.1f}")
+        if result.get("status") in ("done", "failed"):
+            break
+        if time.monotonic() >= deadline:
+            print(f"FAIL: job {job_id} still {result.get('status')} after "
+                  f"{args.timeout}s", file=sys.stderr)
+            return 1
+    if result["status"] != "done":
+        print(f"FAIL: job failed: {result.get('error')}", file=sys.stderr)
+        return 1
+    served = canonical_payload_bytes(result["payload"])
+
+    spec = JobSpec(dataset=args.dataset, algorithm=args.algorithm)
+    spec.validate()
+    reference = canonical_payload_bytes(
+        execute_spec(make_exec_spec(spec))["payload"])
+
+    served_sha = hashlib.sha256(served).hexdigest()
+    if served != reference:
+        print(f"FAIL: served payload diverges from in-process reference\n"
+              f"  served    sha256={served_sha}\n"
+              f"  reference sha256="
+              f"{hashlib.sha256(reference).hexdigest()}", file=sys.stderr)
+        return 1
+    print(f"ok: served payload is byte-identical to in-process execution\n"
+          f"  backend={health.get('backend')} dataset={args.dataset} "
+          f"algorithm={args.algorithm}\n"
+          f"  canonical sha256={served_sha}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
