@@ -23,7 +23,10 @@ Package map
 ``repro.data``      generators mirroring the paper's 12 datasets
 ``repro.bench``     harness regenerating every figure of the evaluation
 ``repro.service``   batch-serving engine: job scheduling, content-addressed
-                    tree/result caching, JSON-over-HTTP API (``repro serve``)
+                    tree/result/core caching, JSON-over-HTTP API
+                    (``repro serve``)
+``repro.store``     persistent content-addressed artifact store: disk
+                    spill, warm restart, crash-safe blobs (``--store-dir``)
 
 Serving quickstart
 ------------------

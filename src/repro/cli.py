@@ -134,8 +134,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         batch_window=args.batch_window,
                         backend=args.backend,
                         tree_cache_bytes=args.cache_mb << 20,
-                        result_cache_bytes=args.result_cache_mb << 20)
-    except ValueError as exc:
+                        result_cache_bytes=args.result_cache_mb << 20,
+                        store_dir=args.store_dir,
+                        store_bytes=args.store_mb << 20)
+    except (ValueError, OSError) as exc:
+        # An unusable --store-dir (permissions, a file in the way) is a
+        # user-input error like any other bad flag value.
         raise InvalidInputError(str(exc))
     # Only the bind is a user-input error; runtime OSErrors (e.g. a closed
     # stdout pipe) must not be misreported as bind failures.
@@ -172,8 +176,14 @@ def _print_job_result(result_dict: dict) -> None:
     print(f"  queue / run    : {timings.get('queue', 0.0):.3f}s / "
           f"{timings.get('run', 0.0):.3f}s "
           f"({result_dict.get('mfeatures_per_sec', 0.0):.2f} MFeatures/s)")
-    print(f"  cache          : result_hit={cache.get('result_hit')} "
-          f"tree_hit={cache.get('tree_hit')}")
+    line = (f"  cache          : result_hit={cache.get('result_hit')} "
+            f"tree_hit={cache.get('tree_hit')} "
+            f"core_hit={cache.get('core_hit')}")
+    disk = [name for name in ("result", "tree", "core")
+            if cache.get(f"{name}_disk_hit")]
+    if disk:
+        line += f" (from disk: {', '.join(disk)})"
+    print(line)
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -289,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="tree-cache budget in MiB")
     p_serve.add_argument("--result-cache-mb", type=int, default=64,
                          help="result-cache budget in MiB")
+    p_serve.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="persist cached artifacts under DIR; a "
+                              "restarted server warms its tiers from it "
+                              "instead of recomputing")
+    p_serve.add_argument("--store-mb", type=int, default=1024,
+                         help="disk-store budget in MiB (with --store-dir)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=cmd_serve)

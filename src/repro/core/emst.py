@@ -46,6 +46,14 @@ class EMSTResult:
     phases: Dict[str, float] = field(default_factory=dict)
     counters: Dict[str, CostCounters] = field(default_factory=dict)
     rounds: List[RoundStats] = field(default_factory=list)
+    #: Squared core distances in the caller's point order, set by
+    #: :func:`mutual_reachability_emst` only (``None`` for Euclidean runs).
+    #: Deliberately tree-independent (caller order, not BVH order) so the
+    #: serving engine can cache it keyed by ``(points, k_pts)`` alone and
+    #: inject it back through ``core_sq=`` to skip the ``core`` phase.
+    #: Not part of the serialized payload.
+    core_sq: Optional[np.ndarray] = field(default=None, repr=False,
+                                          compare=False)
 
     @property
     def total_weight(self) -> float:
@@ -205,6 +213,7 @@ def mutual_reachability_emst(
     config: SingleTreeConfig = SingleTreeConfig(),
     bvh: Optional[BVH] = None,
     check_tree: bool = True,
+    core_sq: Optional[np.ndarray] = None,
 ) -> EMSTResult:
     """MST under the mutual-reachability distance (HDBSCAN*, Section 4.5).
 
@@ -214,7 +223,13 @@ def mutual_reachability_emst(
     metric exactly.
 
     Adds a ``core`` phase (the paper's ``T_core``) computing all core
-    distances with a batched k-NN over the same BVH.
+    distances with a batched k-NN over the same BVH.  ``core_sq`` injects
+    precomputed *squared* core distances in the caller's point order (the
+    ``core_sq`` attribute of an earlier result over the same points and
+    ``k_pts``); the ``core`` phase is then reported as zero seconds and
+    zero work, mirroring ``bvh=`` injection for the ``tree`` phase.  The
+    caller is responsible for the values matching ``(points, k_pts)`` —
+    the serving engine guarantees it by content fingerprint.
     """
     points = _validate_points(points)
     if k_pts < 1:
@@ -232,12 +247,30 @@ def mutual_reachability_emst(
     else:
         _check_injected_tree(points, bvh, check_tree)
         timer.add("tree", 0.0)
-    with timer.phase("core"):
-        knn = batched_knn(bvh, bvh.points, k_pts, counters=core_counters)
-        core_sq = knn.kth_distance_sq.copy()
+    if core_sq is None:
+        with timer.phase("core"):
+            knn = batched_knn(bvh, bvh.points, k_pts,
+                              counters=core_counters)
+            core_sorted = knn.kth_distance_sq.copy()
+        core_caller = np.empty(points.shape[0], dtype=np.float64)
+        core_caller[bvh.order] = core_sorted
+    else:
+        core_caller = np.asarray(core_sq, dtype=np.float64)
+        if core_caller.shape != (points.shape[0],):
+            raise InvalidInputError(
+                f"core_sq must have shape ({points.shape[0]},), "
+                f"got {core_caller.shape}")
+        if not np.all(np.isfinite(core_caller)):
+            raise InvalidInputError(
+                "core_sq contains non-finite values")
+        timer.add("core", 0.0)
+        # Fancy indexing copies, so the caller's array is never mutated.
+        core_sorted = core_caller[bvh.order]
     with timer.phase("mst"):
-        output = run_boruvka(bvh, config=config, core_sq=core_sq,
+        output = run_boruvka(bvh, config=config, core_sq=core_sorted,
                              counters=mst_counters)
-    return _finalize(points, bvh, output, timer,
-                     {"tree": tree_counters, "core": core_counters,
-                      "mst": mst_counters})
+    result = _finalize(points, bvh, output, timer,
+                       {"tree": tree_counters, "core": core_counters,
+                        "mst": mst_counters})
+    result.core_sq = core_caller
+    return result

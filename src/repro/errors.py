@@ -40,3 +40,13 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class ExecutionSpaceError(ReproError, RuntimeError):
     """Raised for misuse of the :mod:`repro.kokkos` execution-space layer."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Raised for lifecycle misuse of the :mod:`repro.service` engine.
+
+    Example: submitting a job to an engine (or scheduler) that has been
+    closed.  Deliberately distinct from :class:`InvalidInputError` — the
+    job spec may be perfectly valid; it is the *service* that cannot take
+    it — so the HTTP front end can map it to 503 rather than 400.
+    """

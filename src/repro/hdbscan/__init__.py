@@ -16,7 +16,7 @@ completes the pipeline so the claim is exercised end to end:
 :func:`repro.hdbscan.hdbscan.hdbscan` runs all five.
 """
 
-from repro.hdbscan.core_distance import core_distances
+from repro.hdbscan.core_distance import core_distances, core_distances_sq
 from repro.hdbscan.single_linkage import single_linkage_tree
 from repro.hdbscan.condense import CondensedTree, condense_tree
 from repro.hdbscan.stability import cluster_stabilities, extract_clusters
@@ -24,6 +24,7 @@ from repro.hdbscan.hdbscan import HDBSCANResult, hdbscan
 
 __all__ = [
     "core_distances",
+    "core_distances_sq",
     "single_linkage_tree",
     "condense_tree",
     "CondensedTree",

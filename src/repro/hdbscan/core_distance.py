@@ -20,14 +20,17 @@ from repro.errors import InvalidInputError
 from repro.kokkos.counters import CostCounters
 
 
-def core_distances(points: np.ndarray, k_pts: int, *,
-                   bvh: Optional[BVH] = None,
-                   counters: Optional[CostCounters] = None) -> np.ndarray:
-    """Core distance of every point (in the caller's point order).
+def core_distances_sq(points: np.ndarray, k_pts: int, *,
+                      bvh: Optional[BVH] = None,
+                      counters: Optional[CostCounters] = None) -> np.ndarray:
+    """*Squared* core distance of every point, in the caller's point order.
 
-    ``k_pts = 1`` gives all zeros (the distance of a point to itself),
-    making the mutual-reachability distance collapse to Euclidean — the
-    identity the paper uses to sanity-check the integration.
+    This is the cacheable form of ``T_core``: the values depend only on
+    ``(points, k_pts)`` — not on the spatial index used to find them — and
+    the caller-order layout keeps the artifact valid across different tree
+    configurations.  The serving engine's core-distance tier persists
+    exactly this array and injects it back through the ``core_sq=``
+    parameter of :func:`repro.core.emst.mutual_reachability_emst`.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[0] == 0:
@@ -39,7 +42,19 @@ def core_distances(points: np.ndarray, k_pts: int, *,
     if bvh is None:
         bvh = build_bvh(points, counters=counters)
     result = batched_knn(bvh, bvh.points, k_pts, counters=counters)
-    core_sorted = np.sqrt(result.kth_distance_sq)
     out = np.empty(n, dtype=np.float64)
-    out[bvh.order] = core_sorted
+    out[bvh.order] = result.kth_distance_sq
     return out
+
+
+def core_distances(points: np.ndarray, k_pts: int, *,
+                   bvh: Optional[BVH] = None,
+                   counters: Optional[CostCounters] = None) -> np.ndarray:
+    """Core distance of every point (in the caller's point order).
+
+    ``k_pts = 1`` gives all zeros (the distance of a point to itself),
+    making the mutual-reachability distance collapse to Euclidean — the
+    identity the paper uses to sanity-check the integration.
+    """
+    return np.sqrt(core_distances_sq(points, k_pts, bvh=bvh,
+                                     counters=counters))

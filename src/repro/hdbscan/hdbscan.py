@@ -54,13 +54,17 @@ def hdbscan(
     config: SingleTreeConfig = SingleTreeConfig(),
     bvh: Optional[BVH] = None,
     check_tree: bool = True,
+    core_sq: Optional[np.ndarray] = None,
 ) -> HDBSCANResult:
     """HDBSCAN* clustering (Campello et al. 2015; McInnes et al. 2017).
 
     ``k_pts`` is the core-distance neighbor count (the paper's Section 4.5
     sweep parameter); ``min_cluster_size`` the condensation threshold.
     ``bvh`` injects a precomputed spatial index (see
-    :func:`repro.core.emst.build_tree`), skipping the tree phase.
+    :func:`repro.core.emst.build_tree`), skipping the tree phase;
+    ``core_sq`` injects precomputed squared core distances in the caller's
+    point order (must match ``points`` and ``k_pts``), skipping the
+    ``core`` phase the same way.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[0] < 2:
@@ -72,7 +76,7 @@ def hdbscan(
             f"min_cluster_size must be >= 2, got {min_cluster_size}")
 
     result = mutual_reachability_emst(points, k_pts, config=config, bvh=bvh,
-                                      check_tree=check_tree)
+                                      check_tree=check_tree, core_sq=core_sq)
     linkage = single_linkage_tree(n, result.edges[:, 0], result.edges[:, 1],
                                   result.weights)
     condensed = condense_tree(linkage, min_cluster_size)

@@ -1,15 +1,19 @@
 """Batch-serving engine for the single-tree EMST algorithms.
 
 Turns the one-shot library into a servable system: jobs (EMST, m.r.d. EMST,
-HDBSCAN*) queue into a batching scheduler over a worker pool, a two-tier
-content-addressed cache amortizes tree construction and answers exact
-repeats instantly, and a stdlib JSON-over-HTTP API exposes the whole thing
+HDBSCAN*) queue into a batching scheduler over a worker pool; three
+content-addressed cache tiers amortize tree construction (``T_tree``),
+core-distance computation (``T_core``) and answer exact repeats instantly —
+optionally persisted to disk (:mod:`repro.store`) so a restarted server
+stays warm; and a stdlib JSON-over-HTTP API exposes the whole thing
 (``python -m repro serve``).
 
 Layers
 ------
 ``repro.service.jobs``       job specs, statuses and serializable results
-``repro.service.cache``      content-addressed byte-bounded LRU tiers
+``repro.service.cache``      content-addressed cache tiers (re-exported
+                             from :mod:`repro.store`, which adds the
+                             persistent disk level and warm restart)
 ``repro.service.scheduler``  size/deadline-triggered batching over workers
                              (thread or process execution backend)
 ``repro.service.executor``   the pure, picklable per-job execution path
@@ -30,7 +34,12 @@ Example
 (499, 2)
 """
 
-from repro.service.cache import ContentCache, estimate_nbytes, fingerprint
+from repro.service.cache import (
+    ContentCache,
+    TieredCache,
+    estimate_nbytes,
+    fingerprint,
+)
 from repro.service.engine import Engine
 from repro.service.executor import execute_spec
 from repro.service.jobs import (
@@ -57,6 +66,7 @@ __all__ = [
     "JobSpec",
     "JobStatus",
     "JobTicket",
+    "TieredCache",
     "canonical_payload_bytes",
     "create_server",
     "emst_result_from_dict",

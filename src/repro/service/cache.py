@@ -1,188 +1,35 @@
-"""Content-addressed, byte-bounded LRU caching for the serving engine.
+"""Content-addressed caching for the serving engine (now in repro.store).
 
-Keys are SHA-256 fingerprints of the *content* a value was derived from
-(point-array bytes plus a canonical parameter string), so two jobs that
-submit equal data — whether inline or through the same dataset spec — hit
-the same entry, and any change to the data or configuration misses cleanly.
+This module used to define the fingerprint scheme and the in-memory LRU
+tier; both moved to :mod:`repro.store` when the persistent artifact store
+landed, so the serving engine and the disk store key artifacts with the
+**one** SHA-256 scheme (:mod:`repro.store.fingerprint` — previously
+copy-pasted wherever a key was needed, which risked silently forking the
+on-disk key space).  Everything is re-exported here so existing imports
+keep working:
 
-The engine runs two tiers of :class:`ContentCache`:
-
-* a **tree cache** holding built :class:`~repro.bvh.bvh.BVH` objects, which
-  lets repeated EMST / m.r.d. / HDBSCAN jobs over the same points skip the
-  construction phase (the paper's ``T_tree``), and
-* a **result cache** holding serialized :class:`~repro.service.jobs.JobResult`
-  payloads, which answers exact repeats without touching a worker.
-
-Eviction is least-recently-used under a byte budget; entry sizes come from
-:func:`estimate_nbytes`.  Hit/miss counters are reported through
-:func:`repro.metrics.hit_rate` so the service statistics use the same rate
-conventions as the benchmark harness.
+* :func:`fingerprint_array` / :func:`combine_fingerprint` /
+  :func:`fingerprint` — the content-keying scheme,
+* :class:`ContentCache` / :func:`estimate_nbytes` — the in-memory tier,
+* :class:`TieredCache` — the memory → disk facade the engine's three tiers
+  (tree, result, core-distance) are built from.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import sys
-import threading
-from collections import OrderedDict
-from typing import Any, Dict, List, Optional
+from repro.store.fingerprint import (
+    combine_fingerprint,
+    fingerprint,
+    fingerprint_array,
+)
+from repro.store.memory import ContentCache, estimate_nbytes
+from repro.store.tiered import TieredCache
 
-import numpy as np
-
-from repro.metrics import hit_rate
-
-
-def fingerprint_array(points: np.ndarray) -> str:
-    """SHA-256 content fingerprint of an array (dtype, shape and bytes).
-
-    The dtype and shape are mixed into the digest so e.g. a ``(6,)`` float
-    array cannot collide with a ``(3, 2)`` one over the same buffer.
-    """
-    points = np.ascontiguousarray(points)
-    digest = hashlib.sha256()
-    digest.update(str(points.dtype).encode())
-    digest.update(str(points.shape).encode())
-    digest.update(points.tobytes())
-    return digest.hexdigest()
-
-
-def combine_fingerprint(array_fingerprint: str, params: str) -> str:
-    """Cache key from a precomputed array digest and a parameter string.
-
-    Lets callers hash a large point buffer once and derive several keys
-    (result tier, tree tier) from the digest.
-    """
-    digest = hashlib.sha256()
-    digest.update(array_fingerprint.encode())
-    digest.update(b"\x00")
-    digest.update(params.encode())
-    return digest.hexdigest()
-
-
-def fingerprint(points: np.ndarray, params: str = "") -> str:
-    """Cache key for (points content, canonical parameter string)."""
-    return combine_fingerprint(fingerprint_array(points), params)
-
-
-def estimate_nbytes(value: Any) -> int:
-    """Approximate heap footprint of a cached value, in bytes.
-
-    Counts array buffers exactly and walks containers and dataclasses
-    (covering :class:`~repro.bvh.bvh.BVH` and serialized result payloads);
-    everything else falls back to ``sys.getsizeof``.
-    """
-    if isinstance(value, np.ndarray):
-        return int(value.nbytes)
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return sum(estimate_nbytes(getattr(value, f.name))
-                   for f in dataclasses.fields(value))
-    if isinstance(value, dict):
-        return sum(estimate_nbytes(k) + estimate_nbytes(v)
-                   for k, v in value.items())
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return sum(estimate_nbytes(item) for item in value)
-    return int(sys.getsizeof(value))
-
-
-class ContentCache:
-    """A thread-safe LRU cache bounded by total byte size.
-
-    ``get`` refreshes recency; ``put`` evicts least-recently-used entries
-    until the new value fits.  A value larger than the whole budget is
-    rejected (counted in ``oversized``) rather than flushing the cache.
-    """
-
-    def __init__(self, max_bytes: int, *, name: str = "cache") -> None:
-        if max_bytes <= 0:
-            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
-        self.name = name
-        self.max_bytes = int(max_bytes)
-        self._entries: "OrderedDict[str, Any]" = OrderedDict()
-        self._sizes: Dict[str, int] = {}
-        self._current_bytes = 0
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.oversized = 0
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def get(self, key: str) -> Optional[Any]:
-        """The cached value for ``key`` (refreshing recency) or ``None``."""
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                return self._entries[key]
-            self.misses += 1
-            return None
-
-    def put(self, key: str, value: Any,
-            nbytes: Optional[int] = None) -> bool:
-        """Insert ``value`` under ``key``; returns whether it was stored.
-
-        ``nbytes`` overrides the :func:`estimate_nbytes` size estimate.
-        """
-        size = int(nbytes) if nbytes is not None else estimate_nbytes(value)
-        with self._lock:
-            if size > self.max_bytes:
-                self.oversized += 1
-                return False
-            if key in self._entries:
-                self._current_bytes -= self._sizes[key]
-                del self._entries[key]
-            while self._current_bytes + size > self.max_bytes:
-                old_key, _ = self._entries.popitem(last=False)
-                self._current_bytes -= self._sizes.pop(old_key)
-                self.evictions += 1
-            self._entries[key] = value
-            self._sizes[key] = size
-            self._current_bytes += size
-            return True
-
-    def size_of(self, key: str) -> Optional[int]:
-        """The stored byte estimate for ``key`` (no recency effect)."""
-        with self._lock:
-            return self._sizes.get(key)
-
-    def keys(self) -> List[str]:
-        """Keys in LRU order (least recently used first)."""
-        with self._lock:
-            return list(self._entries)
-
-    def clear(self) -> None:
-        """Drop all entries (counters are kept)."""
-        with self._lock:
-            self._entries.clear()
-            self._sizes.clear()
-            self._current_bytes = 0
-
-    @property
-    def current_bytes(self) -> int:
-        """Total estimated bytes of the stored entries."""
-        with self._lock:
-            return self._current_bytes
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups answered from cache."""
-        return hit_rate(self.hits, self.misses)
-
-    def stats(self) -> Dict[str, Any]:
-        """Counters and occupancy, JSON-safe."""
-        with self._lock:
-            return {
-                "name": self.name,
-                "entries": len(self._entries),
-                "current_bytes": self._current_bytes,
-                "max_bytes": self.max_bytes,
-                "hits": self.hits,
-                "misses": self.misses,
-                "hit_rate": hit_rate(self.hits, self.misses),
-                "evictions": self.evictions,
-                "oversized": self.oversized,
-            }
+__all__ = [
+    "ContentCache",
+    "TieredCache",
+    "combine_fingerprint",
+    "estimate_nbytes",
+    "fingerprint",
+    "fingerprint_array",
+]

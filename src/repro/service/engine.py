@@ -1,28 +1,37 @@
 """The serving façade: submit jobs, await results, read statistics.
 
-:class:`Engine` wires the batching scheduler and the two cache tiers around
+:class:`Engine` wires the batching scheduler and three cache tiers around
 the core algorithms.  Per job it:
 
 1. resolves the point source (inline array or dataset spec),
-2. consults the **result cache** — an exact repeat (same point bytes, same
+2. consults the **result tier** — an exact repeat (same point bytes, same
    algorithm and configuration) is answered without any computation,
-3. consults the **tree cache** — a known point set reuses its built
+3. consults the **tree tier** — a known point set reuses its built
    :class:`~repro.bvh.bvh.BVH`, injected through the ``bvh=`` parameter of
    the core entry points so the ``tree`` phase is skipped,
-4. dispatches the compute to :func:`~repro.service.executor.execute_spec`
+4. for m.r.d./HDBSCAN jobs, consults the **core-distance tier** — keyed by
+   ``(points, k_pts)`` only, so a repeat point set skips the batched k-NN
+   (the paper's ``T_core``) even under a different tree configuration,
+5. dispatches the compute to :func:`~repro.service.executor.execute_spec`
    — in-process under ``backend="thread"``, on a ``ProcessPoolExecutor``
    worker under ``backend="process"`` (escaping the GIL for CPU-bound
-   batches) — and fills both caches from the outcome.
+   batches) — and fills the caches from the outcome.
 
 Both backends run the identical pure execution path, so a job's payload is
 byte-for-byte the same whichever one served it.  All cache state lives in
 the parent process: lookups happen before dispatch, insertions after
-completion, and a tree built by a process worker comes back serialized for
-the parent to cache and re-ship to later jobs over the same points.
+completion, and artifacts built by a process worker come back serialized
+for the parent to cache and re-ship to later jobs over the same points.
+
+With ``store_dir`` set, every tier is backed by a persistent
+:class:`~repro.store.disk.DiskStore`: inserts spill to disk, restarts warm
+from it (memory miss → disk hit → promote), so a restarted server answers
+repeat traffic without re-paying ``T_tree``/``T_core`` — the paper's
+amortization argument extended across process lifetimes.
 
 The engine is directly embeddable (no server required)::
 
-    with Engine(max_workers=2) as engine:
+    with Engine(max_workers=2, store_dir="/var/cache/repro") as engine:
         job_id = engine.submit(JobSpec(dataset="Uniform100M2:10000"))
         result = engine.result(job_id)
 """
@@ -40,13 +49,8 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Optional
 
-from repro.errors import InvalidInputError, ReproError
+from repro.errors import InvalidInputError, ReproError, ServiceError
 from repro.metrics import mfeatures_per_second
-from repro.service.cache import (
-    ContentCache,
-    combine_fingerprint,
-    fingerprint_array,
-)
 from repro.service.executor import (
     bvh_from_state,
     bvh_to_state,
@@ -59,12 +63,20 @@ from repro.service.jobs import (
     JobStatus,
 )
 from repro.service.scheduler import BACKENDS, BatchScheduler, JobTicket
+from repro.store import (
+    DEFAULT_STORE_BYTES,
+    DiskStore,
+    TieredCache,
+    combine_fingerprint,
+    fingerprint_array,
+)
 from repro.timing import PhaseTimer
 
 #: Default byte budgets: trees dominate (a BVH is ~20x the point bytes),
-#: serialized results are comparatively small.
+#: serialized results and core-distance arrays are comparatively small.
 DEFAULT_TREE_CACHE_BYTES = 256 << 20
 DEFAULT_RESULT_CACHE_BYTES = 64 << 20
+DEFAULT_CORE_CACHE_BYTES = 64 << 20
 #: Byte bound on finished-job payloads kept queryable by id (the result
 #: cache is budgeted separately; per-job records must be too).
 DEFAULT_RETAINED_BYTES = 256 << 20
@@ -92,6 +104,9 @@ class Engine:
                  batch_window: float = 0.002, backend: str = "thread",
                  tree_cache_bytes: int = DEFAULT_TREE_CACHE_BYTES,
                  result_cache_bytes: int = DEFAULT_RESULT_CACHE_BYTES,
+                 core_cache_bytes: int = DEFAULT_CORE_CACHE_BYTES,
+                 store_dir: Optional[str] = None,
+                 store_bytes: int = DEFAULT_STORE_BYTES,
                  max_retained_jobs: int = 1024,
                  max_retained_bytes: int = DEFAULT_RETAINED_BYTES) -> None:
         if max_retained_jobs < 1:
@@ -104,8 +119,14 @@ class Engine:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {backend!r}")
         self.backend = backend
-        self.tree_cache = ContentCache(tree_cache_bytes, name="tree")
-        self.result_cache = ContentCache(result_cache_bytes, name="result")
+        #: Shared persistent spill target for all three tiers; ``None``
+        #: keeps the engine memory-only (the pre-store behavior).
+        self.store = DiskStore(store_dir, max_bytes=store_bytes) \
+            if store_dir is not None else None
+        self.tree_cache = TieredCache("tree", tree_cache_bytes, self.store)
+        self.result_cache = TieredCache("result", result_cache_bytes,
+                                        self.store)
+        self.core_cache = TieredCache("core", core_cache_bytes, self.store)
         self.scheduler = BatchScheduler(
             self._run_job, max_workers=max_workers, max_batch=max_batch,
             batch_window=batch_window, backend=backend)
@@ -130,10 +151,12 @@ class Engine:
     # ---------------------------------------------------------------- submit
 
     def submit(self, spec: JobSpec) -> str:
-        """Queue a job; returns its id.  Spec errors raise synchronously."""
+        """Queue a job; returns its id.  Spec errors raise synchronously;
+        submitting to a closed engine raises :class:`ServiceError` (never a
+        raw ``concurrent.futures`` shutdown error)."""
         spec.validate()
         if self._closed:
-            raise RuntimeError("engine is closed")
+            raise ServiceError("engine is closed")
         job_id = f"job-{next(self._ids):06d}"
         # The record must exist before the scheduler can hand the job to a
         # worker, or a fast worker would look it up before it is stored.
@@ -217,7 +240,23 @@ class Engine:
             "scheduler": self.scheduler.stats(),
             "tree_cache": self.tree_cache.stats(),
             "result_cache": self.result_cache.stats(),
+            "core_cache": self.core_cache.stats(),
+            "store": self.store.stats() if self.store is not None else None,
         }
+
+    def flush(self) -> Dict[str, Any]:
+        """Drop every cached artifact from all tiers (memory and disk).
+
+        Returns what was dropped, JSON-safe.  Jobs already in flight keep
+        any artifact references they hold; this only empties the caches.
+        """
+        flushed = {
+            "tree": self.tree_cache.clear(),
+            "result": self.result_cache.clear(),
+            "core": self.core_cache.clear(),
+            "store": self.store.clear() if self.store is not None else 0,
+        }
+        return flushed
 
     # ---------------------------------------------------------------- worker
 
@@ -281,12 +320,25 @@ class Engine:
                     self._dataset_fp.clear()
                 self._dataset_fp[memo_key] = points_fp
         result_key = combine_fingerprint(points_fp, spec.params_key())
-        payload = self.result_cache.get(result_key)
-        tree_hit = False
+        payload, result_src = self.result_cache.get_with_source(result_key)
+        result_hit = payload is not None
+        tree_src = core_src = None
+        tree_hit = core_hit = False
         if payload is None:
             tree_key = combine_fingerprint(points_fp, spec.tree_key())
-            bvh = self.tree_cache.get(tree_key)
-            tree_hit = bvh is not None
+            tree_entry, tree_src = self.tree_cache.get_with_source(tree_key)
+            tree_hit = tree_entry is not None
+            # The core-distance tier applies to the metrics that need
+            # ``T_core`` at all; its key folds in only ``k_pts`` (values
+            # are caller-order, hence tree-independent), so an ``mrd_emst``
+            # job and an ``hdbscan`` job share one artifact.
+            core_key = None
+            core_entry = None
+            if spec.algorithm in ("mrd_emst", "hdbscan"):
+                core_key = combine_fingerprint(points_fp, spec.core_key())
+                core_entry, core_src = \
+                    self.core_cache.get_with_source(core_key)
+                core_hit = core_entry is not None
             # Dataset-backed jobs never ship the array to a process worker
             # — regenerating from the deterministic spec is cheaper than
             # pickling a large buffer across the boundary (the thread
@@ -298,15 +350,22 @@ class Engine:
                 send_points = None
             exec_spec = make_exec_spec(
                 spec, points=send_points,
-                tree_state=bvh_to_state(bvh) if tree_hit else None)
+                tree_state=bvh_to_state(tree_entry["bvh"])
+                if tree_hit else None,
+                tree_counters=tree_entry["counters"] if tree_hit else None,
+                core_state=core_entry)
             outcome = self._dispatch(exec_spec)
             payload = outcome["payload"]
             # Only actually-computed features count toward the scheduler's
             # compute-throughput stat; cache hits would inflate it.
             ticket.features = outcome["features"]
             if outcome["tree_state"] is not None:
-                self.tree_cache.put(tree_key,
-                                    bvh_from_state(outcome["tree_state"]))
+                self.tree_cache.put(
+                    tree_key,
+                    {"bvh": bvh_from_state(outcome["tree_state"]),
+                     "counters": outcome["tree_counters"]})
+            if core_key is not None and outcome["core_state"] is not None:
+                self.core_cache.put(core_key, outcome["core_state"])
             payload_nbytes = outcome["payload_nbytes"]
             self.result_cache.put(result_key, payload, payload_nbytes)
             self._record(ticket.job_id).payload_nbytes = payload_nbytes
@@ -314,9 +373,7 @@ class Engine:
                 timer.add(name, seconds)
             n_points = outcome["n_points"]
             dimension = outcome["dimension"]
-            result_hit = False
         else:
-            result_hit = True
             # A hit-record keeps the payload alive even after the result
             # cache evicts it, so it must be charged too — the retention
             # bound would otherwise under-count shared dicts whose
@@ -336,7 +393,11 @@ class Engine:
             payload=payload,
             timings={"queue": ticket.queue_seconds, "run": run_seconds,
                      **timer.as_dict()},
-            cache={"result_hit": result_hit, "tree_hit": tree_hit},
+            cache={"result_hit": result_hit, "tree_hit": tree_hit,
+                   "core_hit": core_hit,
+                   "result_disk_hit": result_src == "disk",
+                   "tree_disk_hit": tree_src == "disk",
+                   "core_disk_hit": core_src == "disk"},
             mfeatures_per_sec=mfeatures_per_second(
                 n_points, dimension, max(run_seconds, 1e-12)),
         )

@@ -3,17 +3,26 @@
 :func:`execute_spec` is the compute half of what used to be
 ``Engine._execute``: it takes a plain-dict *execution spec* (points or a
 dataset spec, the algorithm and its parameters, optionally a serialized
-spatial index) and returns a plain-dict outcome.  It touches no engine
-state — no caches, no records, no locks — so the engine can run it either
-in-process (thread backend) or ship it to a ``ProcessPoolExecutor`` worker
-(process backend) and get byte-identical payloads from both.
+spatial index and/or core-distance artifact) and returns a plain-dict
+outcome.  It touches no engine state — no caches, no records, no locks —
+so the engine can run it either in-process (thread backend) or ship it to
+a ``ProcessPoolExecutor`` worker (process backend) and get byte-identical
+payloads from both.
 
 Cache interaction stays in the parent: the engine fingerprints and consults
-its tiers *before* dispatch and inserts the returned tree/payload *after*
+its tiers *before* dispatch and inserts the returned artifacts *after*
 completion.  A :class:`~repro.bvh.bvh.BVH` crosses the process boundary as
-a plain dict of arrays (:func:`bvh_to_state` / :func:`bvh_from_state`);
-building that state is a matter of collecting array references, so the
-thread backend pays nothing for sharing the same code path.
+a plain dict of arrays (:func:`~repro.store.blob.bvh_to_state` /
+:func:`~repro.store.blob.bvh_from_state`, re-exported here) — the same
+serialization the persistent :mod:`repro.store` writes to disk, so a tree
+built by one process (or node) is readable by any other.  Core distances
+travel as one caller-order float64 array.
+
+Injected artifacts *replay* the phase counters recorded when they were
+first computed (cached alongside the arrays), so a payload served warm is
+byte-identical — :func:`~repro.service.jobs.canonical_payload_bytes` —
+to the same spec executed cold: a skipped phase reports zero seconds but
+its original, deterministic work numbers.
 """
 
 from __future__ import annotations
@@ -23,7 +32,6 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.bvh.bvh import BVH
 from repro.core.boruvka_emst import SingleTreeConfig
 from repro.core.emst import build_tree, emst, mutual_reachability_emst
 from repro.errors import InvalidInputError
@@ -33,6 +41,9 @@ from repro.service.jobs import (
     emst_result_to_dict,
     hdbscan_result_to_dict,
 )
+from repro.store.blob import bvh_from_state, bvh_to_state  # noqa: F401 — the
+# canonical BVH serialization lives with the on-disk format; re-exported
+# because this is where the process backend historically imported it from.
 from repro.timing import PhaseTimer
 
 #: A Python list-of-scalars payload costs roughly 4x its raw array buffer.
@@ -59,29 +70,11 @@ def payload_nbytes(computed: Any) -> int:
             + _PAYLOAD_OVERHEAD)
 
 
-def bvh_to_state(tree: BVH) -> Dict[str, Any]:
-    """Flatten a :class:`BVH` to a dict of arrays (references, no copies).
-
-    The state is what the engine ships to process-pool workers: plain
-    ndarrays and a list of ndarrays pickle efficiently (raw buffers, no
-    per-element boxing), and reconstruction is allocation-free.
-    """
-    return {
-        "points": tree.points, "order": tree.order, "codes": tree.codes,
-        "left": tree.left, "right": tree.right, "parent": tree.parent,
-        "lo": tree.lo, "hi": tree.hi, "schedule": list(tree.schedule),
-        "codes_lo": tree.codes_lo,
-    }
-
-
-def bvh_from_state(state: Dict[str, Any]) -> BVH:
-    """Rebuild a :class:`BVH` from :func:`bvh_to_state` output."""
-    return BVH(**state)
-
-
 def make_exec_spec(spec: JobSpec, *,
                    points: Optional[np.ndarray] = None,
-                   tree_state: Optional[Dict[str, Any]] = None
+                   tree_state: Optional[Dict[str, Any]] = None,
+                   tree_counters: Optional[Dict[str, Any]] = None,
+                   core_state: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
     """The plain-dict execution spec for ``spec``.
 
@@ -89,6 +82,9 @@ def make_exec_spec(spec: JobSpec, *,
     it needs the content fingerprint); left ``None`` for a dataset job, the
     worker resolves it instead — regenerating from the deterministic spec
     is cheaper than pickling a large array across the process boundary.
+    ``tree_state``/``tree_counters`` inject a cached spatial index and the
+    work counters of its original build; ``core_state`` injects a cached
+    core-distance artifact (``{"core_sq": array, "counters": dict}``).
     """
     return {
         "points": points,
@@ -98,6 +94,8 @@ def make_exec_spec(spec: JobSpec, *,
         "k_pts": spec.k_pts,
         "min_cluster_size": spec.min_cluster_size,
         "tree_state": tree_state,
+        "tree_counters": tree_counters,
+        "core_state": core_state,
     }
 
 
@@ -108,8 +106,9 @@ def execute_spec(exec_spec: Dict[str, Any]) -> Dict[str, Any]:
     ``payload_nbytes``, the execution ``phases`` (``resolve`` /
     ``tree_build`` / ``compute`` wall seconds), the problem shape
     (``n_points`` / ``dimension`` / ``features``) and — when the worker had
-    to build the spatial index itself — its ``tree_state`` so the parent
-    can cache it for the next job over the same points.
+    to build an artifact itself — its ``tree_state``/``tree_counters``
+    and/or ``core_state`` so the parent can cache them for the next job
+    over the same points.
     """
     timer = PhaseTimer()
     config = SingleTreeConfig(**exec_spec["config"])
@@ -120,6 +119,8 @@ def execute_spec(exec_spec: Dict[str, Any]) -> Dict[str, Any]:
             points = generate_from_spec(exec_spec["dataset"])
     algorithm = exec_spec["algorithm"]
     tree_state = exec_spec.get("tree_state")
+    core_state = exec_spec.get("core_state")
+    injected_core = core_state["core_sq"] if core_state is not None else None
     built_tree = None
     if tree_state is not None:
         bvh = bvh_from_state(tree_state)
@@ -133,22 +134,39 @@ def execute_spec(exec_spec: Dict[str, Any]) -> Dict[str, Any]:
         if algorithm == "emst":
             computed = emst(points, config=config, bvh=bvh, check_tree=False)
             payload = emst_result_to_dict(computed)
+            emst_result = computed
         elif algorithm == "mrd_emst":
             computed = mutual_reachability_emst(
                 points, exec_spec["k_pts"], config=config, bvh=bvh,
-                check_tree=False)
+                check_tree=False, core_sq=injected_core)
             payload = emst_result_to_dict(computed)
+            emst_result = computed
         elif algorithm == "hdbscan":
             computed = hdbscan(
                 points, min_cluster_size=exec_spec["min_cluster_size"],
                 k_pts=exec_spec["k_pts"], config=config,
-                bvh=bvh, check_tree=False)
+                bvh=bvh, check_tree=False, core_sq=injected_core)
             payload = hdbscan_result_to_dict(computed)
+            emst_result = computed.emst
         else:
             # JobSpec.validate() admits nothing else, but a spec mutated
             # after validation must fail loudly, not run the wrong
             # algorithm.
             raise InvalidInputError(f"unknown algorithm {algorithm!r}")
+    # Replay the cached counters of injected artifacts into the payload: a
+    # skipped phase reports zero wall seconds but its original (and
+    # deterministic) work numbers, keeping warm payloads byte-identical in
+    # canonical form to cold execution of the same spec.
+    emst_payload = payload["emst"] if algorithm == "hdbscan" else payload
+    if tree_state is not None and exec_spec.get("tree_counters") is not None:
+        emst_payload["counters"]["tree"] = dict(exec_spec["tree_counters"])
+    new_core_state = None
+    if injected_core is not None:
+        if core_state.get("counters") is not None:
+            emst_payload["counters"]["core"] = dict(core_state["counters"])
+    elif emst_result.core_sq is not None:
+        new_core_state = {"core_sq": emst_result.core_sq,
+                          "counters": emst_payload["counters"]["core"]}
     return {
         "payload": payload,
         "payload_nbytes": payload_nbytes(computed),
@@ -158,4 +176,7 @@ def execute_spec(exec_spec: Dict[str, Any]) -> Dict[str, Any]:
         "features": int(points.shape[0] * points.shape[1]),
         "tree_state": bvh_to_state(built_tree)
         if built_tree is not None else None,
+        "tree_counters": dict(emst_payload["counters"]["tree"])
+        if built_tree is not None else None,
+        "core_state": new_core_state,
     }

@@ -164,6 +164,16 @@ class JobSpec:
                 f"bits={self.config.bits};"
                 f"high_resolution={self.config.high_resolution}")
 
+    def core_key(self) -> str:
+        """Canonical string the core-distance artifact depends on.
+
+        Only ``k_pts`` — cached core distances are stored squared, in the
+        caller's point order, so they are independent of the tree
+        configuration *and* of which algorithm (``mrd_emst`` or
+        ``hdbscan``) asked for them.
+        """
+        return f"core;k_pts={self.k_pts}"
+
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict (JSON-safe) form; inverse of :meth:`from_dict`."""
         out: Dict[str, Any] = {
@@ -325,7 +335,9 @@ class JobResult:
     :meth:`emst` / :meth:`hdbscan`, which build fresh arrays.  ``timings``
     includes the scheduler-observed ``queue`` and ``run`` seconds next to
     the algorithm's own phases; ``cache`` records which tiers answered
-    (``result_hit`` / ``tree_hit``).  ``mfeatures_per_sec`` is the *serving*
+    (``result_hit`` / ``tree_hit`` / ``core_hit``, plus ``*_disk_hit``
+    flags when the artifact came from the persistent store rather than
+    memory).  ``mfeatures_per_sec`` is the *serving*
     rate over ``run`` seconds — a cache hit reports the (very high) rate at
     which it was answered, not compute throughput (the scheduler stats
     count only computed features).

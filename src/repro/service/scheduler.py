@@ -38,6 +38,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.errors import ServiceError
 from repro.metrics import jobs_per_second, mfeatures_per_second
 
 #: Execution backends a scheduler (and the engine above it) can run.
@@ -176,7 +177,9 @@ class BatchScheduler:
                            enqueued_at=time.perf_counter())
         with self._cond:
             if self._shutdown:
-                raise RuntimeError("scheduler is shut down")
+                # A clean lifecycle error, never whatever the executor
+                # machinery below would surface for a post-shutdown submit.
+                raise ServiceError("scheduler is shut down")
             heapq.heappush(self._heap,
                            (-priority, next(self._seq), ticket))
             self._jobs_submitted += 1
@@ -216,7 +219,7 @@ class BatchScheduler:
                 except RuntimeError as exc:
                     # shutdown(wait=False) stopped the executor under us;
                     # resolve the future so no client blocks forever.
-                    ticket.future.set_exception(RuntimeError(
+                    ticket.future.set_exception(ServiceError(
                         f"scheduler shut down before job "
                         f"{ticket.job_id} ran: {exc}"))
 

@@ -4,15 +4,21 @@ Endpoints (all JSON):
 
 ``POST /v1/jobs``
     Body is a :meth:`~repro.service.jobs.JobSpec.to_dict` object.  Returns
-    ``202 {"job_id": ..., "status": "pending"}``; malformed specs get 400.
+    ``202 {"job_id": ..., "status": "pending"}``; malformed specs get 400,
+    a closed engine 503.
 ``GET /v1/jobs/<id>[?wait=SECONDS]``
     The job's :class:`~repro.service.jobs.JobResult` once finished, else
     ``{"job_id": ..., "status": "pending" | "running"}``.  ``wait`` blocks
     up to that many seconds for completion (long-poll).
 ``GET /v1/stats``
-    :meth:`Engine.stats` — scheduler throughput and cache hit rates.
+    :meth:`Engine.stats` — scheduler throughput plus per-tier cache hit
+    rates, memory and disk (tree / result / core-distance tiers and the
+    persistent store's occupancy, when one is configured).
 ``GET /v1/healthz``
-    Liveness probe.
+    Liveness probe (reports the backend and whether a store is attached).
+``POST /v1/admin/flush``
+    Drop every cached artifact, memory and disk; returns the drop counts.
+    No request body required.
 
 Built on :class:`http.server.ThreadingHTTPServer`; request threads only
 ever block on an engine future, the compute happens on the engine's worker
@@ -28,7 +34,7 @@ from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 import repro
-from repro.errors import InvalidInputError
+from repro.errors import InvalidInputError, ServiceError
 from repro.service.engine import Engine
 from repro.service.jobs import JobSpec
 
@@ -74,7 +80,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if parts == ["v1", "healthz"]:
             self._send_json(200, {"status": "ok",
                                   "version": repro.__version__,
-                                  "backend": self.engine.backend})
+                                  "backend": self.engine.backend,
+                                  "persistent": self.engine.store
+                                  is not None})
         elif parts == ["v1", "stats"]:
             self._send_json(200, self.engine.stats())
         elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
@@ -118,6 +126,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        if parts == ["v1", "admin", "flush"]:
+            self._post_flush()
+            return
         if parts != ["v1", "jobs"]:
             # Replying without consuming the body would leave its bytes to
             # be parsed as the next request on this keep-alive connection.
@@ -143,7 +154,31 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except InvalidInputError as exc:
             self._send_error_json(400, str(exc))
             return
+        except ServiceError as exc:
+            # The spec was fine; the engine is shutting down — a service
+            # availability condition, not a client error.
+            self._send_error_json(503, str(exc))
+            return
         self._send_json(202, {"job_id": job_id, "status": "pending"})
+
+    def _post_flush(self) -> None:
+        """``POST /v1/admin/flush`` — empty the cache tiers and the store.
+
+        Any body is ignored, but a well-formed one is consumed so the
+        keep-alive connection stays in sync; a malformed or oversized
+        Content-Length closes the connection instead (the unread bytes
+        would otherwise be parsed as the next request).
+        """
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True
+        elif length:
+            self.rfile.read(length)
+        self._send_json(200, {"status": "ok",
+                              "flushed": self.engine.flush()})
 
 
 def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,

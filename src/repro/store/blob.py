@@ -1,0 +1,180 @@
+"""Flat-blob serialization for persisted artifacts.
+
+A *blob* is a single ``.npz`` file holding named ndarrays plus one JSON
+metadata document (stored as a ``uint8`` byte array under ``__meta__``, so
+the container stays pure-array and loads with ``allow_pickle=False``).
+Everything the serving engine caches flattens to this shape:
+
+* a **BVH** becomes the same dict of arrays the process backend already
+  ships between processes (:func:`bvh_to_state` — the canonical
+  serialization, re-exported by :mod:`repro.service.executor`), so a tree
+  written by one process or node is readable by any other;
+* a **result payload** is pure JSON and travels entirely in the metadata;
+* a **core-distance artifact** is one float64 array (squared core
+  distances in the submitting caller's point order — deliberately
+  tree-independent, see :func:`encode_core`) plus its phase counters.
+
+The per-tier ``encode_*`` / ``decode_*`` pairs below are the codecs the
+:class:`~repro.store.tiered.TieredCache` uses to spill and warm values.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO, Dict, Tuple
+
+import numpy as np
+
+from repro.bvh.bvh import BVH
+from repro.errors import InvalidInputError
+
+#: Reserved array name carrying the JSON metadata bytes inside a blob.
+META_KEY = "__meta__"
+
+#: Blob container format version, recorded in every blob's metadata.  Bump
+#: together with any change to the fingerprint scheme or codec layouts.
+BLOB_FORMAT = 1
+
+Meta = Dict[str, Any]
+Arrays = Dict[str, np.ndarray]
+
+
+# ------------------------------------------------------------------ container
+
+def write_blob(file: BinaryIO, meta: Meta, arrays: Arrays) -> None:
+    """Serialize ``(meta, arrays)`` into ``file`` as an uncompressed npz."""
+    if META_KEY in arrays:
+        raise InvalidInputError(f"array name {META_KEY!r} is reserved")
+    meta = dict(meta)
+    meta["format"] = BLOB_FORMAT
+    meta_bytes = np.frombuffer(json.dumps(meta, sort_keys=True).encode(),
+                               dtype=np.uint8)
+    np.savez(file, **{META_KEY: meta_bytes}, **arrays)
+
+
+def read_blob(path: str) -> Tuple[Meta, Arrays]:
+    """Load a blob; raises on a truncated, corrupt or alien file.
+
+    Any failure surfaces as :class:`InvalidInputError` so the store can
+    quarantine the file uniformly (``zipfile``/``numpy`` raise a zoo of
+    exception types for damaged inputs).
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if META_KEY not in data.files:
+                raise InvalidInputError(f"{path}: blob carries no metadata")
+            meta = json.loads(bytes(data[META_KEY]).decode())
+            arrays = {name: data[name] for name in data.files
+                      if name != META_KEY}
+    except InvalidInputError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, ValueError, OSError, ...
+        raise InvalidInputError(f"{path}: unreadable blob ({exc})") from exc
+    if meta.get("format") != BLOB_FORMAT:
+        raise InvalidInputError(
+            f"{path}: blob format {meta.get('format')!r}, "
+            f"expected {BLOB_FORMAT}")
+    return meta, arrays
+
+
+# ----------------------------------------------------------------- BVH state
+
+def bvh_to_state(tree: BVH) -> Dict[str, Any]:
+    """Flatten a :class:`BVH` to a dict of arrays (references, no copies).
+
+    This is the canonical serialized form of a tree: the engine ships it to
+    process-pool workers, and :func:`encode_tree` writes exactly these
+    arrays to disk — plain ndarrays and a list of ndarrays pickle and store
+    efficiently (raw buffers, no per-element boxing), and reconstruction is
+    allocation-free.
+    """
+    return {
+        "points": tree.points, "order": tree.order, "codes": tree.codes,
+        "left": tree.left, "right": tree.right, "parent": tree.parent,
+        "lo": tree.lo, "hi": tree.hi, "schedule": list(tree.schedule),
+        "codes_lo": tree.codes_lo,
+    }
+
+
+def bvh_from_state(state: Dict[str, Any]) -> BVH:
+    """Rebuild a :class:`BVH` from :func:`bvh_to_state` output."""
+    return BVH(**state)
+
+
+# -------------------------------------------------------------------- codecs
+
+def encode_tree(value: Dict[str, Any]) -> Tuple[Meta, Arrays]:
+    """Codec for the tree tier: ``{"bvh": BVH, "counters": dict | None}``.
+
+    The cached construction-phase counters ride in the metadata so a warm
+    tree replays the exact work numbers of its original build — keeping
+    warm results byte-identical to cold ones.
+    """
+    state = bvh_to_state(value["bvh"])
+    arrays = {name: state[name]
+              for name in ("points", "order", "codes",
+                           "left", "right", "parent", "lo", "hi")}
+    for level, step in enumerate(state["schedule"]):
+        arrays[f"schedule_{level:03d}"] = step
+    if state["codes_lo"] is not None:
+        arrays["codes_lo"] = state["codes_lo"]
+    meta = {"tier": "tree", "n_schedule": len(state["schedule"]),
+            "counters": value.get("counters")}
+    return meta, arrays
+
+
+def decode_tree(meta: Meta, arrays: Arrays) -> Dict[str, Any]:
+    """Inverse of :func:`encode_tree`."""
+    schedule = [arrays[f"schedule_{level:03d}"]
+                for level in range(int(meta["n_schedule"]))]
+    bvh = BVH(points=arrays["points"], order=arrays["order"],
+              codes=arrays["codes"], left=arrays["left"],
+              right=arrays["right"], parent=arrays["parent"],
+              lo=arrays["lo"], hi=arrays["hi"], schedule=schedule,
+              codes_lo=arrays.get("codes_lo"))
+    return {"bvh": bvh, "counters": meta.get("counters")}
+
+
+def encode_result(payload: Dict[str, Any]) -> Tuple[Meta, Arrays]:
+    """Codec for the result tier: a serialized (JSON-safe) job payload."""
+    return {"tier": "result", "payload": payload}, {}
+
+
+def decode_result(meta: Meta, arrays: Arrays) -> Dict[str, Any]:
+    """Inverse of :func:`encode_result`."""
+    return meta["payload"]
+
+
+def encode_core(value: Dict[str, Any]) -> Tuple[Meta, Arrays]:
+    """Codec for the core-distance tier.
+
+    ``value`` is ``{"core_sq": (n,) float64, "counters": dict | None}``
+    with the squared core distances **in the caller's point order** — not
+    the BVH's sorted order — so the artifact depends only on
+    ``(points, k_pts)`` and one entry serves every tree configuration.
+    """
+    return ({"tier": "core", "counters": value.get("counters")},
+            {"core_sq": np.ascontiguousarray(value["core_sq"])})
+
+
+def decode_core(meta: Meta, arrays: Arrays) -> Dict[str, Any]:
+    """Inverse of :func:`encode_core`."""
+    return {"core_sq": arrays["core_sq"], "counters": meta.get("counters")}
+
+
+#: tier name -> (encode, decode); the registry the TieredCache tiers and the
+#: store's self-checks share.
+CODECS = {
+    "tree": (encode_tree, decode_tree),
+    "result": (encode_result, decode_result),
+    "core": (encode_core, decode_core),
+}
+
+
+def codec_for(tier: str) -> Tuple[Any, Any]:
+    """The ``(encode, decode)`` pair registered for ``tier``."""
+    try:
+        return CODECS[tier]
+    except KeyError:
+        raise InvalidInputError(
+            f"no codec for tier {tier!r}; known: {', '.join(sorted(CODECS))}")

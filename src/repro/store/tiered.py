@@ -1,0 +1,135 @@
+"""The two-level cache facade: memory tier over an optional disk store.
+
+:class:`TieredCache` is what the serving engine actually talks to.  Lookups
+fall through **memory → disk → miss**; a disk hit decodes the blob through
+the tier's codec (:mod:`repro.store.blob`) and *promotes* the value into
+the memory tier, so a warm-restarted server pays the deserialization once
+per artifact, not once per request.  Inserts go to both levels (*spill on
+insert*), so anything the memory tier later evicts — or a process restart
+wipes — is still one disk read away.
+
+Without a :class:`~repro.store.disk.DiskStore` the facade degrades to the
+plain in-memory :class:`~repro.store.memory.ContentCache`, which keeps the
+engine's code path identical whether persistence is configured or not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.metrics import hit_rate
+from repro.store.blob import codec_for
+from repro.store.disk import DiskStore
+from repro.store.memory import ContentCache, estimate_nbytes
+
+#: ``source`` values :meth:`TieredCache.get_with_source` can report.
+SOURCES = ("memory", "disk")
+
+
+class TieredCache:
+    """Memory-over-disk cache for one artifact tier (tree/result/core).
+
+    ``tier`` selects the blob codec and namespaces the disk layout; several
+    tiers share one :class:`DiskStore` (and its byte budget) the way the
+    engine's tiers share one process.  All methods are thread-safe.
+    """
+
+    def __init__(self, tier: str, max_bytes: int,
+                 store: Optional[DiskStore] = None) -> None:
+        self.tier = tier
+        self.memory = ContentCache(max_bytes, name=tier)
+        self.store = store
+        self._encode, self._decode = codec_for(tier)
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.spill_errors = 0
+        self.decode_errors = 0
+        self.read_errors = 0
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value for ``key`` from either level, or ``None``."""
+        return self.get_with_source(key)[0]
+
+    def get_with_source(self, key: str
+                        ) -> Tuple[Optional[Any], Optional[str]]:
+        """``(value, "memory" | "disk")`` on a hit, ``(None, None)`` else."""
+        value = self.memory.get(key)
+        if value is not None:
+            return value, "memory"
+        if self.store is None:
+            return None, None
+        try:
+            blob = self.store.get(self.tier, key)
+        except OSError:  # an unreadable volume is a miss, not a failure
+            self.read_errors += 1
+            self.disk_misses += 1
+            return None, None
+        if blob is None:
+            self.disk_misses += 1
+            return None, None
+        try:
+            value = self._decode(*blob)
+        except Exception:  # noqa: BLE001 — a bad artifact must read as a
+            # miss (the job recomputes), never fail the request.
+            self.decode_errors += 1
+            self.disk_misses += 1
+            return None, None
+        self.disk_hits += 1
+        # Promote with the size recorded at insert time: re-walking a large
+        # payload with estimate_nbytes on the serving path would cost more
+        # than the deserialization itself (and drift from the budget
+        # accounting the artifact was inserted under).
+        self.memory.put(key, value, blob[0].get("memory_nbytes"))
+        return value, "disk"
+
+    def put(self, key: str, value: Any,
+            nbytes: Optional[int] = None) -> bool:
+        """Insert into memory and spill to disk; returns the memory verdict.
+
+        ``nbytes`` overrides the memory tier's size estimate.  A failed
+        spill (full disk, permission error) is counted, not raised: the
+        serving path must not fail a job over a cold-cache-on-restart
+        degradation.
+        """
+        size = int(nbytes) if nbytes is not None else estimate_nbytes(value)
+        stored = self.memory.put(key, value, size)
+        if self.store is not None:
+            try:
+                meta, arrays = self._encode(value)
+                meta = dict(meta)
+                meta["memory_nbytes"] = size  # reused on promotion
+                self.store.put(self.tier, key, meta, arrays)
+            except OSError:
+                self.spill_errors += 1
+        return stored
+
+    def size_of(self, key: str) -> Optional[int]:
+        """The memory tier's byte estimate for ``key`` (no recency effect)."""
+        return self.memory.size_of(key)
+
+    def clear(self) -> int:
+        """Drop the memory level only; returns how many entries it held.
+
+        The disk level is shared between tiers, so it is cleared once at
+        the store (see :meth:`DiskStore.clear` / ``Engine.flush``).
+        """
+        dropped = len(self.memory)
+        self.memory.clear()
+        return dropped
+
+    def stats(self) -> Dict[str, Any]:
+        """Memory-tier stats plus a ``disk`` sub-document, JSON-safe."""
+        out = self.memory.stats()
+        out["disk"] = {
+            "enabled": self.store is not None,
+            "hits": self.disk_hits,
+            "misses": self.disk_misses,
+            "hit_rate": hit_rate(self.disk_hits, self.disk_misses),
+            "spill_errors": self.spill_errors,
+            "decode_errors": self.decode_errors,
+            "read_errors": self.read_errors,
+        }
+        return out

@@ -192,3 +192,11 @@ class TestParser:
     def test_serve_backend_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--backend", "greenlet"])
+
+    def test_serve_store_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--store-dir", "/tmp/s", "--store-mb", "64"])
+        assert args.store_dir == "/tmp/s"
+        assert args.store_mb == 64
+        # Persistence is opt-in: no flag, no store.
+        assert build_parser().parse_args(["serve"]).store_dir is None

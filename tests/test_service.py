@@ -283,7 +283,10 @@ class TestEngine:
                               timeout=60)
         second = engine.result(engine.submit(JobSpec(points=uniform_2d)),
                                timeout=60)
-        assert first.cache == {"result_hit": False, "tree_hit": False}
+        assert first.cache == {
+            "result_hit": False, "tree_hit": False, "core_hit": False,
+            "result_disk_hit": False, "tree_disk_hit": False,
+            "core_disk_hit": False}
         assert second.cache["result_hit"]
         assert np.array_equal(second.emst().edges, first.emst().edges)
 

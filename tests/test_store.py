@@ -1,0 +1,592 @@
+"""Tests for the persistent artifact store (repro.store) and its wiring."""
+
+import json
+import os
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import emst, hdbscan
+from repro.core.boruvka_emst import SingleTreeConfig
+from repro.core.emst import build_tree, mutual_reachability_emst
+from repro.errors import InvalidInputError, ServiceError
+from repro.service import (
+    BACKENDS,
+    Engine,
+    JobSpec,
+    canonical_payload_bytes,
+)
+from repro.service.executor import execute_spec, make_exec_spec
+from repro.service.scheduler import BatchScheduler
+from repro.store import (
+    DiskStore,
+    TieredCache,
+    bvh_from_state,
+    bvh_to_state,
+    combine_fingerprint,
+    fingerprint,
+    fingerprint_array,
+    read_blob,
+    write_blob,
+)
+from repro.store.blob import decode_core, decode_tree, encode_core, encode_tree
+
+
+class TestFingerprint:
+    """The keying scheme is part of the on-disk format: these digests are
+    pinned so a refactor that silently changes key bytes (stranding every
+    persisted store) fails here instead of in production."""
+
+    PINNED_ARRAY = ("5a15c734dcae3a0841149a7c9520f42a"
+                    "642f386daea009a18e7b55bf5bddf5aa")
+    PINNED_COMBINED = ("3906588d31ab179715d9f83889882e80"
+                       "1d2206c6631079b970591d1f84fd609e")
+    PINNED_FP = ("f36e6c9075227c5018497f21bdcad480"
+                 "2b7aea09800022b7f30e1f5d9b14340f")
+
+    def test_pinned_key_bytes(self):
+        a = np.arange(6, dtype=np.float64).reshape(3, 2)
+        assert fingerprint_array(a) == self.PINNED_ARRAY
+        assert combine_fingerprint(fingerprint_array(a),
+                                   "algorithm=emst") == self.PINNED_COMBINED
+        assert fingerprint(np.zeros((2, 2)), "core;k_pts=2") == self.PINNED_FP
+
+    def test_service_cache_reexports_the_same_scheme(self):
+        # The former copy in repro.service.cache must BE the store's
+        # functions, not a lookalike — one scheme, one key space.
+        from repro.service import cache as service_cache
+        assert service_cache.fingerprint_array is fingerprint_array
+        assert service_cache.combine_fingerprint is combine_fingerprint
+        assert service_cache.fingerprint is fingerprint
+
+    def test_shape_and_dtype_feed_the_digest(self):
+        a = np.arange(6, dtype=np.float64)
+        assert fingerprint_array(a) != fingerprint_array(a.reshape(3, 2))
+        assert fingerprint_array(a) != \
+            fingerprint_array(a.astype(np.float32))
+
+
+class TestBlob:
+    def test_tree_codec_round_trip(self, uniform_3d):
+        tree = build_tree(uniform_3d)
+        value = {"bvh": tree, "counters": {"scalar_ops": 123}}
+        meta, arrays = encode_tree(value)
+        back = decode_tree(meta, arrays)
+        assert back["counters"] == {"scalar_ops": 123}
+        assert np.array_equal(back["bvh"].points, tree.points)
+        assert len(back["bvh"].schedule) == len(tree.schedule)
+        # A decoded tree drives the solver to the same answer.
+        assert np.array_equal(emst(uniform_3d, bvh=back["bvh"]).edges,
+                              emst(uniform_3d).edges)
+
+    def test_core_codec_round_trip(self):
+        core = np.linspace(0.0, 1.0, 17)
+        meta, arrays = encode_core({"core_sq": core, "counters": None})
+        back = decode_core(meta, arrays)
+        assert np.array_equal(back["core_sq"], core)
+        assert back["counters"] is None
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "x.npz"
+        with open(path, "wb") as fh:
+            write_blob(fh, {"payload": {"k": [1, 2]}},
+                       {"a": np.arange(3, dtype=np.int64)})
+        meta, arrays = read_blob(str(path))
+        assert meta["payload"] == {"k": [1, 2]}
+        assert np.array_equal(arrays["a"], np.arange(3))
+
+    def test_read_blob_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip file at all")
+        with pytest.raises(InvalidInputError):
+            read_blob(str(path))
+
+
+class TestDiskStore:
+    def _core_blob(self, n=8):
+        return encode_core({"core_sq": np.ones(n, dtype=np.float64),
+                            "counters": None})
+
+    def test_round_trip_and_persistence(self, tmp_path, uniform_2d):
+        root = str(tmp_path / "store")
+        store = DiskStore(root)
+        meta, arrays = encode_tree({"bvh": build_tree(uniform_2d),
+                                    "counters": {"ops": 7}})
+        assert store.put("tree", "a" * 64, meta, arrays)
+        assert ("tree", "a" * 64) in store
+
+        reopened = DiskStore(root)  # "restart"
+        blob = reopened.get("tree", "a" * 64)
+        assert blob is not None
+        back = decode_tree(*blob)
+        assert back["counters"] == {"ops": 7}
+        assert np.array_equal(
+            emst(uniform_2d, bvh=back["bvh"]).edges,
+            emst(uniform_2d).edges)
+        assert reopened.get("tree", "b" * 64) is None
+        assert reopened.stats()["hits"] == 1
+        assert reopened.stats()["misses"] == 1
+
+    def test_lru_eviction_under_byte_budget(self, tmp_path):
+        store = DiskStore(str(tmp_path), max_bytes=8 << 10)
+        keys = [f"{i:02x}" * 32 for i in range(8)]
+        for key in keys:
+            meta, arrays = self._core_blob(128)  # ~1 KiB payload each
+            store.put("core", key, meta, arrays)
+        assert store.current_bytes <= 8 << 10
+        assert store.evictions > 0
+        # The newest keys survive; the oldest were evicted (files too).
+        assert ("core", keys[-1]) in store
+        assert ("core", keys[0]) not in store
+        stored = store.keys("core")
+        for tier, key in stored:
+            assert os.path.exists(store._path(tier, key))
+
+    def test_touch_recency_survives_restart(self, tmp_path):
+        root = str(tmp_path)
+        store = DiskStore(root, max_bytes=1 << 20)
+        for name in ("aa", "bb", "cc"):
+            store.put("core", name * 32, *self._core_blob())
+        assert store.get("core", "aa" * 32) is not None  # refresh aa
+        reopened = DiskStore(root, max_bytes=1 << 20)
+        order = [key for _tier, key in reopened.keys("core")]
+        assert order == ["bb" * 32, "cc" * 32, "aa" * 32]
+
+    def test_oversized_blob_rejected(self, tmp_path):
+        store = DiskStore(str(tmp_path), max_bytes=2 << 10)
+        meta, arrays = self._core_blob(4096)  # 32 KiB array
+        assert not store.put("core", "ff" * 32, meta, arrays)
+        assert store.stats()["oversized"] == 1
+        assert len(store) == 0
+
+    def test_clear_removes_files(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("core", "aa" * 32, *self._core_blob())
+        path = store._path("core", "aa" * 32)
+        assert os.path.exists(path)
+        assert store.clear() == 1
+        assert not os.path.exists(path)
+        assert DiskStore(str(tmp_path)).get("core", "aa" * 32) is None
+
+
+class TestCrashSafety:
+    """A killed writer must never poison the store: opening self-heals."""
+
+    def _store_with_entry(self, tmp_path):
+        root = str(tmp_path)
+        store = DiskStore(root)
+        meta, arrays = encode_core({"core_sq": np.arange(64, dtype=float),
+                                    "counters": None})
+        store.put("core", "ab" * 32, meta, arrays)
+        return root, store._path("core", "ab" * 32)
+
+    def test_truncated_blob_quarantined_on_open(self, tmp_path):
+        root, path = self._store_with_entry(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:  # kill -9 mid-overwrite analogue
+            fh.truncate(size // 2)
+        healed = DiskStore(root)
+        assert healed.get("core", "ab" * 32) is None
+        assert healed.healed["size_mismatches"] == 1
+        assert not os.path.exists(path)  # moved out of the object tree
+        quarantined = os.listdir(os.path.join(root, "quarantine"))
+        assert any(name.startswith("ab" * 32) for name in quarantined)
+
+    def test_orphan_tmp_files_removed_on_open(self, tmp_path):
+        root, path = self._store_with_entry(tmp_path)
+        orphan = os.path.join(os.path.dirname(path), "deadbeef.tmp")
+        with open(orphan, "wb") as fh:
+            fh.write(b"partial write, writer was killed")
+        healed = DiskStore(root)
+        assert not os.path.exists(orphan)
+        assert healed.healed["orphan_tmp"] == 1
+        assert healed.get("core", "ab" * 32) is not None  # entry intact
+
+    def test_unindexed_blob_removed_on_open(self, tmp_path):
+        root, path = self._store_with_entry(tmp_path)
+        stray = os.path.join(os.path.dirname(path), "cd" * 32 + ".npz")
+        with open(stray, "wb") as fh:
+            fh.write(b"renamed into place but the journal append was lost")
+        healed = DiskStore(root)
+        assert not os.path.exists(stray)
+        assert healed.healed["unindexed"] == 1
+
+    def test_torn_journal_line_skipped(self, tmp_path):
+        root, _path = self._store_with_entry(tmp_path)
+        with open(os.path.join(root, "index.jsonl"), "a") as fh:
+            fh.write('{"op": "put", "tier": "core", "ke')  # torn mid-append
+        healed = DiskStore(root)
+        assert healed.healed["bad_journal_lines"] == 1
+        assert healed.get("core", "ab" * 32) is not None
+
+    def test_missing_blob_dropped_on_open(self, tmp_path):
+        root, path = self._store_with_entry(tmp_path)
+        os.unlink(path)
+        healed = DiskStore(root)
+        assert healed.healed["missing_blobs"] == 1
+        assert healed.get("core", "ab" * 32) is None
+
+    def test_compaction_tmp_swept_on_open(self, tmp_path):
+        root, _path = self._store_with_entry(tmp_path)
+        stray = os.path.join(root, "index.jsonl.abc123")
+        with open(stray, "w") as fh:  # crash mid-_compact analogue
+            fh.write('{"op": "put"...')
+        healed = DiskStore(root)
+        assert not os.path.exists(stray)
+        assert healed.healed["orphan_tmp"] == 1
+        assert healed.get("core", "ab" * 32) is not None
+
+    def test_unwritable_journal_degrades_get_to_success(self, tmp_path,
+                                                        monkeypatch):
+        # A volume that stops accepting writes (ENOSPC, remounted
+        # read-only) must cost recency updates, not requests: get() on a
+        # disk entry still returns the blob.  (chmod can't simulate this
+        # under root, so the append itself is made to fail.)
+        root, _path = self._store_with_entry(tmp_path)
+        store = DiskStore(root)
+
+        def refuse(record):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr(store, "_append", refuse)
+        assert store.get("core", "ab" * 32) is not None
+        assert store.journal_errors == 1
+
+    def test_corrupt_blob_quarantined_at_read(self, tmp_path):
+        root, path = self._store_with_entry(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "wb") as fh:  # same size, garbage content
+            fh.write(b"\x00" * size)
+        store = DiskStore(root)  # size matches: survives the open check
+        assert store.get("core", "ab" * 32) is None
+        assert store.corrupt == 1
+        assert not os.path.exists(path)
+        # The journal recorded the eviction: a reopen stays clean.
+        assert DiskStore(root).healed["missing_blobs"] == 0
+
+
+class TestTieredCache:
+    def _value(self):
+        return {"core_sq": np.arange(32, dtype=float), "counters": None}
+
+    def test_memory_then_disk_then_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        cache = TieredCache("core", 1 << 20, store)
+        key = "aa" * 32
+        assert cache.get_with_source(key) == (None, None)
+        cache.put(key, self._value())
+        assert cache.get_with_source(key)[1] == "memory"
+        # A fresh facade over the same store simulates a restart: the
+        # memory tier is empty, the disk tier answers, the value promotes.
+        warm = TieredCache("core", 1 << 20, store)
+        value, source = warm.get_with_source(key)
+        assert source == "disk"
+        assert np.array_equal(value["core_sq"], self._value()["core_sq"])
+        assert warm.get_with_source(key)[1] == "memory"  # promoted
+        assert warm.disk_hits == 1
+
+    def test_no_store_degenerates_to_memory_only(self):
+        cache = TieredCache("core", 1 << 20, None)
+        cache.put("aa" * 32, self._value())
+        assert cache.get_with_source("aa" * 32)[1] == "memory"
+        assert cache.get_with_source("bb" * 32) == (None, None)
+        assert cache.stats()["disk"]["enabled"] is False
+
+    def test_memory_eviction_leaves_disk_copy(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        cache = TieredCache("core", 600, store)  # fits ~2 x 256-byte values
+        for name in ("aa", "bb", "cc", "dd"):
+            cache.put(name * 32, self._value())
+        assert cache.memory.evictions > 0
+        value, source = cache.get_with_source("aa" * 32)
+        assert source == "disk"  # spilled on insert, survived eviction
+        assert np.array_equal(value["core_sq"], self._value()["core_sq"])
+
+    def test_stats_shape(self, tmp_path):
+        cache = TieredCache("tree", 1 << 20, DiskStore(str(tmp_path)))
+        stats = cache.stats()
+        assert stats["name"] == "tree"
+        assert set(stats["disk"]) == {"enabled", "hits", "misses",
+                                      "hit_rate", "spill_errors",
+                                      "decode_errors", "read_errors"}
+
+    def test_promotion_reuses_insert_time_size(self, tmp_path):
+        # The engine inserts result payloads with a cheap O(1) size
+        # estimate; a disk-hit promotion must reuse it, not re-walk the
+        # payload (and must charge the memory budget identically).
+        store = DiskStore(str(tmp_path))
+        cache = TieredCache("result", 1 << 20, store)
+        cache.put("aa" * 32, {"edges": [[0, 1]]}, nbytes=4096)
+        assert cache.memory.size_of("aa" * 32) == 4096
+        warm = TieredCache("result", 1 << 20, store)
+        assert warm.get_with_source("aa" * 32)[1] == "disk"
+        assert warm.memory.size_of("aa" * 32) == 4096
+
+
+class TestCoreDistanceInjection:
+    """Library-level core_sq injection (the tier's compute contract)."""
+
+    def test_injected_core_matches_direct(self, uniform_2d):
+        direct = mutual_reachability_emst(uniform_2d, 4)
+        assert direct.core_sq is not None
+        injected = mutual_reachability_emst(uniform_2d, 4,
+                                            core_sq=direct.core_sq)
+        assert np.array_equal(injected.edges, direct.edges)
+        assert np.array_equal(injected.weights, direct.weights)
+        assert injected.phases["core"] == 0.0
+        assert injected.counters["core"].scalar_ops == 0
+
+    def test_injected_core_is_tree_layout_independent(self, uniform_2d):
+        # Core distances computed under one tree configuration must drive
+        # a run under another to the identical answer (caller-order
+        # storage is what makes the (points, k_pts) cache key sound).
+        core = mutual_reachability_emst(uniform_2d, 4).core_sq
+        other = SingleTreeConfig(high_resolution=True)
+        direct = mutual_reachability_emst(uniform_2d, 4, config=other)
+        injected = mutual_reachability_emst(uniform_2d, 4, config=other,
+                                            core_sq=core)
+        assert np.array_equal(injected.edges, direct.edges)
+        assert np.allclose(injected.weights, direct.weights)
+
+    def test_hdbscan_with_injected_core(self, clustered_3d):
+        mrd = mutual_reachability_emst(clustered_3d, 5)
+        direct = hdbscan(clustered_3d)
+        warm = hdbscan(clustered_3d, core_sq=mrd.core_sq)
+        assert np.array_equal(warm.labels, direct.labels)
+        assert warm.phases["core"] == 0.0
+
+    def test_bad_core_sq_rejected(self, uniform_2d):
+        with pytest.raises(InvalidInputError, match="shape"):
+            mutual_reachability_emst(uniform_2d, 4, core_sq=np.ones(3))
+        bad = np.full(len(uniform_2d), np.nan)
+        with pytest.raises(InvalidInputError, match="finite"):
+            mutual_reachability_emst(uniform_2d, 4, core_sq=bad)
+
+    def test_euclidean_result_has_no_core(self, uniform_2d):
+        assert emst(uniform_2d).core_sq is None
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture(params=BACKENDS)
+def engine(request):
+    """A memory-only engine per execution backend (core-tier guarantees
+    must hold under both, like every other engine-level behavior)."""
+    with Engine(max_workers=2, batch_window=0.001,
+                backend=request.param) as eng:
+        yield eng
+
+
+class TestEngineWarmRestart:
+    """The acceptance path: serve → kill → serve with the same store."""
+
+    def test_exact_repeat_served_from_disk(self, tmp_path, backend):
+        spec = dict(dataset="Uniform100M2:400", algorithm="mrd_emst",
+                    k_pts=4)
+        root = str(tmp_path / "store")
+        with Engine(max_workers=1, batch_window=0.0, backend=backend,
+                    store_dir=root) as eng:
+            cold = eng.result(eng.submit(JobSpec(**spec)), timeout=120)
+            assert cold.status.value == "done", cold.error
+            cold_bytes = canonical_payload_bytes(cold.payload)
+        with Engine(max_workers=1, batch_window=0.0, backend=backend,
+                    store_dir=root) as eng:
+            warm = eng.result(eng.submit(JobSpec(**spec)), timeout=120)
+            assert warm.cache["result_hit"]
+            assert warm.cache["result_disk_hit"]
+            # No recompute: the scheduler saw no computed features.
+            assert eng.stats()["scheduler"]["features_done"] == 0
+            assert canonical_payload_bytes(warm.payload) == cold_bytes
+
+    def test_tree_and_core_warm_from_disk_byte_identical(self, tmp_path,
+                                                         backend):
+        """A *different* job over known points skips T_tree and T_core via
+        the disk tiers and still matches cold execution byte-for-byte."""
+        root = str(tmp_path / "store")
+        warm_spec = JobSpec(dataset="Uniform100M2:400", algorithm="hdbscan",
+                            k_pts=4, min_cluster_size=6)
+        with Engine(max_workers=1, batch_window=0.0, backend=backend,
+                    store_dir=root) as eng:
+            first = eng.result(
+                eng.submit(JobSpec(dataset="Uniform100M2:400",
+                                   algorithm="mrd_emst", k_pts=4)),
+                timeout=120)
+            assert first.status.value == "done", first.error
+        with Engine(max_workers=1, batch_window=0.0, backend=backend,
+                    store_dir=root) as eng:
+            warm = eng.result(eng.submit(warm_spec), timeout=120)
+            assert warm.status.value == "done", warm.error
+            assert not warm.cache["result_hit"]
+            assert warm.cache["tree_hit"] and warm.cache["tree_disk_hit"]
+            assert warm.cache["core_hit"] and warm.cache["core_disk_hit"]
+            # Phase timings report both artifacts as skipped.
+            assert "tree_build" not in warm.timings
+            assert warm.timings["algo_tree"] == 0.0
+            assert warm.timings["algo_core"] == 0.0
+        reference = JobSpec(dataset="Uniform100M2:400", algorithm="hdbscan",
+                            k_pts=4, min_cluster_size=6)
+        reference.validate()
+        cold_payload = execute_spec(make_exec_spec(reference))["payload"]
+        # Replayed counters make the warm payload byte-identical to cold
+        # execution — skipped phases report their original work numbers.
+        assert canonical_payload_bytes(warm.payload) == \
+            canonical_payload_bytes(cold_payload)
+
+    def test_flush_forgets_everything(self, tmp_path):
+        root = str(tmp_path / "store")
+        with Engine(max_workers=1, batch_window=0.0,
+                    store_dir=root) as eng:
+            eng.result(eng.submit(JobSpec(dataset="Uniform100M2:300")),
+                       timeout=60)
+            flushed = eng.flush()
+            assert flushed["result"] == 1 and flushed["tree"] == 1
+            assert flushed["store"] >= 2
+            again = eng.result(eng.submit(JobSpec(dataset="Uniform100M2:300")),
+                               timeout=60)
+            assert not again.cache["result_hit"]
+            assert not again.cache["result_disk_hit"]
+
+    def test_memory_only_engine_unchanged(self, uniform_2d):
+        with Engine(max_workers=1, batch_window=0.0) as eng:
+            assert eng.store is None
+            result = eng.result(eng.submit(JobSpec(points=uniform_2d)),
+                                timeout=60)
+            assert result.status.value == "done"
+            assert eng.stats()["store"] is None
+
+
+class TestCoreTier:
+    def test_mrd_then_hdbscan_skips_core(self, engine, uniform_2d):
+        mrd = engine.result(
+            engine.submit(JobSpec(points=uniform_2d, algorithm="mrd_emst",
+                                  k_pts=4)), timeout=120)
+        assert not mrd.cache["core_hit"]
+        hdb = engine.result(
+            engine.submit(JobSpec(points=uniform_2d, algorithm="hdbscan",
+                                  k_pts=4)), timeout=120)
+        assert hdb.status.value == "done", hdb.error
+        assert hdb.cache["tree_hit"] and hdb.cache["core_hit"]
+        assert hdb.timings["algo_core"] == 0.0
+        direct = hdbscan(uniform_2d, k_pts=4)
+        assert np.array_equal(hdb.hdbscan().labels, direct.labels)
+
+    def test_different_k_pts_misses_core(self, engine, uniform_2d):
+        engine.result(engine.submit(
+            JobSpec(points=uniform_2d, algorithm="mrd_emst", k_pts=4)),
+            timeout=120)
+        other = engine.result(engine.submit(
+            JobSpec(points=uniform_2d, algorithm="mrd_emst", k_pts=7)),
+            timeout=120)
+        assert other.cache["tree_hit"]
+        assert not other.cache["core_hit"]
+        assert other.timings["algo_core"] > 0.0
+
+    def test_emst_never_touches_core_tier(self, engine, uniform_2d):
+        result = engine.result(engine.submit(JobSpec(points=uniform_2d)),
+                               timeout=120)
+        assert not result.cache["core_hit"]
+        stats = engine.stats()["core_cache"]
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+class TestLifecycleErrors:
+    def test_submit_after_close_raises_service_error(self, uniform_2d):
+        eng = Engine(max_workers=1)
+        eng.close()
+        with pytest.raises(ServiceError, match="closed"):
+            eng.submit(JobSpec(points=uniform_2d))
+
+    def test_scheduler_submit_after_shutdown(self):
+        sched = BatchScheduler(lambda t: None, max_workers=1)
+        sched.shutdown()
+        with pytest.raises(ServiceError, match="shut down"):
+            sched.submit("late", None)
+
+    def test_service_error_is_clean_and_catchable(self, uniform_2d):
+        from repro.errors import ReproError
+        eng = Engine(max_workers=1)
+        eng.close()
+        with pytest.raises(ReproError):
+            eng.submit(JobSpec(points=uniform_2d))
+
+
+class TestServerWithStore:
+    @pytest.fixture
+    def persistent_api(self, tmp_path):
+        from repro.service.server import create_server
+
+        engine = Engine(max_workers=1, batch_window=0.001,
+                        store_dir=str(tmp_path / "store"))
+        server = create_server(engine)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=120) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def _post(self, url, obj=None):
+        data = json.dumps(obj).encode() if obj is not None else b""
+        req = urllib.request.Request(url, data=data, method="POST")
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def test_healthz_reports_persistence(self, persistent_api):
+        _status, body = self._get(f"{persistent_api}/v1/healthz")
+        assert body["persistent"] is True
+
+    def test_stats_expose_disk_tiers_and_store(self, persistent_api):
+        _, submitted = self._post(f"{persistent_api}/v1/jobs",
+                                  {"dataset": "Uniform100M2:200"})
+        _, result = self._get(
+            f"{persistent_api}/v1/jobs/{submitted['job_id']}?wait=60")
+        assert result["status"] == "done"
+        _, stats = self._get(f"{persistent_api}/v1/stats")
+        for tier in ("tree_cache", "result_cache", "core_cache"):
+            assert stats[tier]["disk"]["enabled"] is True
+        assert stats["store"]["entries"] >= 2
+        assert stats["store"]["entries_by_tier"].get("tree") == 1
+
+    def test_admin_flush_endpoint(self, persistent_api):
+        _, submitted = self._post(f"{persistent_api}/v1/jobs",
+                                  {"dataset": "Uniform100M2:200"})
+        _, result = self._get(
+            f"{persistent_api}/v1/jobs/{submitted['job_id']}?wait=60")
+        assert result["status"] == "done"
+        status, body = self._post(f"{persistent_api}/v1/admin/flush")
+        assert status == 200
+        assert body["flushed"]["store"] >= 2
+        _, stats = self._get(f"{persistent_api}/v1/stats")
+        assert stats["store"]["entries"] == 0
+        assert stats["result_cache"]["entries"] == 0
+
+
+class TestBvhStateCompat:
+    def test_executor_reexports_store_serialization(self):
+        # The process-backend wire format and the on-disk format must stay
+        # the same functions forever (cross-process == cross-restart).
+        from repro.service import executor
+        from repro.store import blob
+        assert executor.bvh_to_state is blob.bvh_to_state
+        assert executor.bvh_from_state is blob.bvh_from_state
+
+    def test_state_written_by_one_layout_loads_in_another(self, uniform_3d):
+        state = bvh_to_state(build_tree(
+            uniform_3d, config=SingleTreeConfig(high_resolution=True)))
+        meta, arrays = encode_tree({"bvh": bvh_from_state(state),
+                                    "counters": None})
+        back = decode_tree(meta, arrays)
+        assert back["bvh"].codes_lo is not None
+        assert np.array_equal(back["bvh"].codes_lo, state["codes_lo"])
