@@ -9,6 +9,8 @@ Commands
 ``datasets``  list the available dataset generators
 ``serve``     run the batch-serving JSON-over-HTTP engine (repro.service)
 ``submit``    submit one job to a running server and await the result
+``route``     front N running nodes with a cluster router (repro.cluster)
+``cluster-demo``  boot a whole K-node fleet + router locally and drive it
 
 Point inputs are either a path to an ``(n, d)`` ``.npy`` file or a spec
 ``dataset:NAME:N[:SEED]`` using the generators of :mod:`repro.data`.
@@ -145,7 +147,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # stdout pipe) must not be misreported as bind failures.
     try:
         server = create_server(engine, args.host, args.port,
-                               verbose=args.verbose)
+                               verbose=args.verbose, node_name=args.name)
     except OSError as exc:
         engine.close()
         raise InvalidInputError(
@@ -237,6 +239,137 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0 if result["status"] == "done" else 1
 
 
+def cmd_route(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterRouter, Node, create_router_server
+    from repro.cluster.server import run_router_server
+
+    def parse_node(arg: str) -> Node:
+        # "NAME=URL" names the node explicitly; a bare URL is named by
+        # its host:port (matching the node's own default identity).
+        if "=" in arg and not arg.startswith(("http://", "https://")):
+            name, _, url = arg.partition("=")
+            return Node(url, name=name)
+        return Node(arg)
+
+    try:
+        nodes = [parse_node(arg) for arg in args.node]
+        router = ClusterRouter(nodes, timeout=args.node_timeout,
+                               retries=args.retries)
+    except InvalidInputError:
+        raise
+    except ValueError as exc:
+        raise InvalidInputError(str(exc))
+    health = router.healthz()
+    print(f"fleet: {health['nodes_up']}/{health['nodes_total']} node(s) "
+          f"reachable ({health['status']})")
+    for entry in health["nodes"]:
+        state = "up" if entry.get("reachable") else \
+            f"DOWN ({entry.get('last_error')})"
+        print(f"  {entry['name']:24s} {entry['base_url']:32s} {state}")
+    try:
+        server = create_router_server(router, args.host, args.port,
+                                      verbose=args.verbose)
+    except OSError as exc:
+        raise InvalidInputError(
+            f"cannot bind http://{args.host}:{args.port}: {exc}")
+    run_router_server(server, router)
+    return 0
+
+
+def cmd_cluster_demo(args: argparse.Namespace) -> int:
+    """Boot K nodes + a router locally and drive traffic through them.
+
+    Each node persists its shard of the fleet's artifacts under its own
+    subdirectory of ``--store-dir`` (nodes never share one journal — the
+    ring, not the filesystem, is what makes a point set's artifacts land
+    together).  The same job set is driven through the router twice: the
+    second pass must be answered entirely from the warm tiers of the
+    nodes the ring pinned each point set to.
+    """
+    import json
+    import shutil
+    import tempfile
+    import threading
+    import time
+    import urllib.request
+
+    from repro.cluster import ClusterRouter, Node, create_router_server
+    from repro.service import Engine
+    from repro.service.server import create_server
+
+    if args.nodes < 1:
+        raise InvalidInputError(f"--nodes must be >= 1, got {args.nodes}")
+    store_root = args.store_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+    cleanup_store = args.store_dir is None
+    engines, servers = [], []
+    try:
+        for i in range(args.nodes):
+            engine = Engine(max_workers=1, batch_window=0.0,
+                            store_dir=f"{store_root}/node-{i}")
+            server = create_server(engine, node_name=f"node-{i}")
+            threading.Thread(target=server.serve_forever,
+                             daemon=True).start()
+            engines.append(engine)
+            servers.append(server)
+        nodes = [Node(f"http://127.0.0.1:{srv.server_address[1]}",
+                      name=f"node-{i}")
+                 for i, srv in enumerate(servers)]
+        router = ClusterRouter(nodes)
+        router_server = create_router_server(router)
+        threading.Thread(target=router_server.serve_forever,
+                         daemon=True).start()
+        servers.append(router_server)
+        base = f"http://127.0.0.1:{router_server.server_address[1]}"
+        print(f"{args.nodes} node(s) + router up at {base} "
+              f"(stores under {store_root})")
+
+        def request(url, body=None):
+            req = urllib.request.Request(
+                url, data=json.dumps(body).encode() if body else None,
+                headers={"Content-Type": "application/json"} if body
+                else {})
+            with urllib.request.urlopen(req, timeout=120) as resp:
+                return json.loads(resp.read())
+
+        specs = []
+        for j in range(args.jobs):
+            dataset = f"Uniform100M2:{args.points + 100 * j}"
+            algorithm = ("emst", "mrd_emst", "hdbscan")[j % 3]
+            specs.append({"dataset": dataset, "algorithm": algorithm,
+                          "k_pts": 4})
+        for label in ("cold", "warm"):
+            started = time.perf_counter()
+            accepted = [request(f"{base}/v1/jobs", spec) for spec in specs]
+            results = [request(f"{base}/v1/jobs/{a['job_id']}?wait_s=60")
+                       for a in accepted]
+            wall = time.perf_counter() - started
+            done = sum(r["status"] == "done" for r in results)
+            hits = sum(r.get("cache", {}).get("result_hit", False)
+                       for r in results)
+            print(f"{label:4s}: {done}/{len(specs)} done in {wall:.2f}s, "
+                  f"{hits} result-cache hit(s)")
+            for spec, result in zip(specs, results):
+                print(f"    {spec['dataset']:24s} {spec['algorithm']:8s} "
+                      f"-> {result.get('node')} "
+                      f"(result_hit={result['cache']['result_hit']})")
+        stats = request(f"{base}/v1/stats")
+        fleet = stats["fleet"]
+        print(f"fleet: {fleet['jobs']['done']} jobs done, result tier "
+              f"hit rate {fleet['result_cache']['hit_rate']:.0%}, "
+              f"{fleet['mfeatures_per_sec']:.2f} MFeatures/s pooled")
+        print("routed by node:",
+              stats["router"]["routed_by_node"])
+        return 0
+    finally:
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+        for engine in engines:
+            engine.close()
+        if cleanup_store:
+            shutil.rmtree(store_root, ignore_errors=True)
+
+
 def cmd_datasets(_args: argparse.Namespace) -> int:
     print(f"{'name':18s} dim")
     for name in sorted(DATASETS):
@@ -305,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of recomputing")
     p_serve.add_argument("--store-mb", type=int, default=1024,
                          help="disk-store budget in MiB (with --store-dir)")
+    p_serve.add_argument("--name", default=None, metavar="NAME",
+                         help="node identity reported in X-Repro-Node and "
+                              "healthz (default: host:port); must be "
+                              "stable for cluster routing to be")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.set_defaults(func=cmd_serve)
@@ -326,6 +463,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--timeout", type=float, default=60.0,
                           help="seconds to wait for completion")
     p_submit.set_defaults(func=cmd_submit)
+
+    p_route = sub.add_parser(
+        "route", help="front running nodes with a cluster router")
+    p_route.add_argument("--node", action="append", required=True,
+                         metavar="[NAME=]URL",
+                         help="base URL of a repro.service node, "
+                              "optionally named (repeatable)")
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument("--port", type=int, default=8320)
+    p_route.add_argument("--node-timeout", type=float, default=30.0,
+                         help="per-request timeout against a node")
+    p_route.add_argument("--retries", type=int, default=1,
+                         help="extra attempts for idempotent node GETs")
+    p_route.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_route.set_defaults(func=cmd_route)
+
+    p_demo = sub.add_parser(
+        "cluster-demo",
+        help="boot a local K-node fleet + router and drive traffic")
+    p_demo.add_argument("--nodes", type=int, default=3, metavar="K",
+                        help="how many service nodes to boot")
+    p_demo.add_argument("--jobs", type=int, default=6,
+                        help="jobs per traffic pass")
+    p_demo.add_argument("--points", type=int, default=2000,
+                        help="points in the smallest job")
+    p_demo.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="root for the per-node persistent stores "
+                             "(default: a temp dir, removed afterwards)")
+    p_demo.set_defaults(func=cmd_cluster_demo)
     return parser
 
 

@@ -1,0 +1,145 @@
+"""Minimal stdlib HTTP client for one ``repro.service`` node.
+
+One :class:`NodeClient` per :class:`~repro.cluster.topology.Node`; it
+speaks the existing ``/v1`` JSON API (jobs, stats, healthz, admin) with a
+per-request timeout and bounded retries.  Error taxonomy:
+
+* :class:`~repro.errors.NodeUnavailableError` — connection refused/reset,
+  timeout, or a 5xx response.  The node may be down; the router fails the
+  work over to the next node in ring order.
+* :class:`NodeHTTPError` — a 4xx response.  The *request* is at fault
+  (unknown job id, bad spec); failing over would just repeat the mistake
+  on another node, so it propagates with the upstream status code.
+
+Retries apply only to idempotent GETs (a lookup repeated is harmless); a
+``POST /v1/jobs`` is never retried against the *same* node — re-dispatch
+on a different node is the router's at-most-one failover, mirroring the
+engine's crashed-worker policy.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cluster.topology import Node
+from repro.errors import ClusterError, NodeUnavailableError
+
+#: Seconds a single HTTP request may take before the node counts as down.
+DEFAULT_TIMEOUT = 30.0
+#: Extra attempts for idempotent GETs (total attempts = retries + 1).
+DEFAULT_RETRIES = 1
+
+
+class NodeHTTPError(ClusterError):
+    """A node answered with a 4xx status — the request itself is bad."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class NodeClient:
+    """HTTP access to one node's ``/v1`` API (stdlib only, thread-safe)."""
+
+    def __init__(self, node: Node, *, timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES) -> None:
+        if timeout <= 0:
+            raise ClusterError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ClusterError(f"retries must be >= 0, got {retries}")
+        self.node = node
+        self.timeout = timeout
+        self.retries = retries
+
+    # ------------------------------------------------------------- transport
+
+    def _request(self, path: str, body: Optional[Dict[str, Any]] = None, *,
+                 timeout: Optional[float] = None,
+                 idempotent: bool = True) -> Tuple[Dict[str, Any], str]:
+        """One JSON round trip; returns ``(decoded body, X-Repro-Node)``.
+
+        ``body`` switches the request to POST.  Connection-level failures
+        and 5xx responses raise :class:`NodeUnavailableError` (after
+        ``retries`` extra attempts when ``idempotent``); 4xx raise
+        :class:`NodeHTTPError`.
+        """
+        url = f"{self.node.base_url}{path}"
+        data = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if body is not None \
+            else {}
+        attempts = (self.retries + 1) if idempotent else 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(min(0.05 * attempt, 0.5))
+            request = urllib.request.Request(url, data=data, headers=headers)
+            try:
+                with urllib.request.urlopen(
+                        request,
+                        timeout=timeout if timeout is not None
+                        else self.timeout) as response:
+                    decoded = json.loads(response.read())
+                    return decoded, response.headers.get("X-Repro-Node", "")
+            except urllib.error.HTTPError as exc:
+                detail = self._error_detail(exc)
+                if exc.code >= 500:
+                    last_error = exc
+                    if attempt + 1 < attempts:
+                        continue
+                    raise NodeUnavailableError(
+                        f"node {self.node.name} answered "
+                        f"{exc.code}: {detail}") from exc
+                raise NodeHTTPError(exc.code, detail) from exc
+            except (urllib.error.URLError, socket.timeout, TimeoutError,
+                    ConnectionError, OSError,
+                    json.JSONDecodeError) as exc:
+                # A truncated/garbled body (JSONDecodeError) means the node
+                # died mid-response — unavailability, not a bad request.
+                last_error = exc
+        raise NodeUnavailableError(
+            f"node {self.node.name} unreachable at {url}: "
+            f"{last_error}") from last_error
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        try:
+            payload = json.loads(exc.read())
+            return str(payload.get("error", payload))
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return str(exc.reason)
+
+    # -------------------------------------------------------------- /v1 api
+
+    def healthz(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._request("/v1/healthz", timeout=timeout)[0]
+
+    def stats(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._request("/v1/stats", timeout=timeout)[0]
+
+    def submit(self, body: Dict[str, Any]) -> Tuple[Dict[str, Any], str]:
+        """POST one job spec; returns ``(202 body, serving node name)``."""
+        return self._request("/v1/jobs", body, idempotent=False)
+
+    def job(self, job_id: str,
+            wait_s: float = 0.0) -> Tuple[Dict[str, Any], str]:
+        """GET one job (long-polling ``wait_s`` seconds server-side).
+
+        The HTTP timeout stretches to cover the requested wait, so a
+        legitimate long-poll is not misread as node death.
+        """
+        path = f"/v1/jobs/{job_id}"
+        if wait_s > 0:
+            path += f"?wait_s={wait_s:.3f}"
+        return self._request(path, timeout=self.timeout + max(0.0, wait_s))
+
+    def flush(self, tier: Optional[str] = None) -> Dict[str, Any]:
+        body: Dict[str, Any] = {} if tier is None else {"tier": tier}
+        return self._request("/v1/admin/flush", body, idempotent=False)[0]
+
+    def compact(self) -> Dict[str, Any]:
+        return self._request("/v1/admin/compact", {}, idempotent=False)[0]

@@ -1,0 +1,412 @@
+"""The cluster router: one submit/result façade over N service nodes.
+
+:class:`ClusterRouter` makes a fleet of ``repro.service`` nodes look like
+one engine.  Per job it:
+
+1. **validates and fingerprints locally** — the spec is parsed with the
+   same :class:`~repro.service.jobs.JobSpec` validation the nodes use (a
+   bad spec is rejected at the router, costing no node a request) and its
+   point content is hashed with :func:`repro.store.fingerprint_spec`, the
+   exact digest the nodes key their cache tiers by;
+2. **routes by ring position** — the consistent-hash ring maps the
+   points-fingerprint to a node, so repeat submissions of the same point
+   set land where the BVH / core-distance / result tiers are already warm
+   (content-addressed keys make artifacts location-independent; the ring
+   adds location *affinity* on top);
+3. **fails over at most once** — on a connection error or 5xx the target
+   is marked down and the job goes to the next node in preference order
+   (ring primary, then rendezvous-ranked survivors), mirroring the
+   engine's crashed-worker retry policy;
+4. **recovers results across node death** — the router remembers each
+   routed job's spec (bounded, like the engine's retention); if the
+   owning node dies before the result is read, the next poll transparently
+   *resubmits* to a surviving node.  Jobs are pure functions of their
+   spec, so re-execution is safe and byte-identical.
+
+Dataset-spec fingerprints are memoized (the specs are deterministic), so
+routing a repeat dataset job costs a dict lookup, not a regeneration —
+the same trick the engine itself uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+from repro.cluster.client import (
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUT,
+    NodeClient,
+    NodeHTTPError,
+)
+from repro.cluster.topology import HashRing, Node
+from repro.errors import (
+    ClusterError,
+    InvalidInputError,
+    NodeUnavailableError,
+)
+from repro.metrics import fleet_hit_rate, fleet_mfeatures_per_second
+from repro.service.jobs import JobSpec
+from repro.store import fingerprint_spec
+
+#: Routed jobs kept resolvable (and re-submittable) at once; mirrors the
+#: engine's own finished-job retention cap.
+DEFAULT_MAX_ROUTES = 4096
+#: Seconds a node stays skipped after a failure before the router risks a
+#: request on it again (half-open probe).
+DEFAULT_RETRY_DOWN_AFTER = 5.0
+#: Timeout for fleet-wide healthz/stats probes.  Deliberately much shorter
+#: than the job timeout: these answer from memory on a healthy node, and a
+#: hung node must not stall a whole fleet-status call for the full job
+#: timeout times the node count (probes run sequentially).
+DEFAULT_PROBE_TIMEOUT = 5.0
+#: Memoized dataset-spec fingerprints (tiny entries, safety cap).
+_MAX_DATASET_MEMO = 4096
+
+
+@dataclass
+class _Route:
+    """Router-side record of one dispatched job."""
+
+    spec: JobSpec
+    points_fp: str
+    node_name: str
+    upstream_id: str
+    resubmits: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ClusterRouter:
+    """Routes the ``/v1`` job API across a fleet of service nodes."""
+
+    def __init__(self, nodes: List[Node], *,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES,
+                 max_routes: int = DEFAULT_MAX_ROUTES,
+                 retry_down_after: float = DEFAULT_RETRY_DOWN_AFTER,
+                 probe_timeout: float = DEFAULT_PROBE_TIMEOUT) -> None:
+        if not nodes:
+            raise InvalidInputError("a cluster needs at least one node")
+        if max_routes < 1:
+            raise InvalidInputError(
+                f"max_routes must be >= 1, got {max_routes}")
+        self.probe_timeout = min(probe_timeout, timeout)
+        self.ring = HashRing(nodes)
+        self.clients: Dict[str, NodeClient] = {
+            node.name: NodeClient(node, timeout=timeout, retries=retries)
+            for node in nodes}
+        self.max_routes = max_routes
+        self.retry_down_after = retry_down_after
+        self._routes: "OrderedDict[str, _Route]" = OrderedDict()
+        self._dataset_fp: Dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._started_at = time.perf_counter()
+        # Router-level counters (guarded by _lock).
+        self._submitted = 0
+        self._failovers = 0
+        self._resubmits = 0
+        self._routed_by_node: Dict[str, int] = {n.name: 0 for n in nodes}
+
+    # ------------------------------------------------------------ placement
+
+    def fingerprint(self, spec: JobSpec) -> str:
+        """The routing key of ``spec`` — its points-content fingerprint."""
+        memo_key = None
+        if spec.dataset is not None:
+            memo_key = spec.dataset.removeprefix("dataset:")
+            cached = self._dataset_fp.get(memo_key)
+            if cached is not None:
+                return cached
+        points_fp = fingerprint_spec(spec)
+        if memo_key is not None:
+            with self._lock:
+                if len(self._dataset_fp) >= _MAX_DATASET_MEMO:
+                    self._dataset_fp.clear()
+                self._dataset_fp[memo_key] = points_fp
+        return points_fp
+
+    def _candidates(self, points_fp: str,
+                    exclude: Tuple[str, ...] = ()) -> List[Node]:
+        """Failover-ordered nodes for a key, shunning recently-down ones.
+
+        A down node is skipped until ``retry_down_after`` seconds have
+        passed since its last failure, then tried again (half-open).  If
+        that filter empties the list, every node (minus ``exclude``) is
+        returned anyway — a fleet that looks entirely down must still try
+        *something* rather than fail without a connection attempt.
+        """
+        preferred = [node for node in self.ring.preference(points_fp)
+                     if node.name not in exclude]
+        now = time.monotonic()
+        live = [node for node in preferred
+                if node.healthy
+                or now - node.last_failure_at >= self.retry_down_after]
+        return live or preferred
+
+    # --------------------------------------------------------------- submit
+
+    def submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate, route and dispatch one job-spec body.
+
+        Returns the node's 202 body with the router's own job id and the
+        serving node's name under ``"node"``.  Raises
+        :class:`InvalidInputError` for a bad spec (the caller's 400) and
+        :class:`NodeUnavailableError` when the primary *and* the failover
+        node both fail (the caller's 503).
+        """
+        spec = JobSpec.from_dict(body)
+        points_fp = self.fingerprint(spec)
+        accepted, node = self._dispatch(spec, points_fp)
+        routed_id = f"job-{next(self._ids):06d}"
+        route = _Route(spec=spec, points_fp=points_fp,
+                       node_name=node.name,
+                       upstream_id=accepted["job_id"])
+        with self._lock:
+            self._routes[routed_id] = route
+            while len(self._routes) > self.max_routes:
+                self._routes.popitem(last=False)
+            self._submitted += 1
+            self._routed_by_node[node.name] += 1
+        return {**accepted, "job_id": routed_id, "node": node.name}
+
+    def _dispatch(self, spec: JobSpec, points_fp: str,
+                  exclude: Tuple[str, ...] = ()
+                  ) -> Tuple[Dict[str, Any], Node]:
+        """Send a spec to the first candidate that takes it.
+
+        At-most-one retry: the primary plus one failover, mirroring the
+        engine's crashed-worker policy (a job that breaks *every* node it
+        touches should fail loudly, not walk the whole fleet).
+        """
+        body = spec.to_dict()
+        last_error: Optional[Exception] = None
+        for node in self._candidates(points_fp, exclude)[:2]:
+            client = self.clients[node.name]
+            try:
+                accepted, _header = client.submit(body)
+            except NodeUnavailableError as exc:
+                node.mark_down(str(exc))
+                if last_error is None:
+                    with self._lock:
+                        self._failovers += 1
+                last_error = exc
+                continue
+            node.mark_up()
+            return accepted, node
+        raise NodeUnavailableError(
+            f"no node accepted the job (tried primary and failover): "
+            f"{last_error}") from last_error
+
+    # --------------------------------------------------------------- results
+
+    def _route(self, routed_id: str) -> _Route:
+        with self._lock:
+            route = self._routes.get(routed_id)
+        if route is None:
+            raise InvalidInputError(f"unknown job id {routed_id!r}")
+        return route
+
+    def job(self, routed_id: str,
+            wait_s: float = 0.0) -> Tuple[Dict[str, Any], str]:
+        """Proxy one job lookup; returns ``(body, serving node name)``.
+
+        If the owning node died, the spec is resubmitted to the next node
+        in preference order (transparent recovery) and the lookup
+        continues there within the same call.
+        """
+        route = self._route(routed_id)
+        observed_node = route.node_name
+        client = self.clients[observed_node]
+        node = self.ring.get(observed_node)
+        try:
+            body, _header = client.job(route.upstream_id, wait_s)
+        except NodeUnavailableError as exc:
+            if node is not None:
+                node.mark_down(str(exc))
+            body = self._recover(route, observed_node, wait_s)
+        except NodeHTTPError as exc:
+            if exc.code == 404:
+                # The node forgot the job (restart, retention eviction):
+                # same recovery as node death — the spec re-executes.
+                body = self._recover(route, observed_node, wait_s)
+            else:
+                raise
+        else:
+            if node is not None:
+                node.mark_up()
+        return {**body, "job_id": routed_id, "node": route.node_name}, \
+            route.node_name
+
+    def _recover(self, route: _Route, failed_node: str,
+                 wait_s: float) -> Dict[str, Any]:
+        """Resubmit a lost job elsewhere and look it up once more.
+
+        ``failed_node`` is the assignment the caller *observed* failing.
+        One recovery runs at a time per route; a concurrent poller that
+        blocked on the lock re-reads the assignment and, finding it
+        already moved off the node it saw fail, polls the recovered
+        placement instead of re-dispatching (which would double-execute
+        the job — or, on a two-node fleet, exclude the only healthy
+        node).
+        """
+        with route.lock:
+            if route.node_name == failed_node:
+                accepted, node = self._dispatch(
+                    route.spec, route.points_fp, exclude=(failed_node,))
+                route.node_name = node.name
+                route.upstream_id = accepted["job_id"]
+                route.resubmits += 1
+                with self._lock:
+                    self._resubmits += 1
+                    self._routed_by_node[node.name] += 1
+            current_node, current_id = route.node_name, route.upstream_id
+        body, _header = self.clients[current_node].job(current_id, wait_s)
+        return body
+
+    # ----------------------------------------------------- fleet aggregates
+
+    def healthz(self) -> Dict[str, Any]:
+        """Probe every node; fleet status is ``ok`` only if all answer."""
+        nodes = []
+        up = 0
+        for node in self.ring.nodes:
+            try:
+                health = self.clients[node.name].healthz(
+                    timeout=self.probe_timeout)
+            except NodeUnavailableError as exc:
+                node.mark_down(str(exc))
+                nodes.append({**node.as_dict(), "reachable": False})
+                continue
+            except NodeHTTPError as exc:
+                # Alive but refusing: reachable, yet not healthy — do not
+                # route around it via mark_down, just report it.
+                nodes.append({**node.as_dict(), "reachable": True,
+                              "error": str(exc)})
+                continue
+            node.mark_up()
+            up += 1
+            nodes.append({**node.as_dict(), "reachable": True,
+                          "backend": health.get("backend"),
+                          "persistent": health.get("persistent")})
+        status = "ok" if up == len(nodes) else \
+            "degraded" if up else "down"
+        return {"status": status, "role": "router",
+                "version": repro.__version__,
+                "nodes_up": up, "nodes_total": len(nodes), "nodes": nodes}
+
+    def stats(self) -> Dict[str, Any]:
+        """Fleet-level statistics: pooled hit rates and throughput.
+
+        Per-node engine stats are fetched live; an unreachable node
+        contributes an error entry instead of silently vanishing from the
+        denominator (its counters are unknowable, not zero).
+        """
+        per_node: List[Dict[str, Any]] = []
+        reachable: List[Dict[str, Any]] = []
+        for node in self.ring.nodes:
+            try:
+                stats = self.clients[node.name].stats(
+                    timeout=self.probe_timeout)
+            except NodeUnavailableError as exc:
+                node.mark_down(str(exc))
+                per_node.append({"node": node.name, "error": str(exc)})
+                continue
+            except NodeHTTPError as exc:
+                per_node.append({"node": node.name, "error": str(exc)})
+                continue
+            node.mark_up()
+            per_node.append({"node": node.name, **stats})
+            reachable.append(stats)
+        jobs: Dict[str, int] = {}
+        for stats in reachable:
+            for key, count in stats.get("jobs", {}).items():
+                jobs[key] = jobs.get(key, 0) + int(count)
+        tiers: Dict[str, Any] = {}
+        for tier in ("tree", "result", "core"):
+            cache_key = f"{tier}_cache"
+            memory = [(s[cache_key]["hits"], s[cache_key]["misses"])
+                      for s in reachable if cache_key in s]
+            disk = [(s[cache_key]["disk"]["hits"],
+                     s[cache_key]["disk"]["misses"])
+                    for s in reachable if cache_key in s]
+            tiers[cache_key] = {
+                "hit_rate": fleet_hit_rate(memory),
+                "disk_hit_rate": fleet_hit_rate(disk),
+                "entries": sum(s[cache_key]["entries"]
+                               for s in reachable if cache_key in s),
+            }
+        schedulers = [s["scheduler"] for s in reachable if "scheduler" in s]
+        with self._lock:
+            router = {
+                "uptime_seconds": time.perf_counter() - self._started_at,
+                "jobs_routed": self._submitted,
+                "failovers": self._failovers,
+                "resubmits": self._resubmits,
+                "known_routes": len(self._routes),
+                "routed_by_node": dict(self._routed_by_node),
+            }
+        return {
+            "role": "router",
+            "router": router,
+            "fleet": {
+                "nodes_total": len(per_node),
+                "nodes_reachable": len(reachable),
+                "jobs": jobs,
+                **tiers,
+                "mfeatures_per_sec": fleet_mfeatures_per_second(
+                    [s.get("features_done", 0) for s in schedulers],
+                    [s.get("busy_seconds", 0.0) for s in schedulers]),
+                "jobs_per_sec": sum(s.get("jobs_per_sec", 0.0)
+                                    for s in schedulers),
+                "key_share": self.ring.key_share(1024),
+            },
+            "nodes": per_node,
+        }
+
+    # ----------------------------------------------------------------- admin
+
+    def flush(self, tier: Optional[str] = None) -> Dict[str, Any]:
+        """Fan a flush out to every node; collects per-node reports."""
+        return self._fan_out("flush", lambda c: c.flush(tier))
+
+    def compact(self) -> Dict[str, Any]:
+        """Fan a store compaction out to every node."""
+        return self._fan_out("compact", lambda c: c.compact())
+
+    def _fan_out(self, op: str, call) -> Dict[str, Any]:
+        nodes = []
+        errors = 0
+        first_http_error: Optional[NodeHTTPError] = None
+        for node in self.ring.nodes:
+            try:
+                nodes.append({"node": node.name,
+                              **call(self.clients[node.name])})
+            except NodeHTTPError as exc:
+                # A 4xx means the node is alive and rejected the *request*
+                # — never a health event, and (when unanimous) the caller
+                # deserves the node's own status code, not a 503.
+                if first_http_error is None:
+                    first_http_error = exc
+                nodes.append({"node": node.name, "error": str(exc)})
+                errors += 1
+            except NodeUnavailableError as exc:
+                node.mark_down(str(exc))
+                nodes.append({"node": node.name, "error": str(exc)})
+                errors += 1
+        if errors == len(nodes):
+            if first_http_error is not None:
+                raise first_http_error
+            raise ClusterError(f"{op} failed on every node")
+        return {"status": "ok" if not errors else "partial",
+                "nodes": nodes}
+
+    def close(self) -> None:
+        """Drop routing state (no sockets are held open)."""
+        with self._lock:
+            self._routes.clear()

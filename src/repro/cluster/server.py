@@ -1,0 +1,199 @@
+"""JSON-over-HTTP front end for the cluster router (stdlib only).
+
+Exposes exactly the node API — ``POST /v1/jobs``, ``GET /v1/jobs/<id>``
+(with ``wait_s`` long-poll), ``GET /v1/stats``, ``GET /v1/healthz``,
+``POST /v1/admin/flush`` and ``POST /v1/admin/compact`` — so a client
+cannot tell a router from a single node: same endpoints, same bodies,
+same status-code mapping (400 bad spec, 404 unknown job, 503 nothing
+available).  The differences are additive: stats and healthz return
+fleet-level documents, job responses carry a ``"node"`` field, and the
+``X-Repro-Node`` header names the *backing* node that served the job —
+which is how warm-cache pinning stays observable through the router.
+
+Request threads block on upstream HTTP calls (one per request, bounded by
+the node client's timeout); there is no compute in this process at all.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import urlparse
+
+from repro.cluster.client import NodeHTTPError
+from repro.cluster.router import ClusterRouter
+from repro.errors import (
+    ClusterError,
+    InvalidInputError,
+    NodeUnavailableError,
+)
+from repro.service.server import MAX_BODY_BYTES, parse_wait_param
+
+
+class RouterRequestHandler(BaseHTTPRequestHandler):
+    """Routes the ``/v1`` API onto the server's :class:`ClusterRouter`."""
+
+    server_version = "repro-router/1"
+    protocol_version = "HTTP/1.1"
+    timeout = 120  # covers an upstream long-poll plus slack
+
+    @property
+    def router(self) -> ClusterRouter:
+        return self.server.router  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, code: int, obj: Any,
+                   node: Optional[str] = None) -> None:
+        body = json.dumps(obj).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if node:
+            self.send_header("X-Repro-Node", node)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    # ------------------------------------------------------------------- GET
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts == ["v1", "healthz"]:
+            self._send_json(200, self.router.healthz())
+        elif parts == ["v1", "stats"]:
+            self._send_json(200, self.router.stats())
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._get_job(parts[2], url.query)
+        else:
+            self._send_error_json(404, f"no such endpoint: {url.path}")
+
+    def _get_job(self, job_id: str, query: str) -> None:
+        try:
+            wait = parse_wait_param(query)
+        except InvalidInputError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        try:
+            body, node = self.router.job(job_id, wait_s=wait)
+        except InvalidInputError as exc:
+            self._send_error_json(404, str(exc))
+        except NodeHTTPError as exc:
+            self._send_error_json(exc.code, str(exc))
+        except (NodeUnavailableError, ClusterError) as exc:
+            self._send_error_json(503, str(exc))
+        else:
+            self._send_json(200, body, node=node)
+
+    # ------------------------------------------------------------------ POST
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts == ["v1", "jobs"]:
+            self._post_job()
+        elif parts == ["v1", "admin", "flush"]:
+            self._post_admin("flush")
+        elif parts == ["v1", "admin", "compact"]:
+            self._post_admin("compact")
+        else:
+            # Replying without consuming the body would leave its bytes to
+            # be parsed as the next request on this keep-alive connection.
+            self.close_connection = True
+            self._send_error_json(404, f"no such endpoint: {url.path}")
+
+    def _read_json_body(self, *, required: bool) -> Optional[Any]:
+        """Decode the request body; replies and returns ``None`` on error."""
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES or (required and not length):
+            self.close_connection = True
+            self._send_error_json(400, "missing or oversized request body")
+            return None
+        raw = self.rfile.read(length) if length else b""
+        if not raw.strip():
+            return {}
+        try:
+            return json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_json(400, f"bad JSON body: {exc}")
+            return None
+
+    def _post_job(self) -> None:
+        data = self._read_json_body(required=True)
+        if data is None:
+            return
+        try:
+            accepted = self.router.submit(data)
+        except InvalidInputError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except (NodeUnavailableError, ClusterError) as exc:
+            self._send_error_json(503, str(exc))
+            return
+        self._send_json(202, accepted, node=accepted.get("node"))
+
+    def _post_admin(self, op: str) -> None:
+        data = self._read_json_body(required=False)
+        if data is None:
+            return
+        if not isinstance(data, dict):
+            self._send_error_json(400, "admin body must be a JSON object")
+            return
+        try:
+            if op == "flush":
+                tier = data.get("tier")
+                report = self.router.flush(tier)
+            else:
+                report = self.router.compact()
+        except NodeHTTPError as exc:
+            self._send_error_json(exc.code, str(exc))
+            return
+        except (NodeUnavailableError, ClusterError) as exc:
+            self._send_error_json(503, str(exc))
+            return
+        self._send_json(200, report)
+
+
+def create_router_server(router: ClusterRouter, host: str = "127.0.0.1",
+                         port: int = 0, *,
+                         verbose: bool = False) -> ThreadingHTTPServer:
+    """Bind a router HTTP server (``port=0`` picks a free port).
+
+    The caller owns the lifecycle, exactly like the node server:
+    ``serve_forever()`` on a thread, later ``shutdown()`` +
+    ``server_close()``, then ``router.close()``.
+    """
+    server = ThreadingHTTPServer((host, port), RouterRequestHandler)
+    server.router = router  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def run_router_server(server: ThreadingHTTPServer,
+                      router: ClusterRouter) -> None:
+    """Run a bound router server until interrupted."""
+    bound_host, bound_port = server.server_address[:2]
+    names = ", ".join(node.name for node in router.ring.nodes)
+    print(f"repro.cluster router listening on "
+          f"http://{bound_host}:{bound_port} over {len(router.ring)} "
+          f"node(s): {names}\n"
+          f"(POST /v1/jobs, GET /v1/jobs/<id>, /v1/stats, /v1/healthz)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        router.close()

@@ -1,0 +1,239 @@
+"""Cluster topology: node descriptors and the placement hash ring.
+
+Placement must satisfy two pulls that fight each other:
+
+* **Affinity** — a repeat submission of the same point set should land on
+  the node whose cache tiers (memory and disk) are already warm for it.
+  Content fingerprints make that trivial *if* placement is a pure
+  function of the fingerprint, which is what the consistent-hash ring
+  provides: ``node_for(points_fp)`` depends only on the fingerprint and
+  the node set, never on request order or process identity.
+* **Stability under churn** — adding or removing a node must move as few
+  fingerprints as possible (each moved key is a cold cache somewhere).
+  The ring bounds movement to roughly ``1/N`` of the key space per node
+  change; a modulo scheme would reshuffle nearly everything.
+
+For **failover order** beyond the primary the ring's clockwise walk has a
+known flaw: every key owned by a dead node falls to the *same* clockwise
+successor, doubling that one node's load.  The preference list therefore
+ranks the remaining nodes by weighted rendezvous (highest-random-weight)
+score instead, which spreads a dead node's keys evenly across the
+survivors — the "rendezvous-hash fallback" of the design note.
+
+All hashing is SHA-256-based and deliberately independent of Python's
+randomized ``hash()``, so placement agrees across processes, restarts and
+machines — the same property the content fingerprints themselves have.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidInputError
+
+#: Ring points per unit of node weight.  Enough that key shares track
+#: weights within a few percent; small enough that rebuilds are free.
+DEFAULT_REPLICAS = 64
+
+
+def stable_hash(text: str) -> int:
+    """A 64-bit integer hash that is stable across processes and runs.
+
+    SHA-256-based (truncated), unlike builtin ``hash()`` whose per-process
+    randomization would make every restart a full reshuffle.
+    """
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class Node:
+    """One ``repro.service`` node the router can dispatch to.
+
+    ``name`` identifies the node in routing decisions, stats and the
+    ``X-Repro-Node`` header; it must be stable across node restarts for
+    placement to be (the ring hashes names, not sockets).  ``weight``
+    scales the share of the key space the node owns (2.0 = twice the
+    keys).  Health state is the router's *local* view — marked down on
+    connection errors or 5xx responses, up again on any success — and
+    never removes the node from the ring: a flapping node keeps its keys,
+    it just gets skipped while down.
+    """
+
+    base_url: str
+    name: Optional[str] = None
+    weight: float = 1.0
+    healthy: bool = True
+    failures: int = 0
+    successes: int = 0
+    last_error: Optional[str] = None
+    #: ``time.monotonic()`` of the latest failure; lets the router re-probe
+    #: a down node after a cool-off instead of shunning it forever.
+    last_failure_at: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.base_url = self.base_url.rstrip("/")
+        if not self.base_url.startswith(("http://", "https://")):
+            raise InvalidInputError(
+                f"node URL must be http(s)://, got {self.base_url!r}")
+        if self.name is None:
+            # host:port is the natural default identity (matches what the
+            # node itself reports when started without --name).
+            self.name = self.base_url.split("://", 1)[1]
+        if "@" in self.name:
+            # "@" separates the upstream job id from the node name in
+            # routed job ids; a name containing it would be unparseable.
+            raise InvalidInputError(
+                f"node name must not contain '@': {self.name!r}")
+        if not (self.weight > 0 and math.isfinite(self.weight)):
+            raise InvalidInputError(
+                f"node weight must be positive and finite, "
+                f"got {self.weight!r}")
+
+    def mark_up(self) -> None:
+        with self._lock:
+            self.healthy = True
+            self.successes += 1
+            self.last_error = None
+
+    def mark_down(self, error: str) -> None:
+        with self._lock:
+            self.healthy = False
+            self.failures += 1
+            self.last_error = error
+            self.last_failure_at = time.monotonic()
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe descriptor for stats/health documents."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "base_url": self.base_url,
+                "weight": self.weight,
+                "healthy": self.healthy,
+                "failures": self.failures,
+                "successes": self.successes,
+                "last_error": self.last_error,
+            }
+
+
+class HashRing:
+    """Consistent-hash placement with rendezvous-ordered failover.
+
+    The primary owner of a key is the first ring point clockwise from the
+    key's hash (``replicas`` points per unit weight keep shares balanced).
+    :meth:`preference` extends that to a full failover order: primary
+    first, then the remaining nodes by weighted rendezvous score, so a
+    downed primary's keys spread across all survivors instead of piling
+    onto one clockwise neighbor.
+
+    All methods are thread-safe; mutation rebuilds the (tiny) point list.
+    """
+
+    def __init__(self, nodes: Optional[List[Node]] = None, *,
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise InvalidInputError(
+                f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._nodes: Dict[str, Node] = {}
+        self._points: List[Tuple[int, str]] = []  # (hash, node name), sorted
+        self._hashes: List[int] = []
+        self._lock = threading.Lock()
+        for node in nodes or []:
+            self.add(node)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[Node]:
+        """The member nodes (stable name order)."""
+        with self._lock:
+            return [self._nodes[name] for name in sorted(self._nodes)]
+
+    def get(self, name: str) -> Optional[Node]:
+        with self._lock:
+            return self._nodes.get(name)
+
+    def add(self, node: Node) -> None:
+        """Add a node (its share of keys moves from the others to it)."""
+        with self._lock:
+            if node.name in self._nodes:
+                raise InvalidInputError(
+                    f"duplicate node name {node.name!r}")
+            self._nodes[node.name] = node
+            self._rebuild()
+
+    def remove(self, name: str) -> Node:
+        """Remove a node by name; its keys redistribute to the rest."""
+        with self._lock:
+            node = self._nodes.pop(name, None)
+            if node is None:
+                raise InvalidInputError(f"unknown node {name!r}")
+            self._rebuild()
+            return node
+
+    def _rebuild(self) -> None:
+        points: List[Tuple[int, str]] = []
+        for name, node in self._nodes.items():
+            # ceil() so a fractional weight still gets at least one point.
+            for replica in range(math.ceil(self.replicas * node.weight)):
+                points.append((stable_hash(f"{name}#{replica}"), name))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _name in points]
+
+    def node_for(self, key: str) -> Node:
+        """The primary owner of ``key`` (health is not consulted here —
+        failover is the :meth:`preference` caller's concern)."""
+        with self._lock:
+            if not self._points:
+                raise InvalidInputError("hash ring has no nodes")
+            index = bisect.bisect_right(self._hashes, stable_hash(key))
+            if index == len(self._points):
+                index = 0  # wrap: the ring is circular
+            return self._nodes[self._points[index][1]]
+
+    def preference(self, key: str) -> List[Node]:
+        """All nodes in failover order for ``key``: ring primary first,
+        then the rest by descending weighted rendezvous score."""
+        primary = self.node_for(key)
+        with self._lock:
+            rest = [node for name, node in self._nodes.items()
+                    if name != primary.name]
+            rest.sort(key=lambda n: self._rendezvous_score(key, n),
+                      reverse=True)
+            return [primary] + rest
+
+    @staticmethod
+    def _rendezvous_score(key: str, node: Node) -> float:
+        """Weighted highest-random-weight score of (key, node).
+
+        The standard logarithmic form: with ``u`` uniform in (0, 1) from
+        the hash, ``-weight / ln(u)`` gives each node a probability of
+        winning proportional to its weight.
+        """
+        u = (stable_hash(f"{key}|{node.name}") + 0.5) / 2.0**64
+        return -node.weight / math.log(u)
+
+    def key_share(self, samples: int = 4096) -> Dict[str, float]:
+        """Approximate fraction of the key space each node owns.
+
+        Diagnostic (used by stats and tests): samples deterministic probe
+        keys and counts primaries.
+        """
+        counts: Dict[str, int] = {}
+        for i in range(samples):
+            owner = self.node_for(f"probe-{i}")
+            counts[owner.name] = counts.get(owner.name, 0) + 1
+        return {name: count / samples for name, count in counts.items()}

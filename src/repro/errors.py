@@ -50,3 +50,18 @@ class ServiceError(ReproError, RuntimeError):
     job spec may be perfectly valid; it is the *service* that cannot take
     it — so the HTTP front end can map it to 503 rather than 400.
     """
+
+
+class ClusterError(ReproError, RuntimeError):
+    """Raised for fleet-level failures in :mod:`repro.cluster`.
+
+    Example: a router whose every candidate node refused or dropped a
+    connection.  Like :class:`ServiceError` this is an availability
+    condition, not a client error — the router front end maps it to 503.
+    """
+
+
+class NodeUnavailableError(ClusterError):
+    """One node could not serve a request (connection error, timeout or a
+    5xx response).  The router treats this as a failover trigger: the job
+    moves to the next node in ring order rather than failing."""

@@ -10,6 +10,7 @@ paper uses to argue dimension-agnostic performance.
 from __future__ import annotations
 
 import math
+from typing import Iterable, Tuple
 
 
 def features(n_points: int, dimension: int) -> int:
@@ -57,6 +58,57 @@ def hit_rate(hits: int, misses: int) -> float:
         raise ValueError(f"negative counter: hits={hits} misses={misses}")
     total = hits + misses
     return hits / total if total else 0.0
+
+
+def fleet_hit_rate(counts: Iterable[Tuple[int, int]]) -> float:
+    """Pooled cache hit rate over several nodes' ``(hits, misses)`` pairs.
+
+    Pooling (sum of hits over sum of lookups) weights every lookup equally,
+    so a busy node counts for more than an idle one — averaging the
+    per-node rates instead would let one cold, idle node drag the fleet
+    number down.  An untouched fleet reports 0.0 like :func:`hit_rate`.
+
+    >>> fleet_hit_rate([(3, 1), (0, 0), (5, 3)])
+    0.6666666666666666
+    >>> fleet_hit_rate([])
+    0.0
+    """
+    total_hits = total_misses = 0
+    for hits, misses in counts:
+        if hits < 0 or misses < 0:
+            raise ValueError(f"negative counter: hits={hits} misses={misses}")
+        total_hits += hits
+        total_misses += misses
+    return hit_rate(total_hits, total_misses)
+
+
+def fleet_mfeatures_per_second(features: Iterable[int],
+                               busy_seconds: Iterable[float]) -> float:
+    """Pooled compute throughput over per-node feature and busy-time sums.
+
+    Total features processed across the fleet divided by total worker-busy
+    seconds, in MFeatures/sec — the fleet-level analogue of the per-node
+    scheduler stat.  Returns 0.0 for an idle fleet (no busy time or no
+    features), mirroring how the scheduler reports an idle node.
+
+    >>> fleet_mfeatures_per_second([2_000_000, 1_000_000], [2.0, 1.0])
+    1.0
+    >>> fleet_mfeatures_per_second([], [])
+    0.0
+    """
+    total_features = 0
+    for count in features:
+        if count < 0:
+            raise ValueError(f"negative feature count: {count}")
+        total_features += count
+    total_busy = 0.0
+    for seconds in busy_seconds:
+        if seconds < 0:
+            raise ValueError(f"negative busy time: {seconds}")
+        total_busy += seconds
+    if total_busy <= 0 or total_features == 0:
+        return 0.0
+    return mfeatures_per_second(total_features, 1, total_busy)
 
 
 def jobs_per_second(n_jobs: int, seconds: float) -> float:

@@ -244,19 +244,47 @@ class Engine:
             "store": self.store.stats() if self.store is not None else None,
         }
 
-    def flush(self) -> Dict[str, Any]:
-        """Drop every cached artifact from all tiers (memory and disk).
+    def flush(self, tier: Optional[str] = None) -> Dict[str, Any]:
+        """Drop cached artifacts — every tier, or just ``tier`` — memory
+        and disk.  Returns entry and byte counts reclaimed, JSON-safe.
 
-        Returns what was dropped, JSON-safe.  Jobs already in flight keep
-        any artifact references they hold; this only empties the caches.
+        ``tier`` is one of ``tree`` / ``result`` / ``core``; ``None``
+        empties everything (the original whole-cache flush).  Jobs already
+        in flight keep any artifact references they hold; this only
+        empties the caches.
         """
-        flushed = {
-            "tree": self.tree_cache.clear(),
-            "result": self.result_cache.clear(),
-            "core": self.core_cache.clear(),
-            "store": self.store.clear() if self.store is not None else 0,
-        }
+        tiers = {"tree": self.tree_cache, "result": self.result_cache,
+                 "core": self.core_cache}
+        if tier is not None and tier not in tiers:
+            raise InvalidInputError(
+                f"unknown cache tier {tier!r}; "
+                f"use one of {', '.join(tiers)}")
+        selected = tiers if tier is None else {tier: tiers[tier]}
+        memory_bytes = sum(c.memory.current_bytes for c in selected.values())
+        flushed: Dict[str, Any] = {name: cache.clear()
+                                   for name, cache in selected.items()}
+        flushed["memory_bytes"] = memory_bytes
+        if self.store is None:
+            flushed["store"] = 0
+            flushed["store_bytes"] = 0
+        elif tier is None:
+            store_bytes = self.store.current_bytes
+            flushed["store"] = self.store.clear()
+            flushed["store_bytes"] = store_bytes
+        else:
+            entries, reclaimed = self.store.clear_tier(tier)
+            flushed["store"] = entries
+            flushed["store_bytes"] = reclaimed
         return flushed
+
+    def compact(self) -> Optional[Dict[str, Any]]:
+        """Force a journal compaction of the persistent store, if any.
+
+        Returns the store's reclaim report, or ``None`` for a memory-only
+        engine (nothing to compact is not an error — ops scripts can hit
+        every node uniformly).
+        """
+        return self.store.compact() if self.store is not None else None
 
     # ---------------------------------------------------------------- worker
 

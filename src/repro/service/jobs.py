@@ -75,7 +75,12 @@ class JobSpec:
             raise InvalidInputError(
                 "exactly one of points or dataset must be given")
         if self.points is not None:
-            arr = np.asarray(self.points)
+            # A raw (possibly ragged) list can make asarray itself raise;
+            # that is still a bad *input*, not an internal error.
+            try:
+                arr = np.asarray(self.points)
+            except (TypeError, ValueError, OverflowError) as exc:
+                raise InvalidInputError(f"bad inline points: {exc}") from exc
             if arr.ndim != 2 or arr.shape[0] == 0:
                 raise InvalidInputError(
                     f"inline points must be a non-empty (n, d) array, "
@@ -202,10 +207,13 @@ class JobSpec:
                 f"unknown job spec fields: {', '.join(sorted(unknown))}")
         kwargs = dict(data)
         if "points" in kwargs:
+            # OverflowError: JSON integers are unbounded, float64 is not —
+            # a body like [[1, 1e999-as-int]] must be a 400, not a crashed
+            # handler.
             try:
                 kwargs["points"] = np.asarray(kwargs["points"],
                                               dtype=np.float64)
-            except (TypeError, ValueError) as exc:
+            except (TypeError, ValueError, OverflowError) as exc:
                 raise InvalidInputError(f"bad inline points: {exc}") from exc
         if "config" in kwargs:
             cfg = kwargs["config"]

@@ -6,19 +6,35 @@ Endpoints (all JSON):
     Body is a :meth:`~repro.service.jobs.JobSpec.to_dict` object.  Returns
     ``202 {"job_id": ..., "status": "pending"}``; malformed specs get 400,
     a closed engine 503.
-``GET /v1/jobs/<id>[?wait=SECONDS]``
+``GET /v1/jobs/<id>[?wait_s=SECONDS]``
     The job's :class:`~repro.service.jobs.JobResult` once finished, else
-    ``{"job_id": ..., "status": "pending" | "running"}``.  ``wait`` blocks
-    up to that many seconds for completion (long-poll).
+    ``{"job_id": ..., "status": "pending" | "running"}``.  ``wait_s``
+    blocks up to that many seconds (bounded, default 0) for completion
+    (long-poll) — implemented on the engine future's timeout, so a
+    waiting handler thread costs no polling.  ``wait`` is an accepted
+    alias (the original spelling).
 ``GET /v1/stats``
     :meth:`Engine.stats` — scheduler throughput plus per-tier cache hit
     rates, memory and disk (tree / result / core-distance tiers and the
     persistent store's occupancy, when one is configured).
 ``GET /v1/healthz``
-    Liveness probe (reports the backend and whether a store is attached).
+    Liveness probe (reports the node name, the backend and whether a
+    store is attached).
 ``POST /v1/admin/flush``
-    Drop every cached artifact, memory and disk; returns the drop counts.
-    No request body required.
+    Drop cached artifacts, memory and disk; returns entries and bytes
+    reclaimed.  An optional JSON body ``{"tier": "bvh"|"core"|"result"}``
+    restricts the flush to one tier (``bvh`` is the wire name of the tree
+    tier); no body (or an empty object) keeps the flush-everything
+    behavior.
+``POST /v1/admin/compact``
+    Force a journal compaction of the persistent store; returns the
+    journal lines/bytes reclaimed, or ``{"compacted": null}`` on a
+    memory-only node.  No request body required.
+
+Every response carries an ``X-Repro-Node`` header naming the serving node
+(``--name``, defaulting to ``host:port``), so a client behind the cluster
+router (:mod:`repro.cluster`) can observe which node answered — the
+router forwards the header untouched.
 
 Built on :class:`http.server.ThreadingHTTPServer`; request threads only
 ever block on an engine future, the compute happens on the engine's worker
@@ -30,7 +46,7 @@ from __future__ import annotations
 import json
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Dict, Optional
 from urllib.parse import parse_qs, urlparse
 
 import repro
@@ -41,6 +57,30 @@ from repro.service.jobs import JobSpec
 #: Largest accepted request body (an inline 1M-point 3D job is ~60 MB of
 #: JSON; anything bigger should arrive as a dataset spec).
 MAX_BODY_BYTES = 256 << 20
+
+#: Cap on a single ``GET /v1/jobs/<id>`` long-poll; clients needing longer
+#: re-poll in chunks (see ``repro submit``).
+MAX_WAIT_SECONDS = 60.0
+
+
+def parse_wait_param(query: str) -> float:
+    """Long-poll seconds from a job-endpoint query string.
+
+    ``wait_s`` is the canonical spelling, ``wait`` the original one; the
+    explicit suffix wins when both are (oddly) supplied.  Bounded by
+    :data:`MAX_WAIT_SECONDS`, default 0.  Shared by the node and router
+    front ends so the wire contract cannot silently diverge.  Raises
+    :class:`InvalidInputError` on a non-numeric value.
+    """
+    wait = 0.0
+    params = parse_qs(query)
+    for name in ("wait", "wait_s"):
+        if name in params:
+            try:
+                wait = min(float(params[name][0]), MAX_WAIT_SECONDS)
+            except ValueError:
+                raise InvalidInputError(f"{name} must be a number")
+    return wait
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -66,6 +106,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        node_name = getattr(self.server, "node_name", None)
+        if node_name:
+            self.send_header("X-Repro-Node", node_name)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
@@ -80,6 +123,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if parts == ["v1", "healthz"]:
             self._send_json(200, {"status": "ok",
                                   "version": repro.__version__,
+                                  "node": getattr(self.server, "node_name",
+                                                  None),
                                   "backend": self.engine.backend,
                                   "persistent": self.engine.store
                                   is not None})
@@ -91,14 +136,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"no such endpoint: {url.path}")
 
     def _get_job(self, job_id: str, query: str) -> None:
-        wait = 0.0
-        params = parse_qs(query)
-        if "wait" in params:
-            try:
-                wait = min(float(params["wait"][0]), 60.0)
-            except ValueError:
-                self._send_error_json(400, "wait must be a number")
-                return
+        try:
+            wait = parse_wait_param(query)
+        except InvalidInputError as exc:
+            self._send_error_json(400, str(exc))
+            return
         try:
             if wait > 0:
                 try:
@@ -128,6 +170,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         if parts == ["v1", "admin", "flush"]:
             self._post_flush()
+            return
+        if parts == ["v1", "admin", "compact"]:
+            self._post_compact()
             return
         if parts != ["v1", "jobs"]:
             # Replying without consuming the body would leave its bytes to
@@ -161,13 +206,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_json(202, {"job_id": job_id, "status": "pending"})
 
-    def _post_flush(self) -> None:
-        """``POST /v1/admin/flush`` — empty the cache tiers and the store.
+    def _read_admin_body(self) -> Optional[Dict[str, Any]]:
+        """Consume and decode an optional admin-endpoint JSON body.
 
-        Any body is ignored, but a well-formed one is consumed so the
-        keep-alive connection stays in sync; a malformed or oversized
-        Content-Length closes the connection instead (the unread bytes
-        would otherwise be parsed as the next request).
+        Returns the decoded object (``{}`` for an empty body) or ``None``
+        after replying 400 — admin bodies are tiny, but the bytes must be
+        consumed either way so the keep-alive connection stays in sync; a
+        malformed or oversized Content-Length closes the connection
+        instead (the unread bytes would otherwise be parsed as the next
+        request).
         """
         try:
             length = int(self.headers.get("Content-Length", 0) or 0)
@@ -175,15 +222,60 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             length = -1
         if length < 0 or length > MAX_BODY_BYTES:
             self.close_connection = True
-        elif length:
-            self.rfile.read(length)
+            self._send_error_json(400, "bad Content-Length")
+            return None
+        raw = self.rfile.read(length) if length else b""
+        if not raw.strip():
+            return {}
+        try:
+            data = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_json(400, f"bad JSON body: {exc}")
+            return None
+        if not isinstance(data, dict):
+            self._send_error_json(400, "admin body must be a JSON object")
+            return None
+        return data
+
+    def _post_flush(self) -> None:
+        """``POST /v1/admin/flush`` — empty cache tiers, whole or by tier.
+
+        An optional ``{"tier": "bvh"|"core"|"result"}`` body flushes just
+        that tier (memory and its slice of the disk store); ``bvh`` is
+        accepted as the wire name of the internal ``tree`` tier.
+        """
+        data = self._read_admin_body()
+        if data is None:
+            return
+        tier = data.get("tier")
+        if tier is not None:
+            # The BVH tier is "tree" internally (it once held kd-trees
+            # too); the wire name matches what operators see in the docs.
+            tier = {"bvh": "tree"}.get(tier, tier)
+        try:
+            flushed = self.engine.flush(tier=tier)
+        except InvalidInputError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(200, {"status": "ok", "tier": tier,
+                              "flushed": flushed})
+
+    def _post_compact(self) -> None:
+        """``POST /v1/admin/compact`` — force a store journal compaction."""
+        if self._read_admin_body() is None:
+            return
         self._send_json(200, {"status": "ok",
-                              "flushed": self.engine.flush()})
+                              "compacted": self.engine.compact()})
 
 
 def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
-                  *, verbose: bool = False) -> ThreadingHTTPServer:
+                  *, verbose: bool = False,
+                  node_name: Optional[str] = None) -> ThreadingHTTPServer:
     """Bind a service HTTP server (``port=0`` picks a free port).
+
+    ``node_name`` is the identity reported in the ``X-Repro-Node`` header
+    and ``/v1/healthz`` (default: the bound ``host:port``) — what a
+    cluster router shows clients as the serving node.
 
     The caller owns the lifecycle: run ``serve_forever()`` (typically on a
     thread), later ``shutdown()`` + ``server_close()``, and close the engine.
@@ -191,6 +283,9 @@ def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
     server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
     server.engine = engine  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
+    bound_host, bound_port = server.server_address[:2]
+    server.node_name = (  # type: ignore[attr-defined]
+        node_name if node_name else f"{bound_host}:{bound_port}")
     server.daemon_threads = True
     return server
 
@@ -199,7 +294,8 @@ def run_server(server: ThreadingHTTPServer, engine: Engine) -> None:
     """Run a bound server until interrupted, then drain the engine."""
     bound_host, bound_port = server.server_address[:2]
     print(f"repro.service listening on http://{bound_host}:{bound_port} "
-          f"[{engine.backend} backend, "
+          f"[node {getattr(server, 'node_name', '?')}, "
+          f"{engine.backend} backend, "
           f"{engine.scheduler.max_workers} workers] "
           f"(POST /v1/jobs, GET /v1/jobs/<id>, /v1/stats, /v1/healthz)")
     try:
@@ -212,10 +308,12 @@ def run_server(server: ThreadingHTTPServer, engine: Engine) -> None:
 
 
 def serve(engine: Engine, host: str = "127.0.0.1", port: int = 8321,
-          *, verbose: bool = False) -> None:
+          *, verbose: bool = False,
+          node_name: Optional[str] = None) -> None:
     """Bind and run the API until interrupted, then drain the engine."""
     try:
-        server = create_server(engine, host, port, verbose=verbose)
+        server = create_server(engine, host, port, verbose=verbose,
+                               node_name=node_name)
     except OSError:
         engine.close()  # bind failed; don't leak the worker pool
         raise

@@ -42,6 +42,7 @@ from repro.store.fingerprint import (
     combine_fingerprint,
     fingerprint,
     fingerprint_array,
+    fingerprint_spec,
 )
 from repro.store.memory import ContentCache, estimate_nbytes
 from repro.store.tiered import TieredCache
@@ -59,6 +60,7 @@ __all__ = [
     "estimate_nbytes",
     "fingerprint",
     "fingerprint_array",
+    "fingerprint_spec",
     "read_blob",
     "write_blob",
 ]

@@ -337,6 +337,56 @@ class DiskStore:
             self._compact()
             return removed
 
+    def clear_tier(self, tier: str) -> Tuple[int, int]:
+        """Delete one tier's artifacts; returns ``(entries, bytes)`` removed.
+
+        The ops-endpoint building block: flushing e.g. the result tier
+        after an algorithm fix must not also discard every expensively
+        built tree.  Other tiers' entries and recency are untouched.
+        """
+        with self._lock:
+            removed = 0
+            reclaimed = 0
+            for ident in [i for i in self._entries if i[0] == tier]:
+                reclaimed += self._entries.pop(ident)
+                removed += 1
+                try:
+                    os.unlink(self._path(*ident))
+                except OSError:
+                    pass
+            self._current_bytes -= reclaimed
+            if removed:
+                self._compact()  # journal must not resurrect them on replay
+            return removed, reclaimed
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the journal to one line per live entry, on demand.
+
+        Compaction normally triggers itself once the journal outgrows the
+        live set by ``_COMPACT_SLACK`` lines; this forces it now (an ops
+        hook for before-snapshot or after-mass-eviction moments).  Returns
+        the line and byte counts reclaimed, JSON-safe.
+        """
+        with self._lock:
+            try:
+                bytes_before = os.path.getsize(self._index_path)
+            except OSError:
+                bytes_before = 0
+            lines_before = self._journal_lines
+            self._compact()
+            try:
+                bytes_after = os.path.getsize(self._index_path)
+            except OSError:
+                bytes_after = 0
+            return {
+                "journal_lines_before": lines_before,
+                "journal_lines_after": self._journal_lines,
+                "journal_bytes_before": bytes_before,
+                "journal_bytes_after": bytes_after,
+                "journal_bytes_reclaimed": max(0, bytes_before - bytes_after),
+                "entries": len(self._entries),
+            }
+
     @property
     def current_bytes(self) -> int:
         """Total bytes of stored blob files."""

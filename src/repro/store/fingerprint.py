@@ -56,3 +56,19 @@ def combine_fingerprint(array_fingerprint: str, params: str) -> str:
 def fingerprint(points: np.ndarray, params: str = "") -> str:
     """Cache key for (points content, canonical parameter string)."""
     return combine_fingerprint(fingerprint_array(points), params)
+
+
+def fingerprint_spec(spec) -> str:
+    """Points-content fingerprint of a job spec — the cluster routing key.
+
+    Accepts anything with the :class:`~repro.service.jobs.JobSpec` shape
+    (``resolve_points()``); duck typing keeps this module importable
+    without the service layer.  The digest is exactly the engine's
+    ``points_fp``, so a router hashing specs with this helper pins a point
+    set to the same node whose cache tiers (memory and disk) are keyed by
+    it — deliberately independent of the algorithm and its parameters, the
+    way the tree and core tiers are shared across algorithms.  Derive the
+    result-tier key with ``combine_fingerprint(fp, spec.params_key())``
+    when an exact-repeat check is needed.
+    """
+    return fingerprint_array(spec.resolve_points())

@@ -1,0 +1,478 @@
+"""Tests for the multi-node dispatch layer (repro.cluster)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterRouter, HashRing, Node, NodeClient
+from repro.cluster.server import create_router_server
+from repro.errors import (
+    ClusterError,
+    InvalidInputError,
+    NodeUnavailableError,
+)
+from repro.service import Engine, JobSpec, canonical_payload_bytes
+from repro.service.executor import execute_spec, make_exec_spec
+from repro.service.server import create_server
+from repro.store import combine_fingerprint, fingerprint_spec
+
+
+def _keys(count):
+    return [f"points-fp-{i:04d}" for i in range(count)]
+
+
+def _owners(ring, keys):
+    return {key: ring.node_for(key).name for key in keys}
+
+
+class TestNode:
+    def test_defaults_name_to_host_port(self):
+        node = Node("http://10.0.0.7:8321/")
+        assert node.name == "10.0.0.7:8321"
+        assert node.base_url == "http://10.0.0.7:8321"
+
+    def test_rejects_non_http_url(self):
+        with pytest.raises(InvalidInputError):
+            Node("ftp://10.0.0.7:8321")
+
+    def test_rejects_at_sign_in_name(self):
+        with pytest.raises(InvalidInputError):
+            Node("http://h:1", name="a@b")
+
+    def test_rejects_bad_weight(self):
+        for weight in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(InvalidInputError):
+                Node("http://h:1", weight=weight)
+
+
+class TestHashRing:
+    def test_placement_is_deterministic(self):
+        nodes = lambda: [Node(f"http://h:{i}", name=f"n{i}")  # noqa: E731
+                         for i in range(4)]
+        a, b = HashRing(nodes()), HashRing(nodes())
+        keys = _keys(100)
+        assert _owners(a, keys) == _owners(b, keys)
+
+    def test_shares_are_roughly_balanced(self):
+        ring = HashRing([Node(f"http://h:{i}", name=f"n{i}")
+                         for i in range(4)])
+        share = ring.key_share(4096)
+        assert set(share) == {"n0", "n1", "n2", "n3"}
+        for fraction in share.values():
+            assert 0.10 <= fraction <= 0.45  # ideal 0.25
+
+    def test_weight_scales_share(self):
+        ring = HashRing([Node("http://h:0", name="heavy", weight=3.0),
+                         Node("http://h:1", name="light", weight=1.0)])
+        share = ring.key_share(4096)
+        assert share["heavy"] > 2 * share["light"]
+
+    def test_adding_a_node_moves_bounded_keys(self):
+        nodes = [Node(f"http://h:{i}", name=f"n{i}") for i in range(4)]
+        ring = HashRing(nodes)
+        keys = _keys(1000)
+        before = _owners(ring, keys)
+        ring.add(Node("http://h:9", name="n9"))
+        after = _owners(ring, keys)
+        moved = sum(before[k] != after[k] for k in keys)
+        # Ideal movement is 1/5 of the keys (the new node's share); a
+        # modulo scheme would move ~4/5.  Every moved key must have moved
+        # *to* the new node — consistent hashing never shuffles keys
+        # between surviving nodes.
+        assert moved / len(keys) < 0.40
+        for key in keys:
+            if before[key] != after[key]:
+                assert after[key] == "n9"
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        ring = HashRing([Node(f"http://h:{i}", name=f"n{i}")
+                         for i in range(4)])
+        keys = _keys(1000)
+        before = _owners(ring, keys)
+        ring.remove("n2")
+        after = _owners(ring, keys)
+        for key in keys:
+            if before[key] != "n2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "n2"
+
+    def test_preference_covers_all_nodes_distinctly(self):
+        ring = HashRing([Node(f"http://h:{i}", name=f"n{i}")
+                         for i in range(5)])
+        for key in _keys(20):
+            order = [node.name for node in ring.preference(key)]
+            assert len(order) == 5
+            assert len(set(order)) == 5
+            assert order[0] == ring.node_for(key).name
+
+    def test_failover_spreads_over_survivors(self):
+        # Rendezvous ordering: the keys of one node must not all fail over
+        # to a single survivor (the clockwise-successor pathology).
+        ring = HashRing([Node(f"http://h:{i}", name=f"n{i}")
+                         for i in range(4)])
+        fallback_counts = {}
+        for key in _keys(600):
+            order = ring.preference(key)
+            if order[0].name == "n0":
+                fallback = order[1].name
+                fallback_counts[fallback] = \
+                    fallback_counts.get(fallback, 0) + 1
+        assert len(fallback_counts) == 3  # all survivors take a share
+        total = sum(fallback_counts.values())
+        for count in fallback_counts.values():
+            assert count / total < 0.6
+
+    def test_duplicate_and_unknown_names_raise(self):
+        ring = HashRing([Node("http://h:1", name="a")])
+        with pytest.raises(InvalidInputError):
+            ring.add(Node("http://h:2", name="a"))
+        with pytest.raises(InvalidInputError):
+            ring.remove("zzz")
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(InvalidInputError):
+            HashRing().node_for("k")
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    """Three live nodes (persistent stores) + a router; yields a handle."""
+    engines, servers = [], []
+    for i in range(3):
+        engine = Engine(max_workers=1, batch_window=0.0,
+                        store_dir=str(tmp_path / f"node-{i}"))
+        server = create_server(engine, node_name=f"node-{i}")
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        engines.append(engine)
+        servers.append(server)
+    nodes = [Node(f"http://127.0.0.1:{server.server_address[1]}",
+                  name=f"node-{i}")
+             for i, server in enumerate(servers)]
+    router = ClusterRouter(nodes, timeout=30.0)
+
+    class Fleet:
+        pass
+
+    handle = Fleet()
+    handle.router = router
+    handle.nodes = nodes
+    handle.engines = engines
+    handle.servers = servers
+    handle.down = set()
+
+    def kill(name):
+        """SIGKILL-equivalent for an in-process node: stop its server."""
+        index = int(name.rsplit("-", 1)[1])
+        servers[index].shutdown()
+        servers[index].server_close()
+        engines[index].close()
+        handle.down.add(name)
+
+    handle.kill = kill
+    try:
+        yield handle
+    finally:
+        for i, server in enumerate(servers):
+            if f"node-{i}" not in handle.down:
+                server.shutdown()
+                server.server_close()
+                engines[i].close()
+        router.close()
+
+
+def _await(router, accepted, wait_s=60.0):
+    body, node = router.job(accepted["job_id"], wait_s=wait_s)
+    assert body["status"] in ("done", "failed"), body
+    return body, node
+
+
+class TestRouterDispatch:
+    def test_routed_equals_direct_bytes(self, fleet):
+        body = {"dataset": "Uniform100M2:400", "algorithm": "mrd_emst",
+                "k_pts": 4}
+        accepted = fleet.router.submit(dict(body))
+        result, _node = _await(fleet.router, accepted)
+        assert result["status"] == "done", result.get("error")
+        spec = JobSpec.from_dict(body)
+        reference = execute_spec(make_exec_spec(spec))["payload"]
+        assert canonical_payload_bytes(result["payload"]) == \
+            canonical_payload_bytes(reference)
+
+    def test_repeat_lands_on_same_node_and_hits(self, fleet):
+        body = {"dataset": "Normal100M2:500"}
+        first = fleet.router.submit(dict(body))
+        _await(fleet.router, first)
+        second = fleet.router.submit(dict(body))
+        assert second["node"] == first["node"]
+        result, _ = _await(fleet.router, second)
+        assert result["cache"]["result_hit"]
+
+    def test_placement_matches_ring(self, fleet):
+        body = {"dataset": "Uniform100M3:300"}
+        points_fp = fleet.router.fingerprint(JobSpec.from_dict(body))
+        expected = fleet.router.ring.node_for(points_fp).name
+        accepted = fleet.router.submit(dict(body))
+        assert accepted["node"] == expected
+
+    def test_inline_points_route_consistently(self, fleet, rng):
+        points = rng.random((150, 2))
+        first = fleet.router.submit({"points": points.tolist()})
+        _await(fleet.router, first)
+        second = fleet.router.submit({"points": points.tolist(),
+                                      "algorithm": "hdbscan"})
+        # Same point set, different algorithm: same node (shared tree
+        # tier), and the tree tier answers there.
+        assert second["node"] == first["node"]
+        result, _ = _await(fleet.router, second)
+        assert result["status"] == "done", result.get("error")
+        assert result["cache"]["tree_hit"]
+
+    def test_bad_spec_rejected_locally(self, fleet):
+        with pytest.raises(InvalidInputError):
+            fleet.router.submit({"dataset": "Uniform100M2:100",
+                                 "algorithm": "kmeans"})
+        # No node saw the request.
+        stats = fleet.router.stats()
+        assert stats["fleet"]["jobs"].get("total", 0) == 0
+
+    def test_unknown_job_id(self, fleet):
+        with pytest.raises(InvalidInputError):
+            fleet.router.job("job-424242")
+
+
+class TestRouterFailover:
+    def _spec_owned_by(self, fleet, name):
+        """A dataset body whose ring primary is node ``name``."""
+        for n in range(300, 400):
+            body = {"dataset": f"Uniform100M2:{n}"}
+            fp = fleet.router.fingerprint(JobSpec.from_dict(body))
+            if fleet.router.ring.node_for(fp).name == name:
+                return body
+        raise AssertionError(f"no probe spec owned by {name}")
+
+    def test_submit_fails_over_to_next_node(self, fleet):
+        victim = "node-1"
+        body = self._spec_owned_by(fleet, victim)
+        fleet.kill(victim)
+        accepted = fleet.router.submit(dict(body))
+        assert accepted["node"] != victim
+        result, _ = _await(fleet.router, accepted)
+        assert result["status"] == "done", result.get("error")
+        assert fleet.router.stats()["router"]["failovers"] >= 1
+
+    def test_dead_node_recovery_on_poll(self, fleet):
+        victim = "node-2"
+        body = self._spec_owned_by(fleet, victim)
+        accepted = fleet.router.submit(dict(body))
+        assert accepted["node"] == victim
+        _await(fleet.router, accepted)
+        fleet.kill(victim)
+        # The node (and its memory) is gone; the router must resubmit the
+        # retained spec to a survivor and still answer — byte-identically,
+        # because jobs are pure functions of their spec.
+        result, node = fleet.router.job(accepted["job_id"], wait_s=60.0)
+        assert node != victim
+        assert result["status"] == "done", result.get("error")
+        reference = execute_spec(
+            make_exec_spec(JobSpec.from_dict(body)))["payload"]
+        assert canonical_payload_bytes(result["payload"]) == \
+            canonical_payload_bytes(reference)
+        assert fleet.router.stats()["router"]["resubmits"] >= 1
+
+    def test_stale_recovery_does_not_redispatch(self, fleet):
+        # A poller that saw the OLD assignment fail must not trigger a
+        # second recovery once another poller already moved the route —
+        # on a small fleet that would exclude the healthy node (503) or
+        # double-execute the job.
+        victim = "node-2"
+        body = self._spec_owned_by(fleet, victim)
+        accepted = fleet.router.submit(dict(body))
+        assert accepted["node"] == victim
+        _await(fleet.router, accepted)
+        fleet.kill(victim)
+        result, node = fleet.router.job(accepted["job_id"], wait_s=60.0)
+        assert result["status"] == "done"
+        resubmits = fleet.router.stats()["router"]["resubmits"]
+        route = fleet.router._route(accepted["job_id"])
+        # Simulate the racing poller: it observed `victim` failing, but
+        # the route has already been recovered elsewhere.
+        recovered = fleet.router._recover(route, victim, wait_s=60.0)
+        assert recovered["status"] == "done"
+        assert route.node_name == node  # assignment untouched
+        assert fleet.router.stats()["router"]["resubmits"] == resubmits
+
+    def test_all_nodes_down_is_cluster_error(self, fleet):
+        for name in ("node-0", "node-1", "node-2"):
+            fleet.kill(name)
+        with pytest.raises((NodeUnavailableError, ClusterError)):
+            fleet.router.submit({"dataset": "Uniform100M2:100"})
+
+
+class TestFleetStats:
+    def test_aggregates_pool_across_nodes(self, fleet):
+        for n in (300, 310, 320, 300, 310):  # two repeats
+            accepted = fleet.router.submit({"dataset": f"Uniform100M2:{n}"})
+            _await(fleet.router, accepted)
+        stats = fleet.router.stats()
+        assert stats["fleet"]["nodes_reachable"] == 3
+        assert stats["fleet"]["jobs"]["done"] == 5
+        # Two result hits out of five lookups, pooled across the fleet.
+        assert stats["fleet"]["result_cache"]["hit_rate"] == \
+            pytest.approx(0.4)
+        assert stats["router"]["jobs_routed"] == 5
+        assert sum(stats["router"]["routed_by_node"].values()) == 5
+        assert stats["fleet"]["mfeatures_per_sec"] >= 0.0
+
+    def test_healthz_degrades_when_a_node_dies(self, fleet):
+        assert fleet.router.healthz()["status"] == "ok"
+        fleet.kill("node-0")
+        health = fleet.router.healthz()
+        assert health["status"] == "degraded"
+        assert health["nodes_up"] == 2
+        down = [n for n in health["nodes"] if n["name"] == "node-0"]
+        assert down and not down[0]["reachable"]
+
+    def test_admin_flush_fans_out(self, fleet):
+        accepted = fleet.router.submit({"dataset": "Uniform100M2:350"})
+        _await(fleet.router, accepted)
+        report = fleet.router.flush()
+        assert report["status"] == "ok"
+        assert len(report["nodes"]) == 3
+        repeat = fleet.router.submit({"dataset": "Uniform100M2:350"})
+        result, _ = _await(fleet.router, repeat)
+        assert not result["cache"]["result_hit"]
+
+    def test_admin_compact_fans_out(self, fleet):
+        report = fleet.router.compact()
+        assert report["status"] == "ok"
+        for entry in report["nodes"]:
+            assert entry["compacted"]["journal_lines_after"] >= 0
+
+
+@pytest.fixture
+def routed_api(fleet):
+    """The router's own HTTP front end; yields its base URL."""
+    server = create_router_server(fleet.router)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=120) as resp:
+        return resp.status, json.loads(resp.read()), resp.headers
+
+
+def _post(url, obj=None):
+    data = json.dumps(obj).encode() if obj is not None else b""
+    req = urllib.request.Request(
+        url, data=data, method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        return resp.status, json.loads(resp.read()), resp.headers
+
+
+class TestRouterHTTP:
+    def test_same_wire_protocol_as_a_node(self, routed_api):
+        status, accepted, headers = _post(f"{routed_api}/v1/jobs",
+                                          {"dataset": "Uniform100M2:300"})
+        assert status == 202
+        assert accepted["status"] == "pending"
+        assert headers["X-Repro-Node"] == accepted["node"]
+        status, result, headers = _get(
+            f"{routed_api}/v1/jobs/{accepted['job_id']}?wait_s=60")
+        assert status == 200
+        assert result["status"] == "done"
+        assert result["job_id"] == accepted["job_id"]
+        assert headers["X-Repro-Node"] == accepted["node"]
+
+    def test_bad_spec_is_400(self, routed_api):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{routed_api}/v1/jobs", {"dataset": "Uniform100M2:50",
+                                            "algorithm": "kmeans"})
+        assert excinfo.value.code == 400
+
+    def test_unknown_job_is_404(self, routed_api):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{routed_api}/v1/jobs/job-424242")
+        assert excinfo.value.code == 404
+
+    def test_stats_and_healthz_documents(self, routed_api):
+        _, health, _ = _get(f"{routed_api}/v1/healthz")
+        assert health["role"] == "router"
+        assert health["status"] == "ok"
+        _, stats, _ = _get(f"{routed_api}/v1/stats")
+        assert stats["role"] == "router"
+        assert "fleet" in stats and "router" in stats
+
+    def test_admin_flush_bad_tier_is_400_not_503(self, routed_api, fleet):
+        # Every node rejects the tier with a 400: the router must relay
+        # the client error, not convert it into unavailability — and the
+        # unanimous 4xx must not poison the fleet's health view.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{routed_api}/v1/admin/flush", {"tier": "everything"})
+        assert excinfo.value.code == 400
+        assert all(node.healthy for node in fleet.router.ring.nodes)
+
+    def test_admin_flush_per_tier_over_http(self, routed_api):
+        _, accepted, _ = _post(f"{routed_api}/v1/jobs",
+                               {"dataset": "Uniform100M2:420"})
+        _, result, _ = _get(
+            f"{routed_api}/v1/jobs/{accepted['job_id']}?wait_s=60")
+        assert result["status"] == "done"
+        status, report, _ = _post(f"{routed_api}/v1/admin/flush",
+                                  {"tier": "bvh"})
+        assert status == 200
+        assert report["status"] == "ok"
+        # The tree tier is gone everywhere, the result tier is not: the
+        # repeat is still a result hit but would rebuild its tree.
+        _, repeat, _ = _post(f"{routed_api}/v1/jobs",
+                             {"dataset": "Uniform100M2:420"})
+        _, result, _ = _get(
+            f"{routed_api}/v1/jobs/{repeat['job_id']}?wait_s=60")
+        assert result["cache"]["result_hit"]
+
+
+class TestFingerprintSpec:
+    def test_matches_engine_keying(self, rng):
+        points = rng.random((60, 3))
+        spec = JobSpec(points=points)
+        from repro.store import fingerprint_array
+        assert fingerprint_spec(spec) == \
+            fingerprint_array(np.asarray(points, dtype=np.float64))
+
+    def test_dataset_and_inline_agree(self):
+        from repro.data import generate_from_spec
+        spec = JobSpec(dataset="Uniform100M2:123")
+        inline = JobSpec(points=generate_from_spec("Uniform100M2:123"))
+        assert fingerprint_spec(spec) == fingerprint_spec(inline)
+
+    def test_result_key_derivation(self):
+        spec = JobSpec(dataset="Uniform100M2:77")
+        fp = fingerprint_spec(spec)
+        key = combine_fingerprint(fp, spec.params_key())
+        assert len(key) == 64 and key != fp
+
+
+class TestNodeClient:
+    def test_unreachable_node_raises_unavailable(self):
+        client = NodeClient(Node("http://127.0.0.1:9", name="void"),
+                            timeout=0.5, retries=0)
+        with pytest.raises(NodeUnavailableError):
+            client.healthz()
+
+    def test_rejects_bad_config(self):
+        node = Node("http://h:1")
+        with pytest.raises(ClusterError):
+            NodeClient(node, timeout=0.0)
+        with pytest.raises(ClusterError):
+            NodeClient(node, retries=-1)

@@ -7,12 +7,44 @@ import pytest
 from repro.metrics import (
     features,
     features_per_second,
+    fleet_hit_rate,
+    fleet_mfeatures_per_second,
     format_rate,
     hit_rate,
     jobs_per_second,
     mfeatures_per_second,
     speedup,
 )
+
+
+class TestFleetAggregates:
+    def test_fleet_hit_rate_pools_lookups(self):
+        # Pooled, not averaged: the busy node dominates.
+        assert fleet_hit_rate([(9, 1), (0, 0)]) == 0.9
+        assert fleet_hit_rate([(1, 1), (1, 1), (2, 0)]) == \
+            pytest.approx(4 / 6)
+
+    def test_fleet_hit_rate_idle_fleet(self):
+        assert fleet_hit_rate([]) == 0.0
+        assert fleet_hit_rate([(0, 0), (0, 0)]) == 0.0
+
+    def test_fleet_hit_rate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fleet_hit_rate([(1, 2), (-1, 0)])
+
+    def test_fleet_throughput_pools_busy_time(self):
+        assert fleet_mfeatures_per_second(
+            [2_000_000, 1_000_000], [2.0, 1.0]) == 1.0
+
+    def test_fleet_throughput_idle_fleet(self):
+        assert fleet_mfeatures_per_second([], []) == 0.0
+        assert fleet_mfeatures_per_second([0, 0], [0.0, 0.0]) == 0.0
+
+    def test_fleet_throughput_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fleet_mfeatures_per_second([-1], [1.0])
+        with pytest.raises(ValueError):
+            fleet_mfeatures_per_second([1], [-1.0])
 
 
 class TestServiceRates:

@@ -140,3 +140,47 @@ def test_bad_dataset_spec_is_400(api):
         post(f"{api}/v1/jobs", {"dataset": "NoSuchDataset:100"})
     assert excinfo.value.code == 400
     assert "unknown dataset" in json.loads(excinfo.value.read())["error"]
+
+
+def test_wait_s_long_poll_alias(api):
+    _, submitted = post(f"{api}/v1/jobs", {"dataset": "Uniform100M2:300"})
+    status, body = get(f"{api}/v1/jobs/{submitted['job_id']}?wait_s=60")
+    assert status == 200
+    assert body["status"] == "done"
+
+
+def test_bad_wait_s_is_400(api):
+    _, submitted = post(f"{api}/v1/jobs", {"dataset": "Uniform100M2:300"})
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        get(f"{api}/v1/jobs/{submitted['job_id']}?wait_s=soon")
+    assert excinfo.value.code == 400
+
+
+def test_huge_integer_points_are_400_not_500(api):
+    # JSON integers are unbounded; converting one that overflows float64
+    # raises OverflowError, which must surface as a client error and not
+    # crash the handler (the connection would die with no response).
+    body = json.dumps({"points": [[1, int("9" * 400)]]}).encode()
+    req = urllib.request.Request(f"{api}/v1/jobs", data=body,
+                                 headers={"Content-Type": "application/json"})
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(req, timeout=30)
+    assert excinfo.value.code == 400
+    assert "points" in json.loads(excinfo.value.read())["error"]
+
+
+def test_ragged_points_are_400(api):
+    for points in ([[1.0, 2.0], [3.0]],            # ragged
+                   [[1.0, "x"], [3.0, 4.0]],       # non-numeric
+                   [[1.0, {"v": 2}]]):             # nested object
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(f"{api}/v1/jobs", {"points": points})
+        assert excinfo.value.code == 400
+
+
+def test_x_repro_node_header_and_identity(api):
+    with urllib.request.urlopen(f"{api}/v1/healthz", timeout=30) as resp:
+        body = json.loads(resp.read())
+        header = resp.headers.get("X-Repro-Node")
+    assert header  # default identity is host:port
+    assert body["node"] == header

@@ -170,6 +170,39 @@ class TestDiskStore:
         assert not os.path.exists(path)
         assert DiskStore(str(tmp_path)).get("core", "aa" * 32) is None
 
+    def test_clear_tier_leaves_other_tiers(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("core", "aa" * 32, *self._core_blob())
+        store.put("result", "bb" * 32, *self._core_blob())
+        entries, reclaimed = store.clear_tier("core")
+        assert entries == 1 and reclaimed > 0
+        assert ("core", "aa" * 32) not in store
+        assert ("result", "bb" * 32) in store
+        assert store.current_bytes > 0
+        # The eviction is durable: a reopen must not resurrect the tier.
+        reopened = DiskStore(str(tmp_path))
+        assert reopened.get("core", "aa" * 32) is None
+        assert reopened.get("result", "bb" * 32) is not None
+
+    def test_clear_empty_tier_is_noop(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("core", "aa" * 32, *self._core_blob())
+        assert store.clear_tier("tree") == (0, 0)
+        assert len(store) == 1
+
+    def test_compact_on_demand(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.put("core", "aa" * 32, *self._core_blob())
+        for _ in range(5):
+            store.get("core", "aa" * 32)  # touch lines accumulate
+        report = store.compact()
+        assert report["journal_lines_before"] == 6
+        assert report["journal_lines_after"] == 1
+        assert report["entries"] == 1
+        assert report["journal_bytes_reclaimed"] > 0
+        with open(os.path.join(str(tmp_path), "index.jsonl")) as fh:
+            assert len(fh.readlines()) == 1
+
 
 class TestCrashSafety:
     """A killed writer must never poison the store: opening self-heals."""
@@ -451,6 +484,33 @@ class TestEngineWarmRestart:
             assert not again.cache["result_hit"]
             assert not again.cache["result_disk_hit"]
 
+    def test_flush_single_tier_keeps_the_rest(self, tmp_path):
+        with Engine(max_workers=1, batch_window=0.0,
+                    store_dir=str(tmp_path / "store")) as eng:
+            eng.result(eng.submit(JobSpec(dataset="Uniform100M2:300",
+                                          algorithm="mrd_emst", k_pts=4)),
+                       timeout=60)
+            flushed = eng.flush(tier="core")
+            assert flushed["core"] == 1
+            assert flushed["store"] == 1
+            assert flushed["store_bytes"] > 0
+            assert "tree" not in flushed
+            again = eng.result(
+                eng.submit(JobSpec(dataset="Uniform100M2:300",
+                                   algorithm="hdbscan", k_pts=4)),
+                timeout=60)
+            assert again.cache["tree_hit"]  # tree tier survived
+            assert not again.cache["core_hit"]  # core tier flushed
+
+    def test_flush_unknown_tier_raises(self):
+        with Engine(max_workers=1) as eng:
+            with pytest.raises(InvalidInputError, match="tier"):
+                eng.flush(tier="bvh")  # wire alias is the server's job
+
+    def test_compact_memory_only_returns_none(self):
+        with Engine(max_workers=1) as eng:
+            assert eng.compact() is None
+
     def test_memory_only_engine_unchanged(self, uniform_2d):
         with Engine(max_workers=1, batch_window=0.0) as eng:
             assert eng.store is None
@@ -568,9 +628,76 @@ class TestServerWithStore:
         status, body = self._post(f"{persistent_api}/v1/admin/flush")
         assert status == 200
         assert body["flushed"]["store"] >= 2
+        assert body["flushed"]["store_bytes"] > 0
         _, stats = self._get(f"{persistent_api}/v1/stats")
         assert stats["store"]["entries"] == 0
         assert stats["result_cache"]["entries"] == 0
+
+    def test_admin_flush_single_tier(self, persistent_api):
+        _, submitted = self._post(f"{persistent_api}/v1/jobs",
+                                  {"dataset": "Uniform100M2:200"})
+        _, result = self._get(
+            f"{persistent_api}/v1/jobs/{submitted['job_id']}?wait=60")
+        assert result["status"] == "done"
+        # "bvh" is the wire name of the internal tree tier.
+        status, body = self._post(f"{persistent_api}/v1/admin/flush",
+                                  {"tier": "bvh"})
+        assert status == 200
+        assert body["tier"] == "tree"
+        assert body["flushed"]["tree"] == 1
+        assert body["flushed"]["store"] == 1
+        assert body["flushed"]["store_bytes"] > 0
+        assert "result" not in body["flushed"]
+        _, stats = self._get(f"{persistent_api}/v1/stats")
+        # The result tier survives a tree-only flush, on disk too.
+        assert stats["result_cache"]["entries"] == 1
+        assert stats["store"]["entries_by_tier"].get("tree") is None
+        assert stats["store"]["entries_by_tier"]["result"] == 1
+        # The repeat is still an exact-repeat result hit...
+        _, submitted = self._post(f"{persistent_api}/v1/jobs",
+                                  {"dataset": "Uniform100M2:200"})
+        _, result = self._get(
+            f"{persistent_api}/v1/jobs/{submitted['job_id']}?wait=60")
+        assert result["cache"]["result_hit"]
+        # ...but a *different* job over the same points rebuilds the tree.
+        _, submitted = self._post(f"{persistent_api}/v1/jobs",
+                                  {"dataset": "Uniform100M2:200",
+                                   "algorithm": "mrd_emst", "k_pts": 4})
+        _, result = self._get(
+            f"{persistent_api}/v1/jobs/{submitted['job_id']}?wait=60")
+        assert result["status"] == "done"
+        assert not result["cache"]["tree_hit"]
+
+    def test_admin_flush_unknown_tier_is_400(self, persistent_api):
+        import urllib.error
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{persistent_api}/v1/admin/flush",
+                       {"tier": "everything"})
+        assert excinfo.value.code == 400
+
+    def test_admin_compact_endpoint(self, persistent_api):
+        for n in (200, 250, 300):
+            _, submitted = self._post(f"{persistent_api}/v1/jobs",
+                                      {"dataset": f"Uniform100M2:{n}"})
+            _, result = self._get(
+                f"{persistent_api}/v1/jobs/{submitted['job_id']}?wait=60")
+            assert result["status"] == "done"
+        status, body = self._post(f"{persistent_api}/v1/admin/compact")
+        assert status == 200
+        compacted = body["compacted"]
+        # After compaction the journal holds exactly one line per entry.
+        assert compacted["journal_lines_after"] == compacted["entries"]
+        assert compacted["journal_lines_before"] >= \
+            compacted["journal_lines_after"]
+
+    def test_admin_compact_memory_only_node(self, api):
+        import urllib.request
+        req = urllib.request.Request(f"{api}/v1/admin/compact", data=b"",
+                                     method="POST")
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            body = json.loads(resp.read())
+        assert resp.status == 200
+        assert body["compacted"] is None
 
 
 class TestBvhStateCompat:

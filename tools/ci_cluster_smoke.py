@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""CI smoke check for the cluster tier: route, kill a node, stay correct.
+
+Boots a 3-node fleet (``python -m repro serve`` subprocesses, each with
+its own persistent store shard) behind a ``python -m repro route``
+subprocess, then:
+
+1. submits half of a mixed batch (three point sets × three algorithms)
+   through the router,
+2. **SIGKILLs one node mid-stream** — specifically the node that served
+   the first job, so the router provably loses live state,
+3. submits the other half and awaits everything through the router.
+
+Asserted invariants (the PR's acceptance criteria):
+
+* **every job completes** — submissions that hit the dead node fail over
+  (at most one retry), results lost with the dead node are transparently
+  re-executed on a survivor at poll time;
+* **routed results are byte-identical** to direct in-process execution
+  (:func:`repro.service.jobs.canonical_payload_bytes`, wall-clock phases
+  stripped) — dispatch must never change answers;
+* **warm-tier pinning survives**: a re-submitted point set lands on the
+  same (surviving) node the ring pinned it to — observed through the
+  router's ``X-Repro-Node`` header — and is answered as a result-tier
+  hit;
+* the router's health document reports the degraded fleet (2/3 up).
+
+Usage::
+
+    python tools/ci_cluster_smoke.py --base-port 8450
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+from repro.service import JobSpec, canonical_payload_bytes
+from repro.service.executor import execute_spec, make_exec_spec
+
+N_NODES = 3
+
+
+def _request(url, data=None, timeout=90):
+    req = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {})
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read()), resp.headers.get("X-Repro-Node", "")
+
+
+def _submit(base, body):
+    accepted, node = _request(f"{base}/v1/jobs",
+                              json.dumps(body).encode())
+    return accepted["job_id"], node
+
+
+def _await(base, job_id, timeout):
+    deadline = time.monotonic() + timeout
+    while True:
+        chunk = max(0.0, min(deadline - time.monotonic(), 30.0))
+        result, node = _request(f"{base}/v1/jobs/{job_id}?wait_s={chunk:.1f}",
+                                timeout=chunk + 60)
+        if result.get("status") in ("done", "failed"):
+            return result, node
+        if time.monotonic() >= deadline:
+            raise SystemExit(f"FAIL: job {job_id} still "
+                             f"{result.get('status')} after {timeout}s")
+
+
+def _reference_bytes(body):
+    spec = JobSpec.from_dict(body)
+    return canonical_payload_bytes(
+        execute_spec(make_exec_spec(spec))["payload"])
+
+
+def _wait_healthy(proc, url, check, what):
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"FAIL: {what} exited early "
+                             f"(code {proc.returncode})")
+        try:
+            health, _ = _request(url, timeout=5)
+            if check(health):
+                return
+        except (urllib.error.URLError, OSError):
+            pass
+        time.sleep(0.25)
+    raise SystemExit(f"FAIL: {what} never became healthy")
+
+
+def run_smoke(args):
+    store_root = tempfile.mkdtemp(prefix="repro-cluster-smoke-")
+    procs = {}
+    router_proc = None
+    try:
+        node_args = []
+        for i in range(N_NODES):
+            name = f"node{i}"
+            port = args.base_port + i
+            procs[name] = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--port", str(port), "--workers", "1", "--name", name,
+                 "--store-dir", os.path.join(store_root, name)],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+            node_args += ["--node", f"{name}=http://127.0.0.1:{port}"]
+        for i, (name, proc) in enumerate(procs.items()):
+            _wait_healthy(proc,
+                          f"http://127.0.0.1:{args.base_port + i}/v1/healthz",
+                          lambda h: h.get("status") == "ok", name)
+        router_port = args.base_port + N_NODES
+        router_proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "route",
+             "--port", str(router_port), *node_args],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        base = f"http://127.0.0.1:{router_port}"
+        _wait_healthy(router_proc, f"{base}/v1/healthz",
+                      lambda h: h.get("nodes_up") == N_NODES, "router")
+        print(f"ok: {N_NODES} nodes + router up at {base}")
+
+        bodies = []
+        for n_points in (700, 900, 1100):
+            for algorithm in ("emst", "mrd_emst", "hdbscan"):
+                bodies.append({"dataset": f"Uniform100M2:{n_points}",
+                               "algorithm": algorithm, "k_pts": 4})
+        half = len(bodies) // 2
+        submitted = [(body, *_submit(base, body)) for body in bodies[:half]]
+
+        # Kill the node that served the first job — mid-stream, with its
+        # results (and any still-running jobs) lost with it.
+        victim = submitted[0][2]
+        os.kill(procs[victim].pid, signal.SIGKILL)
+        procs[victim].wait(timeout=30)
+        print(f"ok: killed {victim} mid-stream (SIGKILL)")
+
+        submitted += [(body, *_submit(base, body)) for body in bodies[half:]]
+
+        completions = []
+        for body, job_id, _node in submitted:
+            result, node = _await(base, job_id, args.timeout)
+            if result["status"] != "done":
+                raise SystemExit(f"FAIL: job {job_id} failed: "
+                                 f"{result.get('error')}")
+            served = canonical_payload_bytes(result["payload"])
+            if served != _reference_bytes(body):
+                raise SystemExit(
+                    f"FAIL: routed payload diverges from in-process "
+                    f"reference for {body} (served sha256="
+                    f"{hashlib.sha256(served).hexdigest()})")
+            completions.append((body, node, result))
+        print(f"ok: all {len(completions)} jobs completed through the "
+              f"router, byte-identical to in-process execution "
+              f"(one node down)")
+
+        # Warm pinning: re-submit a point set whose serving node survived;
+        # the ring must send it back there and the result tier must answer.
+        body, node, _result = next(
+            (c for c in completions if c[1] != victim), None) or (
+            None, None, None)
+        if body is None:
+            raise SystemExit("FAIL: no job served by a surviving node")
+        job_id, resubmit_node = _submit(base, body)
+        if resubmit_node != node:
+            raise SystemExit(
+                f"FAIL: re-submission routed to {resubmit_node}, "
+                f"expected the warm node {node}")
+        result, _ = _await(base, job_id, args.timeout)
+        if not result["cache"].get("result_hit"):
+            raise SystemExit(
+                f"FAIL: re-submitted job was not a result-tier hit on "
+                f"{node}: {result['cache']}")
+        print(f"ok: re-submitted point set pinned back to {node} and "
+              f"answered from its warm result tier")
+
+        health, _ = _request(f"{base}/v1/healthz")
+        if health["status"] != "degraded" or health["nodes_up"] != 2:
+            raise SystemExit(f"FAIL: router health should report 2/3 up, "
+                             f"got {health['status']} "
+                             f"{health['nodes_up']}/{health['nodes_total']}")
+        stats, _ = _request(f"{base}/v1/stats")
+        print(f"ok: fleet degraded but serving "
+              f"(failovers={stats['router']['failovers']}, "
+              f"resubmits={stats['router']['resubmits']}, "
+              f"jobs done={stats['fleet']['jobs'].get('done', 0)})")
+        return 0
+    finally:
+        for proc in list(procs.values()) + [router_proc]:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+        for proc in list(procs.values()) + [router_proc]:
+            if proc is not None:
+                proc.wait(timeout=30)
+        shutil.rmtree(store_root, ignore_errors=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--base-port", type=int, default=8450,
+                        help="nodes bind base-port..+2, the router +3")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="seconds to wait for any single job")
+    args = parser.parse_args(argv)
+
+    # PYTHONPATH must reach the node and router subprocesses.
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    existing = os.environ.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (f"{src}{os.pathsep}{existing}"
+                                    if existing else src)
+    return run_smoke(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
