@@ -1,59 +1,199 @@
-"""Micro-benchmarks of the core kernels (real wall-clock, pytest-benchmark).
+"""Traversal-kernel benchmark — wavefront engine vs the reference path.
 
-Unlike the figure benches (which report simulated device times), these
-measure the NumPy substrate itself: BVH construction, the batched NN
-traversal, the k-NN kernel, label reduction, and a full Borůvka round.
-Useful for tracking regressions in the vectorized kernels.
+Measures end-to-end EMST wall-clock (tree build + Borůvka solve) under:
+
+* **old** — the pre-wavefront configuration: single-pop ``reference``
+  traversal engine, adjacent-pairs bound scan, no warm frontier,
+  one-point leaves;
+* **new** — the production defaults: ``wavefront`` engine (plan-seeded,
+  multi-pop, distance-carrying stacks), wide bound window, warm frontier;
+* a **multi-pop width sweep** and a **leaf-size sweep** around the
+  defaults, quantifying each knob's contribution.
+
+Every measured configuration is asserted *byte-identical* in canonical
+payload form (:func:`repro.service.jobs.canonical_payload_bytes`) to the
+old path — the engines must agree on every edge, weight and tie-break.
+
+Everything is written to ``reports/BENCH_kernels.json`` (plus a rendered
+table) so CI can archive the perf trajectory.  Runs standalone
+(``python benchmarks/bench_kernels.py``, ``--smoke`` for CI sizes); with
+enough cores the full run enforces the kernel-perf gate: the new defaults
+must beat the reference path by >= 1.5x on the fixed N=20k uniform-2D
+case.
 """
 
-import numpy as np
-import pytest
+import argparse
+import json
+import os
+import time
 
-from repro.bvh import batched_knn, batched_nearest, build_bvh
-from repro.core.bounds import compute_upper_bounds
+from repro.bench.tables import REPORTS_DIR, render_table, save_report
+from repro.bvh import traversal_engine
+from repro.core.boruvka_emst import SingleTreeConfig
 from repro.core.emst import emst
-from repro.core.labels import reduce_labels
 from repro.data import generate
+from repro.metrics import speedup
+from repro.service.jobs import canonical_payload_bytes, emst_result_to_dict
 
-N = 20_000
+#: Multi-pop drain-width caps swept around the default.
+WIDTH_SWEEP = (1, 4, 16, 64)
+#: Leaf blocking factors swept around the default.
+LEAF_SWEEP = (1, 2, 4, 8)
+#: The pre-wavefront configuration (the "old" path).
+OLD_CONFIG = SingleTreeConfig(leaf_size=1, warm_frontier=False,
+                              bound_window=1)
 
-
-@pytest.fixture(scope="module")
-def points():
-    return generate("Hacc37M", N, seed=0)
-
-
-@pytest.fixture(scope="module")
-def bvh(points):
-    return build_bvh(points)
-
-
-def bench_bvh_construction(benchmark, points):
-    benchmark(lambda: build_bvh(points))
-
-
-def bench_nearest_neighbors(benchmark, bvh):
-    queries = bvh.points
-    excl = np.arange(bvh.n)
-    benchmark.pedantic(
-        lambda: batched_nearest(bvh, queries, exclude_position=excl),
-        rounds=3, iterations=1)
+#: Kernel-perf gate: minimum speedup of the new defaults over the old
+#: path on the fixed N=20k uniform-2D case (full runs on >= 2 cores).
+GATE_SPEEDUP = 1.5
+GATE_N = 20_000
 
 
-def bench_knn_k8(benchmark, bvh):
-    benchmark.pedantic(lambda: batched_knn(bvh, bvh.points, 8),
-                       rounds=3, iterations=1)
+def _canonical(result) -> bytes:
+    return canonical_payload_bytes(emst_result_to_dict(result))
 
 
-def bench_label_reduction(benchmark, bvh):
-    labels = np.arange(bvh.n, dtype=np.int64) % 64
-    benchmark(lambda: reduce_labels(bvh, labels))
+def _time_emst(points, config, engine, *, width=None, reps=2):
+    """Best-of-``reps`` wall seconds; returns (seconds, canonical bytes)."""
+    import repro.bvh.wavefront as wavefront
+    saved_width = wavefront.DEFAULT_WIDTH
+    if width is not None:
+        wavefront.DEFAULT_WIDTH = width
+    try:
+        best = float("inf")
+        result = None
+        with traversal_engine(engine):
+            for _ in range(reps):
+                started = time.perf_counter()
+                result = emst(points, config=config)
+                best = min(best, time.perf_counter() - started)
+        return best, _canonical(result)
+    finally:
+        wavefront.DEFAULT_WIDTH = saved_width
 
 
-def bench_upper_bounds(benchmark, bvh):
-    labels = np.arange(bvh.n, dtype=np.int64) % 64
-    benchmark(lambda: compute_upper_bounds(bvh, labels))
+def run_ablation(n_points: int, reps: int = 2):
+    """Old-vs-new plus width and leaf-size sweeps over 2D and 3D."""
+    measurements = {"n_points": n_points, "dimensions": {}}
+    rows = []
+    for dim, dataset in ((2, "Uniform100M2"), (3, "Uniform100M3")):
+        points = generate(dataset, n_points, seed=0)
+        old_s, old_bytes = _time_emst(points, OLD_CONFIG, "reference",
+                                      reps=reps)
+        new_s, new_bytes = _time_emst(points, SingleTreeConfig(),
+                                      "wavefront", reps=reps)
+        assert new_bytes == old_bytes, \
+            f"wavefront result diverged from reference ({dim}D)"
+        widths = {}
+        for width in WIDTH_SWEEP:
+            seconds, got = _time_emst(points, SingleTreeConfig(),
+                                      "wavefront", width=width, reps=reps)
+            assert got == old_bytes, f"width={width} diverged ({dim}D)"
+            widths[str(width)] = seconds
+        leaves = {}
+        for leaf_size in LEAF_SWEEP:
+            seconds, got = _time_emst(
+                points, SingleTreeConfig(leaf_size=leaf_size),
+                "wavefront", reps=reps)
+            assert got == old_bytes, f"leaf_size={leaf_size} diverged ({dim}D)"
+            leaves[str(leaf_size)] = seconds
+        measurements["dimensions"][str(dim)] = {
+            "old_seconds": old_s,
+            "new_seconds": new_s,
+            "speedup": speedup(old_s, new_s),
+            "width_sweep_seconds": widths,
+            "leaf_sweep_seconds": leaves,
+        }
+        rows.append([f"{dim}D old (reference)", old_s * 1e3, 1.0])
+        rows.append([f"{dim}D new (wavefront)", new_s * 1e3,
+                     speedup(old_s, new_s)])
+        for width, seconds in widths.items():
+            rows.append([f"{dim}D wavefront width<={width}", seconds * 1e3,
+                         speedup(old_s, seconds)])
+        for leaf_size, seconds in leaves.items():
+            rows.append([f"{dim}D wavefront leaf_size={leaf_size}",
+                         seconds * 1e3, speedup(old_s, seconds)])
+    table = render_table(
+        ["configuration", "emst ms", "speedup vs old"], rows,
+        title=f"Traversal kernels — end-to-end EMST, uniform n={n_points}")
+    save_report("bench_kernels.txt", table)
+    return measurements, table
 
 
-def bench_full_emst(benchmark, points):
-    benchmark.pedantic(lambda: emst(points), rounds=2, iterations=1)
+def run_headline(n_points: int = 50_000):
+    """Old-vs-new at the acceptance size (single repetition per cell)."""
+    out = {"n_points": n_points, "dimensions": {}}
+    for dim, dataset in ((2, "Uniform100M2"), (3, "Uniform100M3")):
+        points = generate(dataset, n_points, seed=0)
+        old_s, old_bytes = _time_emst(points, OLD_CONFIG, "reference",
+                                      reps=1)
+        new_s, new_bytes = _time_emst(points, SingleTreeConfig(),
+                                      "wavefront", reps=1)
+        assert new_bytes == old_bytes, f"headline diverged ({dim}D)"
+        out["dimensions"][str(dim)] = {
+            "old_seconds": old_s, "new_seconds": new_s,
+            "speedup": speedup(old_s, new_s),
+        }
+    return out
+
+
+def save_json(ablation, headline):
+    payload = {
+        "benchmark": "bench_kernels",
+        "cpu_count": os.cpu_count(),
+        "ablation": ablation,
+        "headline": headline,
+    }
+    path = os.path.join(os.path.abspath(REPORTS_DIR), "BENCH_kernels.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def _check_gate(ablation):
+    # The gate mirrors bench_service's guard: perf bars only bind when
+    # the host has real cores to measure on.
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        return
+    got = ablation["dimensions"]["2"]["speedup"]
+    assert got >= GATE_SPEEDUP, (
+        f"kernel-perf gate: wavefront defaults {got:.2f}x vs reference "
+        f"on n={ablation['n_points']} uniform 2D, need >= {GATE_SPEEDUP}x")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--n-points", type=int, default=GATE_N,
+                        help="points per EMST in the ablation sweep")
+    parser.add_argument("--headline-points", type=int, default=50_000,
+                        help="points for the old-vs-new headline run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes and no perf assertions (CI smoke: "
+                             "exercises every path incl. the byte-identity "
+                             "checks, records the JSON)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n_points, args.headline_points = 4000, 8000
+
+    ablation, table = run_ablation(args.n_points,
+                                   reps=1 if args.smoke else 2)
+    print(table)
+    headline = run_headline(args.headline_points)
+    path = save_json(ablation, headline)
+    print(f"\nmeasurements written to {path}")
+    for dim, cell in headline["dimensions"].items():
+        print(f"headline {dim}D n={headline['n_points']}: "
+              f"{cell['old_seconds']:.2f}s -> {cell['new_seconds']:.2f}s "
+              f"({cell['speedup']:.2f}x)")
+    if not args.smoke:
+        _check_gate(ablation)
+        print(f"ok: kernel-perf gate passed "
+              f"(>= {GATE_SPEEDUP}x on n={args.n_points} uniform 2D)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,14 +10,21 @@ Construction follows the approach the paper inherits from ArborX
    nodes simultaneously; a scalar reference implementation backs the tests),
 3. bounding boxes are filled by a bottom-up refit pass.
 
-Given ``n`` points the tree has ``n - 1`` internal nodes and ``n`` leaves
-(2n - 1 nodes total).  Node ids: internal nodes are ``0 .. n-2`` with the
-root at 0; leaf for sorted position ``i`` is node ``n - 1 + i``.
+Given ``n`` points and a blocking factor ``leaf_size`` (default 1) the
+tree has ``m = ceil(n / leaf_size)`` leaves — each covering a run of
+consecutive Z-curve positions — and ``m - 1`` internal nodes (``2m - 1``
+total).  Node ids: internal nodes are ``0 .. m-2`` with the root at 0;
+leaf block ``j`` is node ``m - 1 + j``.
 
-Traversals (:mod:`repro.bvh.traversal`) are *batched*: every query is a SIMT
-lane with its own traversal stack, executed in lock-step vectorized
-iterations — the NumPy realization of the paper's one-thread-per-query GPU
-kernels, instrumented for the cost model.
+Traversals (:mod:`repro.bvh.traversal`) are *batched*: every query is a
+SIMT lane with its own traversal stack, executed in vectorized
+iterations — the NumPy realization of the paper's one-thread-per-query
+GPU kernels, instrumented for the cost model.  Two engines implement
+them: the production multi-pop ``wavefront`` engine
+(:mod:`repro.bvh.wavefront` — plan-seeded self-queries,
+distance-carrying stacks, reusable :class:`TraversalWorkspace` arenas)
+and the single-pop ``reference`` baseline (:mod:`repro.bvh.reference`),
+byte-identical in every answer.
 """
 
 from repro.bvh.build import karras_hierarchy, karras_hierarchy_scalar
@@ -26,10 +33,14 @@ from repro.bvh.refit import bottom_up_schedule, refit_bounds
 from repro.bvh.traversal import (
     batched_knn,
     batched_nearest,
+    get_default_engine,
     radius_count,
     radius_search,
+    set_default_engine,
+    traversal_engine,
 )
 from repro.bvh.validate import check_bvh_invariants
+from repro.bvh.workspace import TraversalWorkspace
 
 __all__ = [
     "BVH",
@@ -43,4 +54,8 @@ __all__ = [
     "radius_search",
     "radius_count",
     "check_bvh_invariants",
+    "TraversalWorkspace",
+    "traversal_engine",
+    "set_default_engine",
+    "get_default_engine",
 ]

@@ -1,0 +1,453 @@
+"""Reference single-pop traversal kernels (Algorithm 2, one node per step).
+
+This is the original NumPy realization of ArborX's bulk search: every query
+owns a traversal stack and all lanes advance together, popping exactly one
+node and examining its two children per Python iteration.  It is kept as
+the *semantic reference* for the production multi-pop kernels in
+:mod:`repro.bvh.wavefront`: the property tests drive both engines over the
+same adversarial inputs and assert identical results, and the ablation
+benchmark quantifies the speedup of draining wider frontiers.
+
+Both engines share one policy for blocked leaves (``leaf_size > 1``): a
+leaf visit evaluates the whole block of exact distances, with per-point
+admissibility (component labels, self-exclusion) masked *before* the
+distance computation so ``distance_evals`` counts only admissible
+candidates.  A single-point leaf that is exactly the excluded position is
+still skipped at the node level, preserving the historical counter
+accounting for ``leaf_size == 1`` trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bvh.bvh import BVH
+from repro.bvh.query import (
+    _NO_KEY,
+    KnnResult,
+    NearestResult,
+    leaf_candidates,
+    merge_k_best,
+    pair_keys,
+    resolve_point_labels,
+    single_leaf_excluded,
+    update_nearest_best,
+    validate_query_points,
+)
+from repro.bvh.workspace import TraversalWorkspace
+from repro.errors import InvalidInputError
+from repro.geometry.distance import point_box_sq, points_sq
+from repro.kokkos.counters import CostCounters, WarpTrace
+
+
+def _alloc_stack(bvh: BVH, batch: int,
+                 workspace: Optional[TraversalWorkspace]
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    depth = max(bvh.height + 2, 4)
+    if workspace is not None:
+        return workspace.stack_for(batch, depth)
+    stack = np.zeros((batch, depth), dtype=np.int32)
+    sp = np.zeros(batch, dtype=np.int64)
+    return stack, sp
+
+
+def nearest_reference(
+    bvh: BVH,
+    query_points: np.ndarray,
+    *,
+    query_labels: Optional[np.ndarray] = None,
+    node_labels: Optional[np.ndarray] = None,
+    point_labels: Optional[np.ndarray] = None,
+    init_radius_sq: Optional[np.ndarray] = None,
+    query_ids: Optional[np.ndarray] = None,
+    point_ids: Optional[np.ndarray] = None,
+    query_core_sq: Optional[np.ndarray] = None,
+    point_core_sq: Optional[np.ndarray] = None,
+    exclude_position: Optional[np.ndarray] = None,
+    counters: Optional[CostCounters] = None,
+    workspace: Optional[TraversalWorkspace] = None,
+) -> NearestResult:
+    """Constrained nearest neighbor, one popped node per lane per step."""
+    query_points = validate_query_points(bvh, query_points)
+    B = query_points.shape[0]
+    leaf_base = bvh.leaf_base
+
+    best_sq = np.full(B, np.inf)
+    best_pos = np.full(B, -1, dtype=np.int64)
+    best_key = np.full(B, _NO_KEY, dtype=np.uint64)
+    radius = (np.full(B, np.inf) if init_radius_sq is None
+              else np.asarray(init_radius_sq, dtype=np.float64).copy())
+    if radius.shape != (B,):
+        raise InvalidInputError("init_radius_sq must have one entry per query")
+
+    use_labels = query_labels is not None
+    plabels = resolve_point_labels(bvh, query_labels, node_labels,
+                                   point_labels)
+    use_mrd = query_core_sq is not None
+    if use_mrd and point_core_sq is None:
+        raise InvalidInputError("query_core_sq requires point_core_sq")
+    use_keys = query_ids is not None
+    if use_keys and point_ids is None:
+        raise InvalidInputError("query_ids requires point_ids")
+
+    trace = WarpTrace()
+    local = counters if counters is not None else CostCounters()
+    local.kernel_launches += 1
+    local.max_batch = max(local.max_batch, B)
+
+    def eval_leaves(sub: np.ndarray, leaf_nodes: np.ndarray) -> None:
+        """Blocked exact evaluation of leaf candidates for lanes ``sub``."""
+        local.leaf_visits += sub.size
+        lane, ppos = leaf_candidates(bvh, sub, leaf_nodes)
+        ok = np.ones(lane.size, dtype=bool)
+        if use_labels:
+            ok &= plabels[ppos] != query_labels[lane]
+        if exclude_position is not None:
+            ok &= ppos != exclude_position[lane]
+        if not np.all(ok):
+            lane = lane[ok]
+            ppos = ppos[ok]
+        if lane.size == 0:
+            return
+        d = points_sq(query_points[lane], bvh.points[ppos])
+        if use_mrd:
+            d = np.maximum(d, query_core_sq[lane])
+            d = np.maximum(d, point_core_sq[ppos])
+        local.distance_evals += lane.size
+        # Admission: only candidates inside the current cutoff may win.
+        # Exact no-op for single-point leaves (their box distance *is* the
+        # point distance, so the node test already enforced it); for
+        # blocked leaves it keeps the initial-radius contract tight.
+        adm = d <= radius[lane]
+        if not np.all(adm):
+            lane = lane[adm]
+            ppos = ppos[adm]
+            d = d[adm]
+        if lane.size == 0:
+            return
+        key = pair_keys(query_ids[lane], point_ids[ppos]) if use_keys else None
+        update_nearest_best(best_sq, best_pos, best_key, radius,
+                            lane, ppos, d, key, bvh.n)
+
+    if bvh.n_leaves == 1:
+        # Single-leaf tree: evaluate the lone block directly.
+        ok = np.ones(B, dtype=bool)
+        if use_labels:
+            ok &= node_labels[0] != query_labels
+        sub = np.nonzero(ok)[0]
+        if sub.size:
+            eval_leaves(sub, np.zeros(sub.size, dtype=np.int64))
+        return NearestResult(best_pos, best_sq, best_key)
+
+    stack, sp = _alloc_stack(bvh, B, workspace)
+    stack[:, 0] = 0  # root
+    sp[:] = 1
+    if use_labels:
+        # Lanes whose component spans the whole tree have nothing to find.
+        sp[node_labels[0] == query_labels] = 0
+
+    left, right = bvh.left, bvh.right
+    lo, hi = bvh.lo, bvh.hi
+
+    while True:
+        active_mask = sp > 0
+        lanes = np.nonzero(active_mask)[0]
+        if lanes.size == 0:
+            break
+        trace.step(active_mask)
+
+        sp[lanes] -= 1
+        node = stack[lanes, sp[lanes]].astype(np.int64)
+        qp = query_points[lanes]
+        rad = radius[lanes]
+
+        # Re-test the popped node: the radius may have shrunk since the
+        # push (Algorithm 2, line 9).
+        d_node = point_box_sq(qp, lo[node], hi[node])
+        local.nodes_visited += lanes.size
+        local.box_distance_evals += lanes.size
+        local.stack_ops += lanes.size
+        keep = d_node <= rad
+        if not np.any(keep):
+            continue
+        lanes = lanes[keep]
+        node = node[keep]
+        qp = qp[keep]
+        rad = rad[keep]
+
+        l_child = left[node]
+        r_child = right[node]
+        dl = point_box_sq(qp, lo[l_child], hi[l_child])
+        dr = point_box_sq(qp, lo[r_child], hi[r_child])
+        local.box_distance_evals += 2 * lanes.size
+        if use_mrd:
+            # mrd(u, v) >= core(u): tighten the subtree lower bound.
+            qc = query_core_sq[lanes]
+            dl_bound = np.maximum(dl, qc)
+            dr_bound = np.maximum(dr, qc)
+        else:
+            dl_bound = dl
+            dr_bound = dr
+
+        ok_l = dl_bound <= rad
+        ok_r = dr_bound <= rad
+        if use_labels:
+            qlab = query_labels[lanes]
+            ok_l &= node_labels[l_child] != qlab
+            ok_r &= node_labels[r_child] != qlab
+
+        leaf_l = l_child >= leaf_base
+        leaf_r = r_child >= leaf_base
+        if exclude_position is not None:
+            excl = exclude_position[lanes]
+            ok_l &= ~single_leaf_excluded(bvh, l_child, leaf_l, excl)
+            ok_r &= ~single_leaf_excluded(bvh, r_child, leaf_r, excl)
+
+        take_l = ok_l & leaf_l
+        if np.any(take_l):
+            eval_leaves(lanes[take_l], l_child[take_l])
+        take_r = ok_r & leaf_r
+        if np.any(take_r):
+            eval_leaves(lanes[take_r], r_child[take_r])
+
+        push_l = ok_l & ~leaf_l
+        push_r = ok_r & ~leaf_r
+        both = push_l & push_r
+        near_is_l = dl <= dr
+        far = np.where(near_is_l, r_child, l_child)
+        near = np.where(near_is_l, l_child, r_child)
+        first = np.where(both, far, np.where(push_l, l_child, r_child))
+
+        any_push = push_l | push_r
+        sub1 = lanes[any_push]
+        stack[sub1, sp[sub1]] = first[any_push].astype(np.int32)
+        sp[sub1] += 1
+        sub2 = lanes[both]
+        stack[sub2, sp[sub2]] = near[both].astype(np.int32)
+        sp[sub2] += 1
+        local.stack_ops += sub1.size + sub2.size
+
+    trace.flush(local)
+    return NearestResult(best_pos, best_sq, best_key)
+
+
+def knn_reference(
+    bvh: BVH,
+    query_points: np.ndarray,
+    k: int,
+    *,
+    exclude_position: Optional[np.ndarray] = None,
+    counters: Optional[CostCounters] = None,
+    workspace: Optional[TraversalWorkspace] = None,
+) -> KnnResult:
+    """k nearest neighbors, one popped node per lane per step."""
+    query_points = validate_query_points(bvh, query_points)
+    if k < 1:
+        raise InvalidInputError(f"k must be >= 1, got {k}")
+    B = query_points.shape[0]
+    leaf_base = bvh.leaf_base
+
+    kbest = np.full((B, k), np.inf)
+    kpos = np.full((B, k), -1, dtype=np.int64)
+
+    trace = WarpTrace()
+    local = counters if counters is not None else CostCounters()
+    local.kernel_launches += 1
+    local.max_batch = max(local.max_batch, B)
+
+    def eval_leaves(sub: np.ndarray, leaf_nodes: np.ndarray) -> None:
+        local.leaf_visits += sub.size
+        lane, ppos = leaf_candidates(bvh, sub, leaf_nodes)
+        if exclude_position is not None:
+            ok = ppos != exclude_position[lane]
+            lane = lane[ok]
+            ppos = ppos[ok]
+        if lane.size == 0:
+            return
+        d = points_sq(query_points[lane], bvh.points[ppos])
+        local.distance_evals += lane.size
+        improving = d < kbest[lane, -1]
+        if not np.any(improving):
+            return
+        lane = lane[improving]
+        ppos = ppos[improving]
+        d = d[improving]
+        merge_k_best(kbest, kpos, lane, ppos, d, k)
+
+    if bvh.n_leaves == 1:
+        eval_leaves(np.arange(B, dtype=np.int64),
+                    np.zeros(B, dtype=np.int64))
+        return KnnResult(kpos, kbest)
+
+    stack, sp = _alloc_stack(bvh, B, workspace)
+    stack[:, 0] = 0
+    sp[:] = 1
+    left, right = bvh.left, bvh.right
+    lo, hi = bvh.lo, bvh.hi
+
+    while True:
+        active_mask = sp > 0
+        lanes = np.nonzero(active_mask)[0]
+        if lanes.size == 0:
+            break
+        trace.step(active_mask)
+
+        sp[lanes] -= 1
+        node = stack[lanes, sp[lanes]].astype(np.int64)
+        qp = query_points[lanes]
+        rad = kbest[lanes, -1]
+        d_node = point_box_sq(qp, lo[node], hi[node])
+        local.nodes_visited += lanes.size
+        local.box_distance_evals += lanes.size
+        local.stack_ops += lanes.size
+        keep = d_node <= rad
+        if not np.any(keep):
+            continue
+        lanes = lanes[keep]
+        node = node[keep]
+        qp = qp[keep]
+        rad = rad[keep]
+
+        l_child = left[node]
+        r_child = right[node]
+        dl = point_box_sq(qp, lo[l_child], hi[l_child])
+        dr = point_box_sq(qp, lo[r_child], hi[r_child])
+        local.box_distance_evals += 2 * lanes.size
+
+        ok_l = dl <= rad
+        ok_r = dr <= rad
+        leaf_l = l_child >= leaf_base
+        leaf_r = r_child >= leaf_base
+        if exclude_position is not None:
+            excl = exclude_position[lanes]
+            ok_l &= ~single_leaf_excluded(bvh, l_child, leaf_l, excl)
+            ok_r &= ~single_leaf_excluded(bvh, r_child, leaf_r, excl)
+
+        take_l = ok_l & leaf_l
+        if np.any(take_l):
+            eval_leaves(lanes[take_l], l_child[take_l])
+        take_r = ok_r & leaf_r
+        if np.any(take_r):
+            eval_leaves(lanes[take_r], r_child[take_r])
+
+        push_l = ok_l & ~leaf_l
+        push_r = ok_r & ~leaf_r
+        both = push_l & push_r
+        near_is_l = dl <= dr
+        far = np.where(near_is_l, r_child, l_child)
+        near = np.where(near_is_l, l_child, r_child)
+        first = np.where(both, far, np.where(push_l, l_child, r_child))
+
+        any_push = push_l | push_r
+        sub1 = lanes[any_push]
+        stack[sub1, sp[sub1]] = first[any_push].astype(np.int32)
+        sp[sub1] += 1
+        sub2 = lanes[both]
+        stack[sub2, sp[sub2]] = near[both].astype(np.int32)
+        sp[sub2] += 1
+        local.stack_ops += sub1.size + sub2.size
+
+    trace.flush(local)
+    return KnnResult(kpos, kbest)
+
+
+def radius_reference(
+    bvh: BVH,
+    query_points: np.ndarray,
+    radius: float,
+    *,
+    counters: Optional[CostCounters] = None,
+    workspace: Optional[TraversalWorkspace] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All indexed points within ``radius``, one popped node per step."""
+    query_points = validate_query_points(bvh, query_points)
+    if radius < 0:
+        raise InvalidInputError(f"radius must be >= 0, got {radius}")
+    B = query_points.shape[0]
+    r_sq = float(radius) * float(radius)
+    leaf_base = bvh.leaf_base
+
+    local = counters if counters is not None else CostCounters()
+    local.kernel_launches += 1
+    local.max_batch = max(local.max_batch, B)
+    trace = WarpTrace()
+
+    found_q: List[np.ndarray] = []
+    found_p: List[np.ndarray] = []
+
+    def emit(sub: np.ndarray, leaf_nodes: np.ndarray) -> None:
+        local.leaf_visits += sub.size
+        lane, ppos = leaf_candidates(bvh, sub, leaf_nodes)
+        d = points_sq(query_points[lane], bvh.points[ppos])
+        local.distance_evals += lane.size
+        hit = d <= r_sq
+        if np.any(hit):
+            found_q.append(lane[hit])
+            found_p.append(ppos[hit])
+
+    if bvh.n_leaves == 1:
+        emit(np.arange(B, dtype=np.int64), np.zeros(B, dtype=np.int64))
+    else:
+        stack, sp = _alloc_stack(bvh, B, workspace)
+        stack[:, 0] = 0
+        sp[:] = 1
+        left, right = bvh.left, bvh.right
+        lo, hi = bvh.lo, bvh.hi
+        while True:
+            active_mask = sp > 0
+            lanes = np.nonzero(active_mask)[0]
+            if lanes.size == 0:
+                break
+            trace.step(active_mask)
+            sp[lanes] -= 1
+            node = stack[lanes, sp[lanes]].astype(np.int64)
+            local.nodes_visited += lanes.size
+            local.stack_ops += lanes.size
+            qp = query_points[lanes]
+
+            l_child = left[node]
+            r_child = right[node]
+            dl = point_box_sq(qp, lo[l_child], hi[l_child])
+            dr = point_box_sq(qp, lo[r_child], hi[r_child])
+            local.box_distance_evals += 2 * lanes.size
+            ok_l = dl <= r_sq
+            ok_r = dr <= r_sq
+            leaf_l = l_child >= leaf_base
+            leaf_r = r_child >= leaf_base
+
+            take_l = ok_l & leaf_l
+            if np.any(take_l):
+                emit(lanes[take_l], l_child[take_l])
+            take_r = ok_r & leaf_r
+            if np.any(take_r):
+                emit(lanes[take_r], r_child[take_r])
+
+            push_l = ok_l & ~leaf_l
+            push_r = ok_r & ~leaf_r
+            both = push_l & push_r
+            first = np.where(push_l, l_child, r_child)
+            any_push = push_l | push_r
+            sub1 = lanes[any_push]
+            stack[sub1, sp[sub1]] = first[any_push].astype(np.int32)
+            sp[sub1] += 1
+            sub2 = lanes[both]
+            stack[sub2, sp[sub2]] = r_child[both].astype(np.int32)
+            sp[sub2] += 1
+            local.stack_ops += sub1.size + sub2.size
+        trace.flush(local)
+
+    if found_q:
+        q_all = np.concatenate(found_q)
+        p_all = np.concatenate(found_p)
+        order = np.argsort(q_all, kind="stable")
+        q_all = q_all[order]
+        p_all = p_all[order]
+    else:
+        q_all = np.empty(0, dtype=np.int64)
+        p_all = np.empty(0, dtype=np.int64)
+    counts = np.bincount(q_all, minlength=B)
+    offsets = np.zeros(B + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets, p_all, q_all

@@ -57,19 +57,32 @@ def refit_bounds(
     right: np.ndarray,
     schedule: List[np.ndarray],
     counters: Optional[CostCounters] = None,
+    *,
+    leaf_start: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Compute node bounding boxes ``(lo, hi)`` for all ``2n - 1`` nodes.
+    """Compute node bounding boxes ``(lo, hi)`` for all ``2m - 1`` nodes.
 
-    ``points`` must be in sorted (leaf) order.  Leaves get degenerate boxes;
-    each internal node the union of its children, processed level by level.
+    ``points`` must be in sorted (leaf) order.  With ``leaf_start`` given,
+    leaf ``j`` covers sorted positions ``leaf_start[j]`` up to the next
+    block start and gets the union box of its block; without it every leaf
+    is one point and gets a degenerate box.  Each internal node is the
+    union of its children, processed level by level.
     """
     points = np.asarray(points, dtype=np.float64)
     n, dim = points.shape
-    leaf_base = n - 1
-    lo = np.empty((2 * n - 1, dim), dtype=np.float64)
-    hi = np.empty((2 * n - 1, dim), dtype=np.float64)
-    lo[leaf_base:] = points
-    hi[leaf_base:] = points
+    if leaf_start is None:
+        m = n
+        leaf_lo = points
+        leaf_hi = points
+    else:
+        m = leaf_start.shape[0]
+        leaf_lo = np.minimum.reduceat(points, leaf_start, axis=0)
+        leaf_hi = np.maximum.reduceat(points, leaf_start, axis=0)
+    leaf_base = m - 1
+    lo = np.empty((2 * m - 1, dim), dtype=np.float64)
+    hi = np.empty((2 * m - 1, dim), dtype=np.float64)
+    lo[leaf_base:] = leaf_lo
+    hi[leaf_base:] = leaf_hi
     for ids in schedule:
         l_ids = left[ids]
         r_ids = right[ids]

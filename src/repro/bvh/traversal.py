@@ -1,20 +1,30 @@
-"""Batched BVH traversals: one SIMT lane per query, lock-step iterations.
+"""Batched BVH traversals: the public kernel API and engine dispatch.
 
 This is the NumPy realization of ArborX's bulk search: every query owns a
-traversal stack (a row of a ``(B, height+2)`` array) and all lanes advance
-together, popping one node and examining its two children per iteration —
-exactly Algorithm 2 of the paper executed data-parallel.  Lanes that finish
-go inactive; the per-iteration activity mask feeds
-:class:`~repro.kokkos.counters.WarpTrace`, which measures the warp divergence
-a real GPU would pay.
+traversal stack and all lanes advance together — exactly Algorithm 2 of the
+paper executed data-parallel.  Two engines implement the kernels:
+
+* ``"wavefront"`` (:mod:`repro.bvh.wavefront`, the default) — multi-pop
+  frontier drains over blocked leaves, with reusable kernel workspaces;
+* ``"reference"`` (:mod:`repro.bvh.reference`) — the original single-pop
+  lock-step loop, kept as the semantic baseline for property tests and the
+  ablation benchmark.
+
+Both produce identical results for every query the EMST pipeline issues
+(tie-breaks minimize a total order, so candidate visit order is
+immaterial); they differ only in how many stack entries each Python
+iteration drains.  Select per call with ``engine=`` or process-wide with
+:func:`set_default_engine` / the :func:`traversal_engine` context manager.
 
 The nearest-neighbor kernel supports every constraint the single-tree EMST
 algorithm needs:
 
-* **component constraint / subtree skipping** — ``node_labels`` per tree node
-  (internal nodes carry a component label when their whole subtree is in one
-  component, else ``INVALID_LABEL``); a child whose label equals the query's
-  label is skipped (Optimization 1, Section 3);
+* **component constraint / subtree skipping** — ``node_labels`` per tree
+  node (a node carries a component label when its whole subtree is in one
+  component, else ``INVALID_LABEL``); a child whose label equals the
+  query's label is skipped (Optimization 1, Section 3).  Blocked trees
+  additionally take ``point_labels`` (per sorted position) for the exact
+  per-point constraint inside mixed leaf blocks;
 * **initial cutoff radius** — per-query squared radius (Optimization 2);
 * **mutual-reachability metric** — per-point core distances fold into leaf
   evaluations and subtree lower bounds (Section 3, "Non-Euclidean metrics");
@@ -25,55 +35,63 @@ algorithm needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidInputError
 from repro.bvh.bvh import BVH
-from repro.geometry.distance import point_box_sq, points_sq
-from repro.kokkos.counters import CostCounters, WarpTrace
+from repro.bvh import reference as _reference
+from repro.bvh import wavefront as _wavefront
+from repro.bvh.query import (  # noqa: F401 — public re-exports
+    INVALID_LABEL,
+    KnnResult,
+    NearestResult,
+    pair_keys,
+)
+from repro.bvh.workspace import TraversalWorkspace
+from repro.errors import InvalidInputError
+from repro.kokkos.counters import CostCounters
 
-#: Label value meaning "subtree spans multiple components" (never skipped).
-INVALID_LABEL = -1
+#: The engines a traversal call can dispatch to.
+ENGINES = ("wavefront", "reference")
 
-_KEY_SHIFT = np.uint64(32)
-_NO_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
-
-
-def pair_keys(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Total-order tie-break key for the undirected edge ``(a, b)``.
-
-    Encodes ``(min, max)`` into one uint64 so lexicographic edge comparison
-    becomes a single integer comparison.
-    """
-    a = np.asarray(a, dtype=np.uint64)
-    b = np.asarray(b, dtype=np.uint64)
-    lo = np.minimum(a, b)
-    hi = np.maximum(a, b)
-    return (lo << _KEY_SHIFT) | hi
+_default_engine = "wavefront"
 
 
-@dataclass
-class NearestResult:
-    """Result of :func:`batched_nearest` (positions are sorted positions)."""
-
-    position: np.ndarray
-    distance_sq: np.ndarray
-    key: np.ndarray
-
-    @property
-    def found(self) -> np.ndarray:
-        """Mask of queries that found any admissible neighbor."""
-        return self.position >= 0
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide traversal engine; returns the previous one."""
+    global _default_engine
+    if engine not in ENGINES:
+        raise InvalidInputError(
+            f"unknown traversal engine {engine!r}; use one of {ENGINES}")
+    previous = _default_engine
+    _default_engine = engine
+    return previous
 
 
-def _alloc_stack(bvh: BVH, batch: int) -> Tuple[np.ndarray, np.ndarray]:
-    depth = max(bvh.height + 2, 4)
-    stack = np.zeros((batch, depth), dtype=np.int32)
-    sp = np.zeros(batch, dtype=np.int32)
-    return stack, sp
+def get_default_engine() -> str:
+    """The engine used when a call passes ``engine=None``."""
+    return _default_engine
+
+
+@contextmanager
+def traversal_engine(engine: str):
+    """Context manager pinning the default engine (tests, benchmarks)."""
+    previous = set_default_engine(engine)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
+def _resolve(engine: Optional[str]) -> str:
+    if engine is None:
+        return _default_engine
+    if engine not in ENGINES:
+        raise InvalidInputError(
+            f"unknown traversal engine {engine!r}; use one of {ENGINES}")
+    return engine
 
 
 def batched_nearest(
@@ -82,6 +100,7 @@ def batched_nearest(
     *,
     query_labels: Optional[np.ndarray] = None,
     node_labels: Optional[np.ndarray] = None,
+    point_labels: Optional[np.ndarray] = None,
     init_radius_sq: Optional[np.ndarray] = None,
     query_ids: Optional[np.ndarray] = None,
     point_ids: Optional[np.ndarray] = None,
@@ -89,6 +108,10 @@ def batched_nearest(
     point_core_sq: Optional[np.ndarray] = None,
     exclude_position: Optional[np.ndarray] = None,
     counters: Optional[CostCounters] = None,
+    engine: Optional[str] = None,
+    width: Optional[int] = None,
+    workspace: Optional[TraversalWorkspace] = None,
+    self_queries: bool = False,
 ) -> NearestResult:
     """Constrained nearest neighbor for a batch of queries (Algorithm 2).
 
@@ -96,10 +119,13 @@ def batched_nearest(
     ----------
     query_points:
         ``(B, d)`` query coordinates.
-    query_labels / node_labels:
+    query_labels / node_labels / point_labels:
         Component constraint.  When given, a neighbor is admissible only if
         its label differs from the query's, and any subtree whose
         ``node_labels`` entry equals the query label is skipped.
+        ``point_labels`` carries per-sorted-position labels; it may be
+        omitted for one-point-per-leaf trees (derived from the leaf slice
+        of ``node_labels``) but is required for blocked trees.
     init_radius_sq:
         Per-query initial squared cutoff radius (``inf`` when omitted).
     query_ids / point_ids:
@@ -112,182 +138,27 @@ def batched_nearest(
         queries drawn from the indexed set, without the label machinery).
     counters:
         Work accounting (node visits, distance evals, warp steps).
+    engine / width / workspace:
+        Kernel engine selection (``None`` = process default), the
+        multi-pop drain width cap (``None`` = the wavefront module's
+        ``DEFAULT_WIDTH``, resolved at call time), and a reusable
+        :class:`~repro.bvh.workspace.TraversalWorkspace`.
 
     Returns positions in *sorted* order; ``position == -1`` where no
     admissible neighbor exists within the initial radius.
     """
-    query_points = np.asarray(query_points, dtype=np.float64)
-    if query_points.ndim != 2 or query_points.shape[1] != bvh.dim:
-        raise InvalidInputError(
-            f"query shape {query_points.shape} incompatible with d={bvh.dim}")
-    B = query_points.shape[0]
-    n = bvh.n
-    leaf_base = bvh.leaf_base
-
-    best_sq = np.full(B, np.inf)
-    best_pos = np.full(B, -1, dtype=np.int64)
-    best_key = np.full(B, _NO_KEY, dtype=np.uint64)
-    radius = (np.full(B, np.inf) if init_radius_sq is None
-              else np.asarray(init_radius_sq, dtype=np.float64).copy())
-    if radius.shape != (B,):
-        raise InvalidInputError("init_radius_sq must have one entry per query")
-
-    use_labels = query_labels is not None
-    if use_labels and node_labels is None:
-        raise InvalidInputError("query_labels requires node_labels")
-    use_mrd = query_core_sq is not None
-    if use_mrd and point_core_sq is None:
-        raise InvalidInputError("query_core_sq requires point_core_sq")
-    use_keys = query_ids is not None
-    if use_keys and point_ids is None:
-        raise InvalidInputError("query_ids requires point_ids")
-
-    trace = WarpTrace()
-    local = counters if counters is not None else CostCounters()
-    local.kernel_launches += 1
-    local.max_batch = max(local.max_batch, B)
-
-    def eval_leaves(sub: np.ndarray, ppos: np.ndarray) -> None:
-        """Exact-distance evaluation of leaf candidates for lanes ``sub``."""
-        d = points_sq(query_points[sub], bvh.points[ppos])
-        if use_mrd:
-            d = np.maximum(d, query_core_sq[sub])
-            d = np.maximum(d, point_core_sq[ppos])
-        if use_keys:
-            key = pair_keys(query_ids[sub], point_ids[ppos])
-            better = (d < best_sq[sub]) | ((d == best_sq[sub]) & (key < best_key[sub]))
-        else:
-            key = None
-            better = d < best_sq[sub]
-        upd = sub[better]
-        best_sq[upd] = d[better]
-        best_pos[upd] = ppos[better]
-        if use_keys:
-            best_key[upd] = key[better]
-        radius[upd] = np.minimum(radius[upd], d[better])
-        local.distance_evals += sub.size
-        local.leaf_visits += sub.size
-
-    if n == 1:
-        # Single-leaf tree: evaluate the lone point directly.
-        ok = np.ones(B, dtype=bool)
-        if use_labels:
-            ok &= node_labels[0] != query_labels
-        if exclude_position is not None:
-            ok &= exclude_position != 0
-        sub = np.nonzero(ok)[0]
-        if sub.size:
-            eval_leaves(sub, np.zeros(sub.size, dtype=np.int64))
-        return NearestResult(best_pos, best_sq, best_key)
-
-    stack, sp = _alloc_stack(bvh, B)
-    stack[:, 0] = 0  # root
-    sp[:] = 1
-    if use_labels:
-        # Lanes whose component spans the whole tree have nothing to find.
-        sp[node_labels[0] == query_labels] = 0
-
-    left, right = bvh.left, bvh.right
-    lo, hi = bvh.lo, bvh.hi
-
-    while True:
-        active_mask = sp > 0
-        lanes = np.nonzero(active_mask)[0]
-        if lanes.size == 0:
-            break
-        trace.step(active_mask)
-
-        sp[lanes] -= 1
-        node = stack[lanes, sp[lanes]].astype(np.int64)
-        qp = query_points[lanes]
-        rad = radius[lanes]
-
-        # Re-test the popped node: the radius may have shrunk since the
-        # push (Algorithm 2, line 9).
-        d_node = point_box_sq(qp, lo[node], hi[node])
-        local.nodes_visited += lanes.size
-        local.box_distance_evals += lanes.size
-        local.stack_ops += lanes.size
-        keep = d_node <= rad
-        if not np.any(keep):
-            continue
-        lanes = lanes[keep]
-        node = node[keep]
-        qp = qp[keep]
-        rad = rad[keep]
-
-        l_child = left[node]
-        r_child = right[node]
-        dl = point_box_sq(qp, lo[l_child], hi[l_child])
-        dr = point_box_sq(qp, lo[r_child], hi[r_child])
-        local.box_distance_evals += 2 * lanes.size
-        if use_mrd:
-            # mrd(u, v) >= core(u): tighten the subtree lower bound.
-            qc = query_core_sq[lanes]
-            dl_bound = np.maximum(dl, qc)
-            dr_bound = np.maximum(dr, qc)
-        else:
-            dl_bound = dl
-            dr_bound = dr
-
-        ok_l = dl_bound <= rad
-        ok_r = dr_bound <= rad
-        if use_labels:
-            qlab = query_labels[lanes]
-            ok_l &= node_labels[l_child] != qlab
-            ok_r &= node_labels[r_child] != qlab
-
-        leaf_l = l_child >= leaf_base
-        leaf_r = r_child >= leaf_base
-        if exclude_position is not None:
-            excl = exclude_position[lanes]
-            ok_l &= ~(leaf_l & (l_child - leaf_base == excl))
-            ok_r &= ~(leaf_r & (r_child - leaf_base == excl))
-
-        take_l = ok_l & leaf_l
-        if np.any(take_l):
-            eval_leaves(lanes[take_l], (l_child - leaf_base)[take_l])
-        take_r = ok_r & leaf_r
-        if np.any(take_r):
-            eval_leaves(lanes[take_r], (r_child - leaf_base)[take_r])
-
-        push_l = ok_l & ~leaf_l
-        push_r = ok_r & ~leaf_r
-        both = push_l & push_r
-        near_is_l = dl <= dr
-        far = np.where(near_is_l, r_child, l_child)
-        near = np.where(near_is_l, l_child, r_child)
-        first = np.where(both, far, np.where(push_l, l_child, r_child))
-
-        any_push = push_l | push_r
-        sub1 = lanes[any_push]
-        stack[sub1, sp[sub1]] = first[any_push].astype(np.int32)
-        sp[sub1] += 1
-        sub2 = lanes[both]
-        stack[sub2, sp[sub2]] = near[both].astype(np.int32)
-        sp[sub2] += 1
-        local.stack_ops += sub1.size + sub2.size
-
-    trace.flush(local)
-    return NearestResult(best_pos, best_sq, best_key)
-
-
-@dataclass
-class KnnResult:
-    """Result of :func:`batched_knn` (positions are sorted positions).
-
-    ``distance_sq[i, j]`` is the squared distance to the (j+1)-th nearest
-    admissible point of query ``i``; unfilled slots are ``inf`` with
-    position -1.
-    """
-
-    positions: np.ndarray
-    distance_sq: np.ndarray
-
-    @property
-    def kth_distance_sq(self) -> np.ndarray:
-        """Squared distance to the k-th neighbor (the core-distance column)."""
-        return self.distance_sq[:, -1]
+    kwargs = dict(
+        query_labels=query_labels, node_labels=node_labels,
+        point_labels=point_labels, init_radius_sq=init_radius_sq,
+        query_ids=query_ids, point_ids=point_ids,
+        query_core_sq=query_core_sq, point_core_sq=point_core_sq,
+        exclude_position=exclude_position, counters=counters,
+        workspace=workspace)
+    if _resolve(engine) == "wavefront":
+        return _wavefront.nearest_wavefront(bvh, query_points, width=width,
+                                            self_queries=self_queries,
+                                            **kwargs)
+    return _reference.nearest_reference(bvh, query_points, **kwargs)
 
 
 def batched_knn(
@@ -297,6 +168,10 @@ def batched_knn(
     *,
     exclude_position: Optional[np.ndarray] = None,
     counters: Optional[CostCounters] = None,
+    engine: Optional[str] = None,
+    width: Optional[int] = None,
+    workspace: Optional[TraversalWorkspace] = None,
+    self_queries: bool = False,
 ) -> KnnResult:
     """k nearest neighbors for each query (used for HDBSCAN* core distances).
 
@@ -304,118 +179,14 @@ def batched_knn(
     the indexed set should therefore *not* exclude self and the ``k``-th
     column includes the zero self-distance.
     """
-    query_points = np.asarray(query_points, dtype=np.float64)
-    if query_points.ndim != 2 or query_points.shape[1] != bvh.dim:
-        raise InvalidInputError(
-            f"query shape {query_points.shape} incompatible with d={bvh.dim}")
-    if k < 1:
-        raise InvalidInputError(f"k must be >= 1, got {k}")
-    B = query_points.shape[0]
-    n = bvh.n
-    leaf_base = bvh.leaf_base
-
-    kbest = np.full((B, k), np.inf)
-    kpos = np.full((B, k), -1, dtype=np.int64)
-
-    trace = WarpTrace()
-    local = counters if counters is not None else CostCounters()
-    local.kernel_launches += 1
-    local.max_batch = max(local.max_batch, B)
-
-    def eval_leaves(sub: np.ndarray, ppos: np.ndarray) -> None:
-        d = points_sq(query_points[sub], bvh.points[ppos])
-        local.distance_evals += sub.size
-        local.leaf_visits += sub.size
-        improving = d < kbest[sub, -1]
-        if not np.any(improving):
-            return
-        rows = sub[improving]
-        merged_d = np.concatenate([kbest[rows], d[improving, None]], axis=1)
-        merged_p = np.concatenate([kpos[rows], ppos[improving, None]], axis=1)
-        order = np.argsort(merged_d, axis=1, kind="stable")[:, :k]
-        take = np.arange(rows.size)[:, None]
-        kbest[rows] = merged_d[take, order]
-        kpos[rows] = merged_p[take, order]
-
-    if n == 1:
-        ok = np.ones(B, dtype=bool)
-        if exclude_position is not None:
-            ok &= exclude_position != 0
-        sub = np.nonzero(ok)[0]
-        if sub.size:
-            eval_leaves(sub, np.zeros(sub.size, dtype=np.int64))
-        return KnnResult(kpos, kbest)
-
-    stack, sp = _alloc_stack(bvh, B)
-    stack[:, 0] = 0
-    sp[:] = 1
-    left, right = bvh.left, bvh.right
-    lo, hi = bvh.lo, bvh.hi
-
-    while True:
-        active_mask = sp > 0
-        lanes = np.nonzero(active_mask)[0]
-        if lanes.size == 0:
-            break
-        trace.step(active_mask)
-
-        sp[lanes] -= 1
-        node = stack[lanes, sp[lanes]].astype(np.int64)
-        qp = query_points[lanes]
-        rad = kbest[lanes, -1]
-        d_node = point_box_sq(qp, lo[node], hi[node])
-        local.nodes_visited += lanes.size
-        local.box_distance_evals += lanes.size
-        local.stack_ops += lanes.size
-        keep = d_node <= rad
-        if not np.any(keep):
-            continue
-        lanes = lanes[keep]
-        node = node[keep]
-        qp = qp[keep]
-        rad = rad[keep]
-
-        l_child = left[node]
-        r_child = right[node]
-        dl = point_box_sq(qp, lo[l_child], hi[l_child])
-        dr = point_box_sq(qp, lo[r_child], hi[r_child])
-        local.box_distance_evals += 2 * lanes.size
-
-        ok_l = dl <= rad
-        ok_r = dr <= rad
-        leaf_l = l_child >= leaf_base
-        leaf_r = r_child >= leaf_base
-        if exclude_position is not None:
-            excl = exclude_position[lanes]
-            ok_l &= ~(leaf_l & (l_child - leaf_base == excl))
-            ok_r &= ~(leaf_r & (r_child - leaf_base == excl))
-
-        take_l = ok_l & leaf_l
-        if np.any(take_l):
-            eval_leaves(lanes[take_l], (l_child - leaf_base)[take_l])
-        take_r = ok_r & leaf_r
-        if np.any(take_r):
-            eval_leaves(lanes[take_r], (r_child - leaf_base)[take_r])
-
-        push_l = ok_l & ~leaf_l
-        push_r = ok_r & ~leaf_r
-        both = push_l & push_r
-        near_is_l = dl <= dr
-        far = np.where(near_is_l, r_child, l_child)
-        near = np.where(near_is_l, l_child, r_child)
-        first = np.where(both, far, np.where(push_l, l_child, r_child))
-
-        any_push = push_l | push_r
-        sub1 = lanes[any_push]
-        stack[sub1, sp[sub1]] = first[any_push].astype(np.int32)
-        sp[sub1] += 1
-        sub2 = lanes[both]
-        stack[sub2, sp[sub2]] = near[both].astype(np.int32)
-        sp[sub2] += 1
-        local.stack_ops += sub1.size + sub2.size
-
-    trace.flush(local)
-    return KnnResult(kpos, kbest)
+    if _resolve(engine) == "wavefront":
+        return _wavefront.knn_wavefront(
+            bvh, query_points, k, exclude_position=exclude_position,
+            counters=counters, width=width, workspace=workspace,
+            self_queries=self_queries)
+    return _reference.knn_reference(
+        bvh, query_points, k, exclude_position=exclude_position,
+        counters=counters, workspace=workspace)
 
 
 def radius_search(
@@ -424,6 +195,9 @@ def radius_search(
     radius: float,
     *,
     counters: Optional[CostCounters] = None,
+    engine: Optional[str] = None,
+    width: Optional[int] = None,
+    workspace: Optional[TraversalWorkspace] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """All indexed points within ``radius`` of each query (spatial query).
 
@@ -431,102 +205,21 @@ def radius_search(
     query ``i`` are ``positions[offsets[i]:offsets[i+1]]`` (sorted
     positions, unordered within a query).
     """
-    query_points = np.asarray(query_points, dtype=np.float64)
-    if query_points.ndim != 2 or query_points.shape[1] != bvh.dim:
-        raise InvalidInputError(
-            f"query shape {query_points.shape} incompatible with d={bvh.dim}")
-    if radius < 0:
-        raise InvalidInputError(f"radius must be >= 0, got {radius}")
-    B = query_points.shape[0]
-    r_sq = float(radius) * float(radius)
-    n = bvh.n
-    leaf_base = bvh.leaf_base
-
-    local = counters if counters is not None else CostCounters()
-    local.kernel_launches += 1
-    local.max_batch = max(local.max_batch, B)
-    trace = WarpTrace()
-
-    found_q: List[np.ndarray] = []
-    found_p: List[np.ndarray] = []
-
-    def emit(sub: np.ndarray, ppos: np.ndarray) -> None:
-        d = points_sq(query_points[sub], bvh.points[ppos])
-        local.distance_evals += sub.size
-        local.leaf_visits += sub.size
-        hit = d <= r_sq
-        if np.any(hit):
-            found_q.append(sub[hit])
-            found_p.append(ppos[hit])
-
-    if n == 1:
-        emit(np.arange(B, dtype=np.int64), np.zeros(B, dtype=np.int64))
-    else:
-        stack, sp = _alloc_stack(bvh, B)
-        stack[:, 0] = 0
-        sp[:] = 1
-        left, right = bvh.left, bvh.right
-        lo, hi = bvh.lo, bvh.hi
-        while True:
-            active_mask = sp > 0
-            lanes = np.nonzero(active_mask)[0]
-            if lanes.size == 0:
-                break
-            trace.step(active_mask)
-            sp[lanes] -= 1
-            node = stack[lanes, sp[lanes]].astype(np.int64)
-            local.nodes_visited += lanes.size
-            local.stack_ops += lanes.size
-            qp = query_points[lanes]
-
-            l_child = left[node]
-            r_child = right[node]
-            dl = point_box_sq(qp, lo[l_child], hi[l_child])
-            dr = point_box_sq(qp, lo[r_child], hi[r_child])
-            local.box_distance_evals += 2 * lanes.size
-            ok_l = dl <= r_sq
-            ok_r = dr <= r_sq
-            leaf_l = l_child >= leaf_base
-            leaf_r = r_child >= leaf_base
-
-            take_l = ok_l & leaf_l
-            if np.any(take_l):
-                emit(lanes[take_l], (l_child - leaf_base)[take_l])
-            take_r = ok_r & leaf_r
-            if np.any(take_r):
-                emit(lanes[take_r], (r_child - leaf_base)[take_r])
-
-            push_l = ok_l & ~leaf_l
-            push_r = ok_r & ~leaf_r
-            both = push_l & push_r
-            first = np.where(push_l, l_child, r_child)
-            any_push = push_l | push_r
-            sub1 = lanes[any_push]
-            stack[sub1, sp[sub1]] = first[any_push].astype(np.int32)
-            sp[sub1] += 1
-            sub2 = lanes[both]
-            stack[sub2, sp[sub2]] = r_child[both].astype(np.int32)
-            sp[sub2] += 1
-            local.stack_ops += sub1.size + sub2.size
-        trace.flush(local)
-
-    if found_q:
-        q_all = np.concatenate(found_q)
-        p_all = np.concatenate(found_p)
-        order = np.argsort(q_all, kind="stable")
-        q_all = q_all[order]
-        p_all = p_all[order]
-    else:
-        q_all = np.empty(0, dtype=np.int64)
-        p_all = np.empty(0, dtype=np.int64)
-    counts = np.bincount(q_all, minlength=B)
-    offsets = np.zeros(B + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    return offsets, p_all, q_all
+    if _resolve(engine) == "wavefront":
+        return _wavefront.radius_wavefront(
+            bvh, query_points, radius, counters=counters, width=width,
+            workspace=workspace)
+    return _reference.radius_reference(
+        bvh, query_points, radius, counters=counters, workspace=workspace)
 
 
 def radius_count(bvh: BVH, query_points: np.ndarray, radius: float,
-                 *, counters: Optional[CostCounters] = None) -> np.ndarray:
+                 *, counters: Optional[CostCounters] = None,
+                 engine: Optional[str] = None,
+                 width: Optional[int] = None,
+                 workspace: Optional[TraversalWorkspace] = None) -> np.ndarray:
     """Number of indexed points within ``radius`` of each query."""
-    offsets, _, _ = radius_search(bvh, query_points, radius, counters=counters)
+    offsets, _, _ = radius_search(bvh, query_points, radius,
+                                  counters=counters, engine=engine,
+                                  width=width, workspace=workspace)
     return np.diff(offsets)

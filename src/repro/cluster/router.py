@@ -71,12 +71,20 @@ _MAX_DATASET_MEMO = 4096
 
 @dataclass
 class _Route:
-    """Router-side record of one dispatched job."""
+    """Router-side record of one dispatched job.
+
+    Coalesced submissions share one ``_Route`` instance under several
+    routed ids, so a recovery (node death, retention eviction) moves
+    every rider at once and the upstream executes exactly once.
+    """
 
     spec: JobSpec
     points_fp: str
     node_name: str
     upstream_id: str
+    #: ``(points_fp, params_key)`` while the job may still be in flight;
+    #: the first terminal poll clears the in-flight index entry.
+    coalesce_key: Optional[Tuple[str, str]] = None
     resubmits: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -103,6 +111,10 @@ class ClusterRouter:
         self.max_routes = max_routes
         self.retry_down_after = retry_down_after
         self._routes: "OrderedDict[str, _Route]" = OrderedDict()
+        #: In-flight upstream jobs by ``(points_fp, params_key)``:
+        #: identical concurrent submissions ride the same upstream job
+        #: instead of recomputing (request coalescing).
+        self._inflight: Dict[Tuple[str, str], _Route] = {}
         self._dataset_fp: Dict[str, str] = {}
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -111,6 +123,7 @@ class ClusterRouter:
         self._submitted = 0
         self._failovers = 0
         self._resubmits = 0
+        self._coalesced = 0
         self._routed_by_node: Dict[str, int] = {n.name: 0 for n in nodes}
 
     # ------------------------------------------------------------ placement
@@ -162,13 +175,38 @@ class ClusterRouter:
         """
         spec = JobSpec.from_dict(body)
         points_fp = self.fingerprint(spec)
+        key = (points_fp, spec.params_key())
+        with self._lock:
+            shared = self._inflight.get(key)
+        if shared is not None:
+            # Identical spec already in flight: ride its upstream job.
+            routed_id = f"job-{next(self._ids):06d}"
+            with self._lock:
+                self._routes[routed_id] = shared
+                while len(self._routes) > self.max_routes:
+                    self._routes.popitem(last=False)
+                self._submitted += 1
+                self._coalesced += 1
+            return {"job_id": routed_id, "status": "pending",
+                    "node": shared.node_name}
         accepted, node = self._dispatch(spec, points_fp)
         routed_id = f"job-{next(self._ids):06d}"
         route = _Route(spec=spec, points_fp=points_fp,
                        node_name=node.name,
-                       upstream_id=accepted["job_id"])
+                       upstream_id=accepted["job_id"],
+                       coalesce_key=key)
         with self._lock:
             self._routes[routed_id] = route
+            if len(self._inflight) >= self.max_routes:  # safety bound
+                self._inflight.clear()
+            # Insert-if-absent: two submissions racing past the lookup
+            # above both dispatched (best-effort coalescing), but the
+            # index must keep exactly one of them — overwriting would
+            # orphan the first route's terminal-poll cleanup.
+            if key in self._inflight:
+                route.coalesce_key = None
+            else:
+                self._inflight[key] = route
             while len(self._routes) > self.max_routes:
                 self._routes.popitem(last=False)
             self._submitted += 1
@@ -240,6 +278,14 @@ class ClusterRouter:
         else:
             if node is not None:
                 node.mark_up()
+        if body.get("status") in ("done", "failed") \
+                and route.coalesce_key is not None:
+            # Terminal: later identical submissions should hit the nodes'
+            # result caches, not this finished upstream job.
+            with self._lock:
+                if self._inflight.get(route.coalesce_key) is route:
+                    del self._inflight[route.coalesce_key]
+            route.coalesce_key = None
         return {**body, "job_id": routed_id, "node": route.node_name}, \
             route.node_name
 
@@ -348,6 +394,7 @@ class ClusterRouter:
                 "jobs_routed": self._submitted,
                 "failovers": self._failovers,
                 "resubmits": self._resubmits,
+                "coalesced": self._coalesced,
                 "known_routes": len(self._routes),
                 "routed_by_node": dict(self._routed_by_node),
             }

@@ -25,12 +25,21 @@ from typing import List, Optional
 import numpy as np
 
 from repro.bvh.bvh import BVH
+from repro.bvh.workspace import TraversalWorkspace
 from repro.errors import ConvergenceError
 from repro.core.bounds import compute_upper_bounds
 from repro.core.labels import reduce_labels
 from repro.core.merge import merge_components
 from repro.core.outgoing import find_components_outgoing_edges
 from repro.kokkos.counters import CostCounters
+
+#: Default points-per-leaf blocking factor, chosen by the
+#: ``bench_kernels`` leaf-size sweep (see README "Performance"): on the
+#: NumPy substrate, blocking defeats the component-label leaf skipping of
+#: Optimization 1 (a mixed block cannot be skipped and costs a whole
+#: block of exact distances), so single-point leaves win for the
+#: label-constrained EMST kernel and blocking stays an opt-in knob.
+DEFAULT_LEAF_SIZE = 1
 
 
 @dataclass(frozen=True)
@@ -42,7 +51,11 @@ class SingleTreeConfig:
     see the GeoLife discussion in Section 4.1); ``high_resolution`` uses
     double-width 128-bit codes instead — the paper's proposed GeoLife fix.
     ``record_rounds`` keeps per-iteration statistics (cheap; disable for
-    the tightest benchmarks).
+    the tightest benchmarks).  ``leaf_size`` blocks that many consecutive
+    sorted positions per tree leaf (both backends); the traversal then
+    evaluates whole blocks of exact distances per leaf visit, amortizing
+    per-step overhead.  The default is the winner of the ``bench_kernels``
+    leaf-size sweep; results are identical for every value.
     """
 
     subtree_skipping: bool = True
@@ -53,6 +66,17 @@ class SingleTreeConfig:
     #: Spatial index backing the traversals: "bvh" (linear BVH, the paper's
     #: choice) or "kdtree" (the generality claim of Section 1).
     tree_type: str = "bvh"
+    #: Max points per tree leaf (see :data:`DEFAULT_LEAF_SIZE`).
+    leaf_size: int = DEFAULT_LEAF_SIZE
+    #: Warm frontier seeding: each lane's previous-round candidate — when
+    #: it survives the merge in a foreign component — becomes the next
+    #: round's initial cutoff radius.  A valid admissible upper bound, so
+    #: results are identical; later rounds prune to near-minimal work.
+    warm_frontier: bool = True
+    #: Z-curve window of the Optimization-2 bound scan (1 = the paper's
+    #: adjacent-pairs scheme; wider windows tighten component bounds for
+    #: a few extra vectorized passes).
+    bound_window: int = 4
 
 
 @dataclass
@@ -85,12 +109,16 @@ def run_boruvka(
     config: SingleTreeConfig = SingleTreeConfig(),
     core_sq: Optional[np.ndarray] = None,
     counters: Optional[CostCounters] = None,
+    workspace: Optional[TraversalWorkspace] = None,
 ) -> BoruvkaOutput:
     """Execute Borůvka iterations until a single component remains.
 
     ``core_sq`` switches the metric to mutual reachability (squared core
     distances per sorted position).  Returned edges are sorted positions;
     :func:`repro.core.emst.emst` translates to caller indices.
+    ``workspace`` supplies reusable traversal scratch (stacks, frontier
+    buffers); one is created — and reused across every round — when
+    omitted.
     """
     n = bvh.n
     if n == 1:
@@ -102,6 +130,7 @@ def run_boruvka(
         )
 
     counters = counters if counters is not None else CostCounters()
+    workspace = workspace if workspace is not None else TraversalWorkspace()
     labels = np.arange(n, dtype=np.int64)
     node_labels = np.empty(bvh.n_nodes, dtype=np.int64)
     num_components = n
@@ -114,6 +143,8 @@ def run_boruvka(
     # Theoretical bound: components at least halve per round.
     max_iterations = int(np.ceil(np.log2(n))) + 2
     iteration = 0
+    prev_pos: Optional[np.ndarray] = None
+    prev_d: Optional[np.ndarray] = None
     while num_components > 1:
         if iteration >= max_iterations:
             raise ConvergenceError(
@@ -125,10 +156,23 @@ def run_boruvka(
                       out=node_labels, counters=counters)
         upper = compute_upper_bounds(bvh, labels,
                                      enabled=config.component_bounds,
-                                     core_sq=core_sq, counters=counters)
+                                     core_sq=core_sq,
+                                     window=config.bound_window,
+                                     counters=counters)
+        extra_radius = None
+        if config.warm_frontier and prev_pos is not None:
+            # A lane's previous candidate still in a foreign component is
+            # an admissible edge this round too — its distance is a valid
+            # (often near-optimal) per-lane cutoff.
+            target = np.maximum(prev_pos, 0)
+            valid = (prev_pos >= 0) & (labels[target] != labels)
+            extra_radius = np.where(valid, prev_d, np.inf)
         edges = find_components_outgoing_edges(
             bvh, labels, node_labels, upper,
-            core_sq=core_sq, counters=counters)
+            core_sq=core_sq, counters=counters, workspace=workspace,
+            extra_radius_sq=extra_radius)
+        prev_pos = edges.lane_position
+        prev_d = edges.lane_distance_sq
 
         # Each undirected MST edge may be selected by both of its
         # components (mutual pairs select the identical edge — Section 2's

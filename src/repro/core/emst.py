@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.bvh.bvh import BVH, build_bvh
 from repro.bvh.traversal import batched_knn
+from repro.bvh.workspace import TraversalWorkspace
 from repro.errors import InvalidInputError
 from repro.core.boruvka_emst import (
     BoruvkaOutput,
@@ -117,13 +118,15 @@ def _build_tree(points: np.ndarray, config: SingleTreeConfig,
     if config.tree_type == "bvh":
         return build_bvh(points, bits=config.bits,
                          high_resolution=config.high_resolution,
+                         leaf_size=config.leaf_size,
                          counters=counters)
     if config.tree_type == "kdtree":
         if config.bits is not None or config.high_resolution:
             raise InvalidInputError(
                 "Morton-resolution options apply to the BVH backend only")
         from repro.core.kdtree_backend import kdtree_as_bvh
-        return kdtree_as_bvh(points, counters=counters)
+        return kdtree_as_bvh(points, leaf_size=config.leaf_size,
+                             counters=counters)
     raise InvalidInputError(
         f"unknown tree_type {config.tree_type!r}; use 'bvh' or 'kdtree'")
 
@@ -171,6 +174,7 @@ def emst(
     config: SingleTreeConfig = SingleTreeConfig(),
     bvh: Optional[BVH] = None,
     check_tree: bool = True,
+    workspace: Optional[TraversalWorkspace] = None,
 ) -> EMSTResult:
     """Euclidean minimum spanning tree of ``points`` (the paper's algorithm).
 
@@ -179,7 +183,9 @@ def emst(
     phase is then reported as zero seconds and zero work.  ``check_tree``
     controls whether the injected tree's coordinates are verified against
     ``points`` (an O(n*d) pass); disable only when identity is guaranteed
-    by construction.
+    by construction.  ``workspace`` supplies reusable traversal scratch —
+    the serving executor passes one per worker thread so consecutive jobs
+    skip stack reallocation.
 
     Example
     -------
@@ -201,7 +207,8 @@ def emst(
         _check_injected_tree(points, bvh, check_tree)
         timer.add("tree", 0.0)
     with timer.phase("mst"):
-        output = run_boruvka(bvh, config=config, counters=mst_counters)
+        output = run_boruvka(bvh, config=config, counters=mst_counters,
+                             workspace=workspace)
     return _finalize(points, bvh, output, timer,
                      {"tree": tree_counters, "mst": mst_counters})
 
@@ -214,6 +221,7 @@ def mutual_reachability_emst(
     bvh: Optional[BVH] = None,
     check_tree: bool = True,
     core_sq: Optional[np.ndarray] = None,
+    workspace: Optional[TraversalWorkspace] = None,
 ) -> EMSTResult:
     """MST under the mutual-reachability distance (HDBSCAN*, Section 4.5).
 
@@ -247,10 +255,13 @@ def mutual_reachability_emst(
     else:
         _check_injected_tree(points, bvh, check_tree)
         timer.add("tree", 0.0)
+    if workspace is None:
+        workspace = TraversalWorkspace()
     if core_sq is None:
         with timer.phase("core"):
             knn = batched_knn(bvh, bvh.points, k_pts,
-                              counters=core_counters)
+                              counters=core_counters, workspace=workspace,
+                              self_queries=True)
             core_sorted = knn.kth_distance_sq.copy()
         core_caller = np.empty(points.shape[0], dtype=np.float64)
         core_caller[bvh.order] = core_sorted
@@ -268,7 +279,7 @@ def mutual_reachability_emst(
         core_sorted = core_caller[bvh.order]
     with timer.phase("mst"):
         output = run_boruvka(bvh, config=config, core_sq=core_sorted,
-                             counters=mst_counters)
+                             counters=mst_counters, workspace=workspace)
     result = _finalize(points, bvh, output, timer,
                        {"tree": tree_counters, "core": core_counters,
                         "mst": mst_counters})

@@ -31,15 +31,19 @@ def reduce_labels(
     """Per-node component labels over all ``2n - 1`` BVH nodes.
 
     ``labels_sorted[i]`` is the component of the point at sorted position
-    ``i``.  Returns ``node_labels`` where internal entries are the common
-    component of the subtree or :data:`INVALID_LABEL`.
+    ``i``.  Returns ``node_labels`` where entries are the common component
+    of the node's subtree or :data:`INVALID_LABEL`.  A blocked leaf
+    (``leaf_size > 1``) carries the common label of its point block when
+    uniform, else :data:`INVALID_LABEL` — the traversal then applies the
+    exact per-point constraint inside the block via ``point_labels``.
 
     ``enabled=False`` marks every internal node invalid — this is the
     ablation switch for Optimization 1 (leaf labels are still required for
-    the different-component constraint itself).
+    the block-level constraint itself).
 
-    ``out`` may supply a preallocated ``(2n - 1,)`` int64 buffer, which the
-    Borůvka loop reuses across iterations.
+    ``out`` may supply a preallocated ``(2m - 1,)`` int64 buffer
+    (``m = bvh.n_leaves``), which the Borůvka loop reuses across
+    iterations.
     """
     n = bvh.n
     labels_sorted = np.asarray(labels_sorted, dtype=np.int64)
@@ -52,8 +56,14 @@ def reduce_labels(
     else:
         node_labels = out
     leaf_base = bvh.leaf_base
-    node_labels[leaf_base:] = labels_sorted
-    if n == 1:
+    if bvh.n_leaves == n:
+        node_labels[leaf_base:] = labels_sorted
+    else:
+        lab_min = np.minimum.reduceat(labels_sorted, bvh.leaf_start)
+        lab_max = np.maximum.reduceat(labels_sorted, bvh.leaf_start)
+        node_labels[leaf_base:] = np.where(lab_min == lab_max, lab_min,
+                                           INVALID_LABEL)
+    if bvh.n_leaves == 1:
         return node_labels
 
     if not enabled:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.bvh.bvh import BVH
 from repro.bvh.traversal import batched_nearest
+from repro.bvh.workspace import TraversalWorkspace
 from repro.errors import ConvergenceError
 from repro.kokkos.counters import CostCounters
 
@@ -27,6 +28,12 @@ class OutgoingEdges:
     ``component[k]`` selected the edge ``(source[k], target[k])`` with
     squared weight ``weight_sq[k]``.  ``target_component[k]`` is the label
     of the component the edge points to.
+
+    ``lane_position`` / ``lane_distance_sq`` expose every lane's own
+    nearest-other-component candidate (position -1 where none): the
+    Borůvka driver feeds them back as the next round's initial cutoff
+    radii (warm frontier seeding) — a candidate that stays in a foreign
+    component after the merge upper-bounds the lane's next-round answer.
     """
 
     component: np.ndarray
@@ -34,6 +41,8 @@ class OutgoingEdges:
     target: np.ndarray
     weight_sq: np.ndarray
     target_component: np.ndarray
+    lane_position: Optional[np.ndarray] = None
+    lane_distance_sq: Optional[np.ndarray] = None
 
 
 def find_components_outgoing_edges(
@@ -44,8 +53,15 @@ def find_components_outgoing_edges(
     *,
     core_sq: Optional[np.ndarray] = None,
     counters: Optional[CostCounters] = None,
+    workspace: Optional[TraversalWorkspace] = None,
+    extra_radius_sq: Optional[np.ndarray] = None,
 ) -> OutgoingEdges:
     """Shortest outgoing edge for every active component.
+
+    ``extra_radius_sq`` tightens each lane's initial cutoff below the
+    component bound (warm frontier seeding); it must be a valid per-lane
+    upper bound on an *admissible* candidate, which keeps results exact
+    (bound-inclusive pruning never discards a tied minimum).
 
     Raises :class:`~repro.errors.ConvergenceError` if any component finds no
     candidate — impossible for a complete distance graph, so it indicates
@@ -54,6 +70,8 @@ def find_components_outgoing_edges(
     n = bvh.n
     positions = np.arange(n, dtype=np.int64)
     init_radius = upper_bounds_sq[labels_sorted]
+    if extra_radius_sq is not None:
+        init_radius = np.minimum(init_radius, extra_radius_sq)
 
     # Tie-break keys use the caller's *original* vertex indices (Section 2
     # of the paper breaks ties "using indices of the vertices"), so the
@@ -64,12 +82,15 @@ def find_components_outgoing_edges(
         bvh.points,
         query_labels=labels_sorted,
         node_labels=node_labels,
+        point_labels=labels_sorted,
         init_radius_sq=init_radius,
         query_ids=bvh.order,
         point_ids=bvh.order,
         query_core_sq=core_sq,
         point_core_sq=core_sq,
         counters=counters,
+        workspace=workspace,
+        self_queries=True,
     )
 
     found = result.found
@@ -102,4 +123,6 @@ def find_components_outgoing_edges(
         target=target,
         weight_sq=dist[pick],
         target_component=labels_sorted[target],
+        lane_position=result.position,
+        lane_distance_sq=result.distance_sq,
     )

@@ -46,7 +46,7 @@ from collections import deque
 import numpy as np
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Optional
 
 from repro.errors import InvalidInputError, ReproError, ServiceError
@@ -80,6 +80,23 @@ DEFAULT_CORE_CACHE_BYTES = 64 << 20
 #: Byte bound on finished-job payloads kept queryable by id (the result
 #: cache is budgeted separately; per-job records must be too).
 DEFAULT_RETAINED_BYTES = 256 << 20
+
+
+@dataclass
+class _Inflight:
+    """Rendezvous for jobs coalescing onto one in-flight computation.
+
+    The first job to miss the result cache for a fingerprint becomes the
+    *leader* and computes; followers arriving while it runs block on
+    ``done`` and reuse its payload instead of recomputing.  ``failed``
+    sends followers back to computing for themselves (no stampede
+    control — a failed leader is the rare case).
+    """
+
+    done: threading.Event = field(default_factory=threading.Event)
+    payload: Optional[Dict[str, Any]] = None
+    payload_nbytes: int = 0
+    failed: bool = True  # flipped to False when the leader publishes
 
 
 @dataclass
@@ -143,6 +160,11 @@ class Engine:
         self._dataset_fp: Dict[str, str] = {}
         self._records: Dict[str, _JobRecord] = {}
         self._finished_order: Deque[str] = deque()
+        #: In-flight computations by result fingerprint: identical
+        #: concurrent jobs share one upstream execution (request
+        #: coalescing); count of jobs answered that way.
+        self._inflight: Dict[str, _Inflight] = {}
+        self._coalesced = 0
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._started_at = time.perf_counter()
@@ -233,10 +255,13 @@ class Engine:
             for record in self._records.values():
                 by_status[record.status.value] += 1
             total = len(self._records)
+        with self._lock:
+            coalesced = self._coalesced
         return {
             "uptime_seconds": time.perf_counter() - self._started_at,
             "backend": self.backend,
             "jobs": {"total": total, **by_status},
+            "coalesced_hits": coalesced,
             "scheduler": self.scheduler.stats(),
             "tree_cache": self.tree_cache.stats(),
             "result_cache": self.result_cache.stats(),
@@ -351,52 +376,45 @@ class Engine:
         payload, result_src = self.result_cache.get_with_source(result_key)
         result_hit = payload is not None
         tree_src = core_src = None
-        tree_hit = core_hit = False
+        tree_hit = core_hit = coalesced = False
+        inflight: Optional[_Inflight] = None
         if payload is None:
-            tree_key = combine_fingerprint(points_fp, spec.tree_key())
-            tree_entry, tree_src = self.tree_cache.get_with_source(tree_key)
-            tree_hit = tree_entry is not None
-            # The core-distance tier applies to the metrics that need
-            # ``T_core`` at all; its key folds in only ``k_pts`` (values
-            # are caller-order, hence tree-independent), so an ``mrd_emst``
-            # job and an ``hdbscan`` job share one artifact.
-            core_key = None
-            core_entry = None
-            if spec.algorithm in ("mrd_emst", "hdbscan"):
-                core_key = combine_fingerprint(points_fp, spec.core_key())
-                core_entry, core_src = \
-                    self.core_cache.get_with_source(core_key)
-                core_hit = core_entry is not None
-            # Dataset-backed jobs never ship the array to a process worker
-            # — regenerating from the deterministic spec is cheaper than
-            # pickling a large buffer across the boundary (the thread
-            # backend passes the parent-resolved array by reference, which
-            # is free).  Inline-point jobs have no spec to regenerate from,
-            # so their array always travels.
-            send_points = points
-            if spec.dataset is not None and self.backend == "process":
-                send_points = None
-            exec_spec = make_exec_spec(
-                spec, points=send_points,
-                tree_state=bvh_to_state(tree_entry["bvh"])
-                if tree_hit else None,
-                tree_counters=tree_entry["counters"] if tree_hit else None,
-                core_state=core_entry)
-            outcome = self._dispatch(exec_spec)
-            payload = outcome["payload"]
-            # Only actually-computed features count toward the scheduler's
-            # compute-throughput stat; cache hits would inflate it.
-            ticket.features = outcome["features"]
-            if outcome["tree_state"] is not None:
-                self.tree_cache.put(
-                    tree_key,
-                    {"bvh": bvh_from_state(outcome["tree_state"]),
-                     "counters": outcome["tree_counters"]})
-            if core_key is not None and outcome["core_state"] is not None:
-                self.core_cache.put(core_key, outcome["core_state"])
-            payload_nbytes = outcome["payload_nbytes"]
-            self.result_cache.put(result_key, payload, payload_nbytes)
-            self._record(ticket.job_id).payload_nbytes = payload_nbytes
+            # Request coalescing: identical in-flight fingerprints share
+            # one upstream execution.  The first miss leads and computes;
+            # concurrent repeats block on its completion and reuse the
+            # payload (a follower of a *failed* leader falls through and
+            # computes for itself).
+            with self._lock:
+                leader_entry = self._inflight.get(result_key)
+                if leader_entry is None:
+                    inflight = _Inflight()
+                    self._inflight[result_key] = inflight
+            if inflight is None and leader_entry is not None:
+                leader_entry.done.wait()
+                if not leader_entry.failed:
+                    payload = leader_entry.payload
+                    coalesced = True
+                    with self._lock:
+                        self._coalesced += 1
+                    self._record(ticket.job_id).payload_nbytes = \
+                        leader_entry.payload_nbytes
+        if payload is None:
+            try:
+                payload, payload_nbytes, outcome = self._compute_miss(
+                    spec, points, points_fp, result_key, ticket)
+                if inflight is not None:
+                    inflight.payload = payload
+                    inflight.payload_nbytes = payload_nbytes
+                    inflight.failed = False
+            finally:
+                if inflight is not None:
+                    with self._lock:
+                        self._inflight.pop(result_key, None)
+                    inflight.done.set()
+            tree_hit = outcome["tree_hit"]
+            tree_src = outcome["tree_src"]
+            core_hit = outcome["core_hit"]
+            core_src = outcome["core_src"]
             for name, seconds in outcome["phases"].items():
                 timer.add(name, seconds)
             n_points = outcome["n_points"]
@@ -405,9 +423,11 @@ class Engine:
             # A hit-record keeps the payload alive even after the result
             # cache evicts it, so it must be charged too — the retention
             # bound would otherwise under-count shared dicts whose
-            # computing record already aged out.
-            self._record(ticket.job_id).payload_nbytes = \
-                self.result_cache.size_of(result_key) or 0
+            # computing record already aged out.  (Coalesced followers
+            # were charged from the leader's outcome above.)
+            if not coalesced:
+                self._record(ticket.job_id).payload_nbytes = \
+                    self.result_cache.size_of(result_key) or 0
             inner = payload.get("emst", payload)
             n_points, dimension = inner["n_points"], inner["dimension"]
 
@@ -422,13 +442,73 @@ class Engine:
             timings={"queue": ticket.queue_seconds, "run": run_seconds,
                      **timer.as_dict()},
             cache={"result_hit": result_hit, "tree_hit": tree_hit,
-                   "core_hit": core_hit,
+                   "core_hit": core_hit, "coalesced": coalesced,
                    "result_disk_hit": result_src == "disk",
                    "tree_disk_hit": tree_src == "disk",
                    "core_disk_hit": core_src == "disk"},
             mfeatures_per_sec=mfeatures_per_second(
                 n_points, dimension, max(run_seconds, 1e-12)),
         )
+
+    def _compute_miss(self, spec, points, points_fp, result_key, ticket):
+        """Execute a result-cache miss end to end; returns
+        ``(payload, payload_nbytes, outcome-extras)``.  Factored out so
+        the coalescing rendezvous in :meth:`_execute` can publish or
+        discard the leader's computation in one place."""
+        tree_key = combine_fingerprint(points_fp, spec.tree_key())
+        tree_entry, tree_src = self.tree_cache.get_with_source(tree_key)
+        tree_hit = tree_entry is not None
+        # The core-distance tier applies to the metrics that need
+        # ``T_core`` at all; its key folds in only ``k_pts`` (values
+        # are caller-order, hence tree-independent), so an ``mrd_emst``
+        # job and an ``hdbscan`` job share one artifact.
+        core_key = None
+        core_entry = None
+        core_src = None
+        core_hit = False
+        if spec.algorithm in ("mrd_emst", "hdbscan"):
+            core_key = combine_fingerprint(points_fp, spec.core_key())
+            core_entry, core_src = \
+                self.core_cache.get_with_source(core_key)
+            core_hit = core_entry is not None
+        # Dataset-backed jobs never ship the array to a process worker
+        # — regenerating from the deterministic spec is cheaper than
+        # pickling a large buffer across the boundary (the thread
+        # backend passes the parent-resolved array by reference, which
+        # is free).  Inline-point jobs have no spec to regenerate from,
+        # so their array always travels.
+        send_points = points
+        if spec.dataset is not None and self.backend == "process":
+            send_points = None
+        exec_spec = make_exec_spec(
+            spec, points=send_points,
+            tree_state=bvh_to_state(tree_entry["bvh"])
+            if tree_hit else None,
+            tree_counters=tree_entry["counters"] if tree_hit else None,
+            core_state=core_entry)
+        outcome = self._dispatch(exec_spec)
+        payload = outcome["payload"]
+        # Only actually-computed features count toward the scheduler's
+        # compute-throughput stat; cache hits would inflate it.
+        ticket.features = outcome["features"]
+        if outcome["tree_state"] is not None:
+            self.tree_cache.put(
+                tree_key,
+                {"bvh": bvh_from_state(outcome["tree_state"]),
+                 "counters": outcome["tree_counters"]})
+        if core_key is not None and outcome["core_state"] is not None:
+            self.core_cache.put(core_key, outcome["core_state"])
+        payload_nbytes = outcome["payload_nbytes"]
+        self.result_cache.put(result_key, payload, payload_nbytes)
+        self._record(ticket.job_id).payload_nbytes = payload_nbytes
+        extras = {
+            "tree_hit": tree_hit, "tree_src": tree_src,
+            "core_hit": core_hit, "core_src": core_src,
+            "phases": outcome["phases"],
+            "n_points": outcome["n_points"],
+            "dimension": outcome["dimension"],
+        }
+        return payload, payload_nbytes, extras
 
     def _dispatch(self, exec_spec: Dict[str, Any]) -> Dict[str, Any]:
         """Run :func:`execute_spec` on the configured backend.

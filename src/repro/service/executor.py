@@ -27,11 +27,13 @@ its original, deterministic work numbers.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict
 from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.bvh.workspace import TraversalWorkspace
 from repro.core.boruvka_emst import SingleTreeConfig
 from repro.core.emst import build_tree, emst, mutual_reachability_emst
 from repro.errors import InvalidInputError
@@ -45,6 +47,22 @@ from repro.store.blob import bvh_from_state, bvh_to_state  # noqa: F401 — the
 # canonical BVH serialization lives with the on-disk format; re-exported
 # because this is where the process backend historically imported it from.
 from repro.timing import PhaseTimer
+
+#: Per-worker reusable traversal scratch.  A workspace is not thread safe,
+#: so each worker thread (thread backend) or process (process backend,
+#: single-threaded workers) leases its own through :func:`_workspace`;
+#: consecutive jobs on the same worker then skip stack reallocation and
+#: the kernels' grow-only arenas stay warm.
+_WORKER_STATE = threading.local()
+
+
+def _workspace() -> TraversalWorkspace:
+    ws = getattr(_WORKER_STATE, "workspace", None)
+    if ws is None:
+        ws = TraversalWorkspace()
+        _WORKER_STATE.workspace = ws
+    return ws
+
 
 #: A Python list-of-scalars payload costs roughly 4x its raw array buffer.
 _PYLIST_FACTOR = 4
@@ -130,22 +148,26 @@ def execute_spec(exec_spec: Dict[str, Any]) -> Dict[str, Any]:
         built_tree = bvh
     # check_tree=False: the engine keys trees by a fingerprint of the exact
     # point bytes, so an injected tree is known to index these points.
+    workspace = _workspace()
     with timer.phase("compute"):
         if algorithm == "emst":
-            computed = emst(points, config=config, bvh=bvh, check_tree=False)
+            computed = emst(points, config=config, bvh=bvh, check_tree=False,
+                            workspace=workspace)
             payload = emst_result_to_dict(computed)
             emst_result = computed
         elif algorithm == "mrd_emst":
             computed = mutual_reachability_emst(
                 points, exec_spec["k_pts"], config=config, bvh=bvh,
-                check_tree=False, core_sq=injected_core)
+                check_tree=False, core_sq=injected_core,
+                workspace=workspace)
             payload = emst_result_to_dict(computed)
             emst_result = computed
         elif algorithm == "hdbscan":
             computed = hdbscan(
                 points, min_cluster_size=exec_spec["min_cluster_size"],
                 k_pts=exec_spec["k_pts"], config=config,
-                bvh=bvh, check_tree=False, core_sq=injected_core)
+                bvh=bvh, check_tree=False, core_sq=injected_core,
+                workspace=workspace)
             payload = hdbscan_result_to_dict(computed)
             emst_result = computed.emst
         else:

@@ -101,7 +101,7 @@ class JobSpec:
             from repro.data import parse_dataset_spec
             parse_dataset_spec(self.dataset)  # malformed specs fail at submit
         for name in ("subtree_skipping", "component_bounds",
-                     "high_resolution", "record_rounds"):
+                     "high_resolution", "record_rounds", "warm_frontier"):
             if not isinstance(getattr(self.config, name), bool):
                 raise InvalidInputError(
                     f"config.{name} must be a boolean, "
@@ -111,6 +111,13 @@ class JobSpec:
                                  or isinstance(bits, bool)):
             raise InvalidInputError(
                 f"config.bits must be an integer or null, got {bits!r}")
+        for name in ("leaf_size", "bound_window"):
+            value = getattr(self.config, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise InvalidInputError(
+                    f"config.{name} must be a positive integer, "
+                    f"got {value!r}")
         if self.config.tree_type not in ("bvh", "kdtree"):
             raise InvalidInputError(
                 f"config.tree_type must be 'bvh' or 'kdtree', "
@@ -163,11 +170,14 @@ class JobSpec:
 
         Deliberately independent of the algorithm and its metric parameters:
         an ``emst`` job and an ``hdbscan`` job over the same points share one
-        cached tree.
+        cached tree.  ``leaf_size`` shapes the tree itself (blocked
+        leaves), so it is part of the key — trees cached before the
+        blocking release simply age out of the store.
         """
         return (f"tree_type={self.config.tree_type};"
                 f"bits={self.config.bits};"
-                f"high_resolution={self.config.high_resolution}")
+                f"high_resolution={self.config.high_resolution};"
+                f"leaf_size={self.config.leaf_size}")
 
     def core_key(self) -> str:
         """Canonical string the core-distance artifact depends on.
@@ -233,23 +243,33 @@ class JobSpec:
         return spec
 
 
-def _strip_phases(obj: Any) -> Any:
+#: Payload keys excluded from the canonical form: wall-clock ``phases``
+#: vary run to run, and ``counters`` / ``rounds`` describe *how* a result
+#: was computed (visit counts, divergence traces) — the wavefront and
+#: reference traversal engines produce identical answers with different
+#: work profiles, and the canonical bytes must certify the answer.
+_NON_CANONICAL_KEYS = frozenset({"phases", "counters", "rounds"})
+
+
+def _strip_noncanonical(obj: Any) -> Any:
     if isinstance(obj, dict):
-        return {k: _strip_phases(v) for k, v in obj.items() if k != "phases"}
+        return {k: _strip_noncanonical(v) for k, v in obj.items()
+                if k not in _NON_CANONICAL_KEYS}
     return obj
 
 
 def canonical_payload_bytes(payload: Dict[str, Any]) -> bytes:
-    """Deterministic byte serialization of a result payload.
+    """Deterministic byte serialization of a result payload's *answer*.
 
-    Drops the wall-clock ``phases`` dicts — the only non-deterministic
-    payload fields; edges, weights, labels, work counters and round stats
-    are all pure functions of the spec — and dumps sorted-key compact JSON.
-    Two jobs over the same spec then compare byte-equal regardless of which
-    execution backend (or which run) produced them; the backend-equivalence
-    tests and the CI smoke check both assert on exactly these bytes.
+    Drops the wall-clock ``phases`` dicts plus the ``counters`` /
+    ``rounds`` work accounting, keeping the algorithmic output — edges,
+    weights, labels, iteration count — which is a pure function of the
+    spec, identical across execution backends, traversal engines and
+    cache temperature.  Dumps sorted-key compact JSON; the
+    backend-equivalence tests, the engine-equivalence property tests and
+    the CI smoke checks all assert on exactly these bytes.
     """
-    return json.dumps(_strip_phases(payload), sort_keys=True,
+    return json.dumps(_strip_noncanonical(payload), sort_keys=True,
                       separators=(",", ":")).encode()
 
 

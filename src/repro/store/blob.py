@@ -33,7 +33,16 @@ META_KEY = "__meta__"
 
 #: Blob container format version, recorded in every blob's metadata.  Bump
 #: together with any change to the fingerprint scheme or codec layouts.
-BLOB_FORMAT = 1
+#: Version history:
+#:
+#: 1. original layout (one point per BVH leaf, no leaf arrays);
+#: 2. blocked leaves — tree blobs add ``leaf_start`` / ``leaf_count``
+#:    arrays and a ``leaf_size`` metadata field.
+BLOB_FORMAT = 2
+
+#: Formats :func:`read_blob` still accepts.  A format-1 tree blob decodes
+#: as a ``leaf_size=1`` tree (the arrays it lacks are derivable).
+COMPATIBLE_FORMATS = (1, 2)
 
 Meta = Dict[str, Any]
 Arrays = Dict[str, np.ndarray]
@@ -70,10 +79,10 @@ def read_blob(path: str) -> Tuple[Meta, Arrays]:
         raise
     except Exception as exc:  # zipfile.BadZipFile, ValueError, OSError, ...
         raise InvalidInputError(f"{path}: unreadable blob ({exc})") from exc
-    if meta.get("format") != BLOB_FORMAT:
+    if meta.get("format") not in COMPATIBLE_FORMATS:
         raise InvalidInputError(
             f"{path}: blob format {meta.get('format')!r}, "
-            f"expected {BLOB_FORMAT}")
+            f"expected one of {COMPATIBLE_FORMATS}")
     return meta, arrays
 
 
@@ -93,11 +102,17 @@ def bvh_to_state(tree: BVH) -> Dict[str, Any]:
         "left": tree.left, "right": tree.right, "parent": tree.parent,
         "lo": tree.lo, "hi": tree.hi, "schedule": list(tree.schedule),
         "codes_lo": tree.codes_lo,
+        "leaf_start": tree.leaf_start, "leaf_count": tree.leaf_count,
+        "leaf_size": tree.leaf_size,
     }
 
 
 def bvh_from_state(state: Dict[str, Any]) -> BVH:
-    """Rebuild a :class:`BVH` from :func:`bvh_to_state` output."""
+    """Rebuild a :class:`BVH` from :func:`bvh_to_state` output.
+
+    Tolerates pre-blocking states (no leaf arrays): they decode as
+    ``leaf_size=1`` trees, which ``BVH.__post_init__`` synthesizes.
+    """
     return BVH(**state)
 
 
@@ -113,25 +128,34 @@ def encode_tree(value: Dict[str, Any]) -> Tuple[Meta, Arrays]:
     state = bvh_to_state(value["bvh"])
     arrays = {name: state[name]
               for name in ("points", "order", "codes",
-                           "left", "right", "parent", "lo", "hi")}
+                           "left", "right", "parent", "lo", "hi",
+                           "leaf_start", "leaf_count")}
     for level, step in enumerate(state["schedule"]):
         arrays[f"schedule_{level:03d}"] = step
     if state["codes_lo"] is not None:
         arrays["codes_lo"] = state["codes_lo"]
     meta = {"tier": "tree", "n_schedule": len(state["schedule"]),
+            "leaf_size": state["leaf_size"],
             "counters": value.get("counters")}
     return meta, arrays
 
 
 def decode_tree(meta: Meta, arrays: Arrays) -> Dict[str, Any]:
-    """Inverse of :func:`encode_tree`."""
+    """Inverse of :func:`encode_tree`.
+
+    Format-1 blobs carry no leaf arrays; they decode as ``leaf_size=1``
+    trees (``BVH.__post_init__`` synthesizes the implied blocking).
+    """
     schedule = [arrays[f"schedule_{level:03d}"]
                 for level in range(int(meta["n_schedule"]))]
     bvh = BVH(points=arrays["points"], order=arrays["order"],
               codes=arrays["codes"], left=arrays["left"],
               right=arrays["right"], parent=arrays["parent"],
               lo=arrays["lo"], hi=arrays["hi"], schedule=schedule,
-              codes_lo=arrays.get("codes_lo"))
+              codes_lo=arrays.get("codes_lo"),
+              leaf_start=arrays.get("leaf_start"),
+              leaf_count=arrays.get("leaf_count"),
+              leaf_size=int(meta.get("leaf_size", 1)))
     return {"bvh": bvh, "counters": meta.get("counters")}
 
 

@@ -476,3 +476,50 @@ class TestNodeClient:
             NodeClient(node, timeout=0.0)
         with pytest.raises(ClusterError):
             NodeClient(node, retries=-1)
+
+
+class TestRouterCoalescing:
+    """Identical in-flight specs share one upstream job."""
+
+    def test_second_submit_rides_first(self, fleet):
+        body = {"dataset": "Uniform100M2:600", "algorithm": "mrd_emst",
+                "k_pts": 4}
+        first = fleet.router.submit(dict(body))
+        # Submitted again before any poll observed completion: the router
+        # must reuse the in-flight upstream job, not dispatch a second.
+        second = fleet.router.submit(dict(body))
+        assert second["job_id"] != first["job_id"]
+        assert second["node"] == first["node"]
+        stats = fleet.router.stats()["router"]
+        assert stats["coalesced"] == 1
+        # Exactly one upstream job was dispatched for the pair.
+        assert stats["routed_by_node"][first["node"]] == 1
+        res_a, _ = _await(fleet.router, first)
+        res_b, _ = _await(fleet.router, second)
+        assert res_a["status"] == "done", res_a.get("error")
+        assert res_b["status"] == "done", res_b.get("error")
+        assert canonical_payload_bytes(res_b["payload"]) == \
+            canonical_payload_bytes(res_a["payload"])
+
+    def test_terminal_poll_clears_inflight(self, fleet):
+        body = {"dataset": "Uniform100M2:550"}
+        first = fleet.router.submit(dict(body))
+        _await(fleet.router, first)  # observed done -> entry cleared
+        third = fleet.router.submit(dict(body))
+        stats = fleet.router.stats()["router"]
+        assert stats["coalesced"] == 0
+        # The repeat dispatched upstream (and hits the node's result
+        # cache there) instead of riding a finished job.
+        result, _ = _await(fleet.router, third)
+        assert result["cache"]["result_hit"]
+
+    def test_different_params_do_not_coalesce(self, fleet):
+        base = {"dataset": "Uniform100M2:500"}
+        first = fleet.router.submit(dict(base))
+        other = fleet.router.submit({**base, "algorithm": "mrd_emst",
+                                     "k_pts": 4})
+        stats = fleet.router.stats()["router"]
+        assert stats["coalesced"] == 0
+        _await(fleet.router, first)
+        result, _ = _await(fleet.router, other)
+        assert result["status"] == "done", result.get("error")

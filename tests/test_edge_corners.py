@@ -16,11 +16,12 @@ from repro.mst.kruskal import kruskal
 
 
 class TestCountersConsistency:
-    def test_traversal_counter_relationships(self, rng):
+    def test_traversal_counter_relationships_reference(self, rng):
         pts = rng.random((500, 3))
         bvh = build_bvh(pts)
         counters = CostCounters()
-        batched_nearest(bvh, pts[:100], counters=counters)
+        batched_nearest(bvh, pts[:100], counters=counters,
+                        engine="reference")
         # Every popped node evaluates its own box + two child boxes at
         # most; leaf evaluations never exceed leaf visits.
         assert counters.box_distance_evals <= 3 * counters.nodes_visited
@@ -28,6 +29,21 @@ class TestCountersConsistency:
         # Lane steps equal the number of pops (one pop per active lane
         # per iteration).
         assert counters.lane_steps == counters.nodes_visited
+
+    def test_traversal_counter_relationships_wavefront(self, rng):
+        pts = rng.random((500, 3))
+        bvh = build_bvh(pts)
+        counters = CostCounters()
+        batched_nearest(bvh, pts[:100], counters=counters,
+                        engine="wavefront")
+        # Re-tests reuse remembered bounds: one root seed per lane plus
+        # at most two child evaluations per popped node.
+        assert counters.box_distance_evals <= \
+            2 * counters.nodes_visited + 100
+        assert counters.distance_evals == counters.leaf_visits
+        # Multi-pop drains: a lane advances one step per drain but may
+        # pop several nodes in it.
+        assert counters.lane_steps <= counters.nodes_visited
 
     def test_emst_counters_monotone_in_n(self):
         rng = np.random.default_rng(0)

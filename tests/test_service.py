@@ -285,6 +285,7 @@ class TestEngine:
                                timeout=60)
         assert first.cache == {
             "result_hit": False, "tree_hit": False, "core_hit": False,
+            "coalesced": False,
             "result_disk_hit": False, "tree_disk_hit": False,
             "core_disk_hit": False}
         assert second.cache["result_hit"]
@@ -707,3 +708,80 @@ class TestBatchScheduler:
             assert sched.stats()["jobs_failed"] == 1
         finally:
             sched.shutdown()
+
+
+class TestRequestCoalescing:
+    """Identical in-flight fingerprints share one upstream computation."""
+
+    def _gated_engine(self):
+        engine = Engine(max_workers=2, batch_window=0.0)
+        gate = threading.Event()
+        dispatches = []
+        original = engine._dispatch
+
+        def slow_dispatch(exec_spec):
+            dispatches.append(1)
+            assert gate.wait(timeout=30)
+            return original(exec_spec)
+
+        engine._dispatch = slow_dispatch
+        return engine, gate, dispatches
+
+    def test_concurrent_identical_jobs_compute_once(self, uniform_2d):
+        engine, gate, dispatches = self._gated_engine()
+        with engine:
+            leader = engine.submit(JobSpec(points=uniform_2d))
+            follower = engine.submit(JobSpec(points=uniform_2d))
+            time.sleep(0.2)  # let the follower reach the rendezvous
+            gate.set()
+            first = engine.result(leader, timeout=60)
+            second = engine.result(follower, timeout=60)
+            assert first.status is JobStatus.DONE, first.error
+            assert second.status is JobStatus.DONE, second.error
+            # One upstream execution; the follower rode it.
+            assert len(dispatches) == 1
+            assert not first.cache["coalesced"]
+            assert second.cache["coalesced"]
+            assert not second.cache["result_hit"]
+            assert canonical_payload_bytes(second.payload) == \
+                canonical_payload_bytes(first.payload)
+            assert engine.stats()["coalesced_hits"] == 1
+
+    def test_follower_of_failed_leader_computes_itself(self, uniform_2d):
+        engine = Engine(max_workers=2, batch_window=0.0)
+        gate = threading.Event()
+        original = engine._dispatch
+        state = {"calls": 0}
+
+        def failing_first(exec_spec):
+            state["calls"] += 1
+            first_call = state["calls"] == 1
+            assert gate.wait(timeout=30)
+            if first_call:
+                raise RuntimeError("leader died")
+            return original(exec_spec)
+
+        engine._dispatch = failing_first
+        with engine:
+            leader = engine.submit(JobSpec(points=uniform_2d))
+            follower = engine.submit(JobSpec(points=uniform_2d))
+            time.sleep(0.2)
+            gate.set()
+            first = engine.result(leader, timeout=60)
+            second = engine.result(follower, timeout=60)
+            assert first.status is JobStatus.FAILED
+            assert second.status is JobStatus.DONE, second.error
+            assert not second.cache["coalesced"]
+            assert engine.stats()["coalesced_hits"] == 0
+
+    def test_sequential_repeats_do_not_coalesce(self, uniform_2d):
+        with Engine(max_workers=1, batch_window=0.0) as engine:
+            first = engine.result(engine.submit(JobSpec(points=uniform_2d)),
+                                  timeout=60)
+            second = engine.result(engine.submit(JobSpec(points=uniform_2d)),
+                                   timeout=60)
+            assert first.status is JobStatus.DONE
+            # The repeat is a result-cache hit, not a coalesced wait.
+            assert second.cache["result_hit"]
+            assert not second.cache["coalesced"]
+            assert engine.stats()["coalesced_hits"] == 0

@@ -31,7 +31,13 @@ from repro.store import (
     read_blob,
     write_blob,
 )
-from repro.store.blob import decode_core, decode_tree, encode_core, encode_tree
+from repro.store.blob import (
+    BLOB_FORMAT,
+    decode_core,
+    decode_tree,
+    encode_core,
+    encode_tree,
+)
 
 
 class TestFingerprint:
@@ -717,3 +723,67 @@ class TestBvhStateCompat:
         back = decode_tree(meta, arrays)
         assert back["bvh"].codes_lo is not None
         assert np.array_equal(back["bvh"].codes_lo, state["codes_lo"])
+
+
+class TestBlobFormatCompatibility:
+    """Format-1 blobs (pre-blocking wire format) must still load."""
+
+    def _write_format1_tree(self, path, tree):
+        # Reconstruct the historical layout by hand: no leaf arrays, no
+        # leaf_size metadata, format tag 1.
+        import json as _json
+        meta = {"tier": "tree", "n_schedule": len(tree.schedule),
+                "counters": None, "format": 1}
+        arrays = {"points": tree.points, "order": tree.order,
+                  "codes": tree.codes, "left": tree.left,
+                  "right": tree.right, "parent": tree.parent,
+                  "lo": tree.lo, "hi": tree.hi}
+        for level, step in enumerate(tree.schedule):
+            arrays[f"schedule_{level:03d}"] = step
+        meta_bytes = np.frombuffer(
+            _json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8)
+        with open(path, "wb") as fh:
+            np.savez(fh, **{"__meta__": meta_bytes}, **arrays)
+
+    def test_format1_tree_blob_decodes(self, tmp_path, uniform_2d):
+        from repro.store.blob import decode_tree
+        tree = build_tree(uniform_2d,
+                          config=SingleTreeConfig(leaf_size=1))
+        path = str(tmp_path / "old.npz")
+        self._write_format1_tree(path, tree)
+        meta, arrays = read_blob(path)
+        assert meta["format"] == 1
+        back = decode_tree(meta, arrays)["bvh"]
+        # The synthesized blocking is the implied one-point-per-leaf.
+        assert back.leaf_size == 1
+        assert np.array_equal(back.leaf_start, np.arange(back.n))
+        assert np.array_equal(back.leaf_count, np.ones(back.n))
+        # And it drives the solver to the same answer.
+        assert np.array_equal(emst(uniform_2d, bvh=back).edges,
+                              emst(uniform_2d).edges)
+
+    def test_format2_round_trip_carries_blocking(self, uniform_2d,
+                                                 tmp_path):
+        tree = build_tree(uniform_2d,
+                          config=SingleTreeConfig(leaf_size=4))
+        meta, arrays = encode_tree({"bvh": tree, "counters": None})
+        path = tmp_path / "new.npz"
+        with open(path, "wb") as fh:
+            write_blob(fh, meta, arrays)
+        got_meta, got_arrays = read_blob(str(path))
+        assert got_meta["format"] == BLOB_FORMAT
+        assert got_meta["leaf_size"] == 4
+        back = decode_tree(got_meta, got_arrays)["bvh"]
+        assert back.leaf_size == 4
+        assert np.array_equal(back.leaf_start, tree.leaf_start)
+        assert np.array_equal(back.leaf_count, tree.leaf_count)
+
+    def test_unknown_future_format_rejected(self, tmp_path):
+        import json as _json
+        meta_bytes = np.frombuffer(
+            _json.dumps({"format": 99}).encode(), dtype=np.uint8)
+        path = tmp_path / "future.npz"
+        with open(path, "wb") as fh:
+            np.savez(fh, **{"__meta__": meta_bytes})
+        with pytest.raises(InvalidInputError, match="format"):
+            read_blob(str(path))
