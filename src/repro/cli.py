@@ -11,6 +11,8 @@ Commands
 ``submit``    submit one job to a running server and await the result
 ``route``     front N running nodes with a cluster router (repro.cluster)
 ``cluster-demo``  boot a whole K-node fleet + router locally and drive it
+``top``       live metrics dashboard for a node or router (/v1/metrics)
+``trace``     print the span tree of one finished job
 
 Point inputs are either a path to an ``(n, d)`` ``.npy`` file or a spec
 ``dataset:NAME:N[:SEED]`` using the generators of :mod:`repro.data`.
@@ -147,7 +149,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # stdout pipe) must not be misreported as bind failures.
     try:
         server = create_server(engine, args.host, args.port,
-                               verbose=args.verbose, node_name=args.name)
+                               verbose=args.verbose, node_name=args.name,
+                               access_log_sample=args.access_log_sample)
     except OSError as exc:
         engine.close()
         raise InvalidInputError(
@@ -268,7 +271,8 @@ def cmd_route(args: argparse.Namespace) -> int:
         print(f"  {entry['name']:24s} {entry['base_url']:32s} {state}")
     try:
         server = create_router_server(router, args.host, args.port,
-                                      verbose=args.verbose)
+                                      verbose=args.verbose,
+                                      access_log_sample=args.access_log_sample)
     except OSError as exc:
         raise InvalidInputError(
             f"cannot bind http://{args.host}:{args.port}: {exc}")
@@ -370,6 +374,131 @@ def cmd_cluster_demo(args: argparse.Namespace) -> int:
             shutil.rmtree(store_root, ignore_errors=True)
 
 
+def _http_get_json(url: str, timeout: float = 30.0) -> dict:
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(urllib.request.Request(url),
+                                timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _render_metrics_doc(title: str, doc: dict) -> None:
+    """Print one registry document as a counters + latency-table block."""
+    from repro.obs import histogram_from_sample
+
+    counters = []
+    latency_rows = []
+    cache: dict = {}
+    for metric in doc.get("metrics", []):
+        if metric["type"] == "histogram":
+            for sample in metric["samples"]:
+                hist = histogram_from_sample(sample)
+                if not hist.count:
+                    continue
+                labels = ",".join(
+                    f"{k}={v}"
+                    for k, v in sorted(sample.get("labels", {}).items()))
+                name = metric["name"] + (f"{{{labels}}}" if labels else "")
+                latency_rows.append((name, hist))
+        elif metric["name"] == "repro_cache_lookups_total":
+            for sample in metric["samples"]:
+                labels = sample.get("labels", {})
+                key = f"{labels.get('tier', '?')}/{labels.get('level', '?')}"
+                cache.setdefault(key, {})[labels.get("outcome", "?")] = \
+                    sample["value"]
+        elif metric["type"] == "counter":
+            total = sum(s["value"] for s in metric["samples"])
+            if total:
+                counters.append((metric["name"], total))
+    print(f"-- {title} " + "-" * max(0, 64 - len(title)))
+    if counters:
+        width = max(len(name) for name, _ in counters)
+        for name, total in counters:
+            print(f"  {name:{width}s} {total:>12g}")
+    if cache:
+        print("  cache lookups (tier/level: hits/total, hit rate):")
+        for key in sorted(cache):
+            hits = cache[key].get("hit", 0)
+            total = hits + cache[key].get("miss", 0)
+            rate = hits / total if total else 0.0
+            print(f"    {key:16s} {hits:>8g}/{total:<8g} {rate:6.1%}")
+    if latency_rows:
+        width = max(len(name) for name, _ in latency_rows)
+        print(f"  {'latency':{width}s} {'count':>8s} {'mean':>9s} "
+              f"{'p50':>9s} {'p95':>9s} {'p99':>9s}")
+        for name, hist in latency_rows:
+            print(f"  {name:{width}s} {hist.count:>8d} "
+                  f"{hist.mean * 1e3:>7.2f}ms "
+                  f"{hist.quantile(0.5) * 1e3:>7.2f}ms "
+                  f"{hist.quantile(0.95) * 1e3:>7.2f}ms "
+                  f"{hist.quantile(0.99) * 1e3:>7.2f}ms")
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+    import urllib.error
+
+    base = args.url.rstrip("/")
+    iteration = 0
+    while True:
+        try:
+            doc = _http_get_json(f"{base}/v1/metrics?format=json")
+        except urllib.error.HTTPError as exc:
+            print(f"error: {base} answered {exc.code} — is it a repro "
+                  f"node/router with observability enabled?",
+                  file=sys.stderr)
+            return 1
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+            return 1
+        if iteration and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        if doc.get("role") == "router":
+            print(f"repro top — router at {base}")
+            _render_metrics_doc("router", doc.get("router", {}))
+            for name, node_doc in sorted(doc.get("nodes", {}).items()):
+                if "error" in node_doc:
+                    print(f"-- node {name} " +
+                          "-" * max(0, 59 - len(name)))
+                    print(f"  UNREACHABLE: {node_doc['error']}")
+                else:
+                    _render_metrics_doc(f"node {name}", node_doc)
+        else:
+            print(f"repro top — node at {base}")
+            _render_metrics_doc("node", doc)
+        iteration += 1
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        time.sleep(args.interval)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import urllib.error
+
+    from repro.obs import format_trace
+
+    base = args.url.rstrip("/")
+    try:
+        body = _http_get_json(f"{base}/v1/jobs/{args.job_id}")
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        print(f"error: {exc.code}: {detail}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+        return 1
+    trace = body.get("trace")
+    if not trace:
+        status = body.get("status", "unknown")
+        print(f"error: job {args.job_id} ({status}) carries no trace — "
+              f"it may predate tracing, still be running, or the server "
+              f"may run with REPRO_OBS=off", file=sys.stderr)
+        return 1
+    print(format_trace(trace))
+    return 0
+
+
 def cmd_datasets(_args: argparse.Namespace) -> int:
     print(f"{'name':18s} dim")
     for name in sorted(DATASETS):
@@ -444,6 +573,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "stable for cluster routing to be")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
+    p_serve.add_argument("--access-log-sample", type=float, default=1.0,
+                         metavar="FRAC",
+                         help="fraction of HTTP access events kept in the "
+                              "structured event log (deterministic, 0..1)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -478,6 +611,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="extra attempts for idempotent node GETs")
     p_route.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
+    p_route.add_argument("--access-log-sample", type=float, default=1.0,
+                         metavar="FRAC",
+                         help="fraction of HTTP access events kept in the "
+                              "structured event log (deterministic, 0..1)")
     p_route.set_defaults(func=cmd_route)
 
     p_demo = sub.add_parser(
@@ -493,6 +630,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="root for the per-node persistent stores "
                              "(default: a temp dir, removed afterwards)")
     p_demo.set_defaults(func=cmd_cluster_demo)
+
+    p_top = sub.add_parser(
+        "top", help="live metrics dashboard for a node or router")
+    p_top.add_argument("url", nargs="?", default="http://127.0.0.1:8321",
+                       help="base URL of a node or router")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes")
+    p_top.add_argument("--iterations", type=int, default=0, metavar="N",
+                       help="stop after N refreshes (0 = run until ^C)")
+    p_top.set_defaults(func=cmd_top)
+
+    p_trace = sub.add_parser(
+        "trace", help="print the span tree of one finished job")
+    p_trace.add_argument("url", help="base URL of the node or router "
+                                     "that served the job")
+    p_trace.add_argument("job_id", help="job id returned at submit time")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

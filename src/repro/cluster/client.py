@@ -28,6 +28,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.topology import Node
 from repro.errors import ClusterError, NodeUnavailableError
+from repro.obs import TRACE_HEADER, to_header
 
 #: Seconds a single HTTP request may take before the node counts as down.
 DEFAULT_TIMEOUT = 30.0
@@ -60,7 +61,9 @@ class NodeClient:
 
     def _request(self, path: str, body: Optional[Dict[str, Any]] = None, *,
                  timeout: Optional[float] = None,
-                 idempotent: bool = True) -> Tuple[Dict[str, Any], str]:
+                 idempotent: bool = True,
+                 extra_headers: Optional[Dict[str, str]] = None
+                 ) -> Tuple[Dict[str, Any], str]:
         """One JSON round trip; returns ``(decoded body, X-Repro-Node)``.
 
         ``body`` switches the request to POST.  Connection-level failures
@@ -72,6 +75,8 @@ class NodeClient:
         data = json.dumps(body).encode() if body is not None else None
         headers = {"Content-Type": "application/json"} if body is not None \
             else {}
+        if extra_headers:
+            headers.update(extra_headers)
         attempts = (self.retries + 1) if idempotent else 1
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
@@ -121,9 +126,24 @@ class NodeClient:
     def stats(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
         return self._request("/v1/stats", timeout=timeout)[0]
 
-    def submit(self, body: Dict[str, Any]) -> Tuple[Dict[str, Any], str]:
-        """POST one job spec; returns ``(202 body, serving node name)``."""
-        return self._request("/v1/jobs", body, idempotent=False)
+    def metrics_json(self, *, timeout: Optional[float] = None
+                     ) -> Dict[str, Any]:
+        """The node's metrics registry document (``/v1/metrics?format=json``)."""
+        return self._request("/v1/metrics?format=json", timeout=timeout)[0]
+
+    def submit(self, body: Dict[str, Any],
+               trace: Optional[Dict[str, Any]] = None
+               ) -> Tuple[Dict[str, Any], str]:
+        """POST one job spec; returns ``(202 body, serving node name)``.
+
+        ``trace`` is a router-side trace context shipped in the
+        ``X-Repro-Trace`` header, so the node appends its spans to the
+        routing history instead of starting a fresh trace.
+        """
+        extra = {TRACE_HEADER: to_header(trace)} if trace is not None \
+            else None
+        return self._request("/v1/jobs", body, idempotent=False,
+                             extra_headers=extra)
 
     def job(self, job_id: str,
             wait_s: float = 0.0) -> Tuple[Dict[str, Any], str]:

@@ -51,6 +51,13 @@ from repro.errors import (
     NodeUnavailableError,
 )
 from repro.metrics import fleet_hit_rate, fleet_mfeatures_per_second
+from repro.obs import (
+    MetricsRegistry,
+    make_span,
+    make_trace,
+    obs_enabled,
+    render_prometheus,
+)
 from repro.service.jobs import JobSpec
 from repro.store import fingerprint_spec
 
@@ -87,6 +94,10 @@ class _Route:
     coalesce_key: Optional[Tuple[str, str]] = None
     resubmits: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Router-side trace context: hop spans accumulated across dispatch,
+    #: failover and recovery, shipped to the serving node in the
+    #: ``X-Repro-Trace`` header (``None`` when tracing is off).
+    trace: Optional[Dict[str, Any]] = None
 
 
 class ClusterRouter:
@@ -97,7 +108,8 @@ class ClusterRouter:
                  retries: int = DEFAULT_RETRIES,
                  max_routes: int = DEFAULT_MAX_ROUTES,
                  retry_down_after: float = DEFAULT_RETRY_DOWN_AFTER,
-                 probe_timeout: float = DEFAULT_PROBE_TIMEOUT) -> None:
+                 probe_timeout: float = DEFAULT_PROBE_TIMEOUT,
+                 obs: Optional[bool] = None) -> None:
         if not nodes:
             raise InvalidInputError("a cluster needs at least one node")
         if max_routes < 1:
@@ -119,12 +131,42 @@ class ClusterRouter:
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._started_at = time.perf_counter()
-        # Router-level counters (guarded by _lock).
-        self._submitted = 0
-        self._failovers = 0
-        self._resubmits = 0
-        self._coalesced = 0
-        self._routed_by_node: Dict[str, int] = {n.name: 0 for n in nodes}
+        # Router-level accounting lives in a metrics registry (like the
+        # engine's), read back by `stats()` and scraped by /v1/metrics.
+        self.registry = MetricsRegistry(
+            enabled=obs_enabled() if obs is None else bool(obs))
+        self._submitted_c = self.registry.counter(
+            "repro_router_jobs_routed_total",
+            "Jobs accepted and routed (including coalesced riders).")
+        self._failovers_c = self.registry.counter(
+            "repro_router_failovers_total",
+            "Dispatches that failed over past an unavailable primary.")
+        self._resubmits_c = self.registry.counter(
+            "repro_router_resubmits_total",
+            "Jobs transparently re-executed after their node lost them.")
+        self._coalesced_c = self.registry.counter(
+            "repro_router_coalesced_total",
+            "Submissions that rode an identical in-flight upstream job.")
+        routed_by_node = self.registry.counter(
+            "repro_router_routed_by_node_total",
+            "Dispatches per serving node.", labels=("node",))
+        #: Pre-touched per-node handles: every node shows a zero sample
+        #: on scrape, and `stats()` reports the full node list.
+        self._routed_by_node_c = {
+            node.name: routed_by_node.labels(node=node.name)
+            for node in nodes}
+        self._upstream_h = self.registry.histogram(
+            "repro_router_upstream_seconds",
+            "Latency of upstream job submissions, per node.",
+            labels=("node",))
+        self.registry.gauge(
+            "repro_router_uptime_seconds",
+            "Seconds since the router started.",
+            fn=lambda: time.perf_counter() - self._started_at)
+        self.registry.gauge(
+            "repro_router_known_routes",
+            "Routed jobs currently resolvable at the router.",
+            fn=lambda: len(self._routes))
 
     # ------------------------------------------------------------ placement
 
@@ -185,16 +227,17 @@ class ClusterRouter:
                 self._routes[routed_id] = shared
                 while len(self._routes) > self.max_routes:
                     self._routes.popitem(last=False)
-                self._submitted += 1
-                self._coalesced += 1
+            self._submitted_c.inc()
+            self._coalesced_c.inc()
             return {"job_id": routed_id, "status": "pending",
                     "node": shared.node_name}
-        accepted, node = self._dispatch(spec, points_fp)
+        trace = make_trace() if self.registry.enabled else None
+        accepted, node = self._dispatch(spec, points_fp, trace=trace)
         routed_id = f"job-{next(self._ids):06d}"
         route = _Route(spec=spec, points_fp=points_fp,
                        node_name=node.name,
                        upstream_id=accepted["job_id"],
-                       coalesce_key=key)
+                       coalesce_key=key, trace=trace)
         with self._lock:
             self._routes[routed_id] = route
             if len(self._inflight) >= self.max_routes:  # safety bound
@@ -209,32 +252,56 @@ class ClusterRouter:
                 self._inflight[key] = route
             while len(self._routes) > self.max_routes:
                 self._routes.popitem(last=False)
-            self._submitted += 1
-            self._routed_by_node[node.name] += 1
+        self._submitted_c.inc()
+        self._routed_by_node_c[node.name].inc()
         return {**accepted, "job_id": routed_id, "node": node.name}
 
     def _dispatch(self, spec: JobSpec, points_fp: str,
-                  exclude: Tuple[str, ...] = ()
+                  exclude: Tuple[str, ...] = (),
+                  trace: Optional[Dict[str, Any]] = None
                   ) -> Tuple[Dict[str, Any], Node]:
         """Send a spec to the first candidate that takes it.
 
         At-most-one retry: the primary plus one failover, mirroring the
         engine's crashed-worker policy (a job that breaks *every* node it
         touches should fail loudly, not walk the whole fleet).
+
+        With ``trace`` set, each attempt appends a ``route`` hop span and
+        the whole context travels in the ``X-Repro-Trace`` header — the
+        span goes in *before* the send so the accepting node's copy
+        includes its own hop; an attempt that fails never delivered the
+        header, so its span is amended locally (``outcome:
+        "unavailable"``) and rides along to the next attempt.
         """
         body = spec.to_dict()
         last_error: Optional[Exception] = None
-        for node in self._candidates(points_fp, exclude)[:2]:
+        for attempt, node in enumerate(
+                self._candidates(points_fp, exclude)[:2]):
             client = self.clients[node.name]
+            hop: Optional[Dict[str, Any]] = None
+            if trace is not None:
+                hop = make_span("route", node=node.name, attempt=attempt,
+                                outcome="accepted")
+                trace["spans"].append(hop)
+            started = time.perf_counter()
             try:
-                accepted, _header = client.submit(body)
+                accepted, _header = client.submit(body, trace=trace)
             except NodeUnavailableError as exc:
+                elapsed = time.perf_counter() - started
+                self._upstream_h.observe(elapsed, node=node.name)
+                if hop is not None:
+                    hop["duration_s"] = elapsed
+                    hop["meta"]["outcome"] = "unavailable"
+                    hop["meta"]["error"] = str(exc)[:200]
                 node.mark_down(str(exc))
                 if last_error is None:
-                    with self._lock:
-                        self._failovers += 1
+                    self._failovers_c.inc()
                 last_error = exc
                 continue
+            elapsed = time.perf_counter() - started
+            self._upstream_h.observe(elapsed, node=node.name)
+            if hop is not None:
+                hop["duration_s"] = elapsed
             node.mark_up()
             return accepted, node
         raise NodeUnavailableError(
@@ -303,14 +370,21 @@ class ClusterRouter:
         """
         with route.lock:
             if route.node_name == failed_node:
+                if route.trace is not None:
+                    # The failed hop stays in the context; the recovery
+                    # dispatch appends its own hop after this marker, so
+                    # the re-executed job's trace shows the whole story.
+                    route.trace["spans"].append(make_span(
+                        "lost", node=failed_node, outcome="lost",
+                        resubmits=route.resubmits + 1))
                 accepted, node = self._dispatch(
-                    route.spec, route.points_fp, exclude=(failed_node,))
+                    route.spec, route.points_fp, exclude=(failed_node,),
+                    trace=route.trace)
                 route.node_name = node.name
                 route.upstream_id = accepted["job_id"]
                 route.resubmits += 1
-                with self._lock:
-                    self._resubmits += 1
-                    self._routed_by_node[node.name] += 1
+                self._resubmits_c.inc()
+                self._routed_by_node_c[node.name].inc()
             current_node, current_id = route.node_name, route.upstream_id
         body, _header = self.clients[current_node].job(current_id, wait_s)
         return body
@@ -388,16 +462,16 @@ class ClusterRouter:
                                for s in reachable if cache_key in s),
             }
         schedulers = [s["scheduler"] for s in reachable if "scheduler" in s]
-        with self._lock:
-            router = {
-                "uptime_seconds": time.perf_counter() - self._started_at,
-                "jobs_routed": self._submitted,
-                "failovers": self._failovers,
-                "resubmits": self._resubmits,
-                "coalesced": self._coalesced,
-                "known_routes": len(self._routes),
-                "routed_by_node": dict(self._routed_by_node),
-            }
+        router = {
+            "uptime_seconds": time.perf_counter() - self._started_at,
+            "jobs_routed": int(self._submitted_c.value()),
+            "failovers": int(self._failovers_c.value()),
+            "resubmits": int(self._resubmits_c.value()),
+            "coalesced": int(self._coalesced_c.value()),
+            "known_routes": len(self._routes),
+            "routed_by_node": {name: int(handle.value) for name, handle
+                               in self._routed_by_node_c.items()},
+        }
         return {
             "role": "router",
             "router": router,
@@ -415,6 +489,40 @@ class ClusterRouter:
             },
             "nodes": per_node,
         }
+
+    def _scrape_nodes(self) -> Dict[str, Dict[str, Any]]:
+        """Each reachable node's JSON metrics document, by node name."""
+        docs: Dict[str, Dict[str, Any]] = {}
+        for node in self.ring.nodes:
+            try:
+                docs[node.name] = self.clients[node.name].metrics_json(
+                    timeout=self.probe_timeout)
+            except NodeUnavailableError as exc:
+                node.mark_down(str(exc))
+                docs[node.name] = {"error": str(exc)}
+            except NodeHTTPError as exc:
+                docs[node.name] = {"error": str(exc)}
+        return docs
+
+    def metrics_json(self) -> Dict[str, Any]:
+        """Router + per-node metrics documents (``?format=json`` form)."""
+        return {"role": "router", "router": self.registry.as_dict(),
+                "nodes": self._scrape_nodes()}
+
+    def metrics_prometheus(self) -> str:
+        """One fleet-wide Prometheus text page.
+
+        The router's own families come first (unlabeled); every reachable
+        node's families are merged in under a ``node=<name>`` label, so
+        one scrape of the router sees the whole fleet — and pooled
+        quantiles can be computed by merging the per-node histogram
+        buckets (never by averaging per-node quantiles).
+        """
+        documents = [({}, self.registry.as_dict())]
+        for name, doc in self._scrape_nodes().items():
+            if "error" not in doc:
+                documents.append(({"node": name}, doc))
+        return render_prometheus(documents)
 
     # ----------------------------------------------------------------- admin
 

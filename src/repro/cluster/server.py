@@ -17,9 +17,11 @@ the node client's timeout); there is no compute in this process at all.
 from __future__ import annotations
 
 import json
+import sys
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 from repro.cluster.client import NodeHTTPError
 from repro.cluster.router import ClusterRouter
@@ -28,7 +30,12 @@ from repro.errors import (
     InvalidInputError,
     NodeUnavailableError,
 )
-from repro.service.server import MAX_BODY_BYTES, parse_wait_param
+from repro.obs import EventLog
+from repro.service.server import (
+    MAX_BODY_BYTES,
+    PROMETHEUS_CONTENT_TYPE,
+    parse_wait_param,
+)
 
 
 class RouterRequestHandler(BaseHTTPRequestHandler):
@@ -42,15 +49,52 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
     def router(self) -> ClusterRouter:
         return self.server.router  # type: ignore[attr-defined]
 
-    def log_message(self, format: str, *args: Any) -> None:
-        if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        events = getattr(self.server, "events", None)
+        if events is None:
+            return
+        try:
+            status = int(code)
+        except (TypeError, ValueError):
+            status = str(code)
+        events.emit("http_access", method=self.command, path=self.path,
+                    code=status, client=self.address_string())
 
-    def _send_json(self, code: int, obj: Any,
+    def log_message(self, format: str, *args: Any) -> None:
+        events = getattr(self.server, "events", None)
+        if events is None:
+            if getattr(self.server, "verbose", False):
+                super().log_message(format, *args)
+            return
+        events.emit("http_message", message=format % args,
+                    client=self.address_string())
+
+    def _instrumented_endpoint(self, path: str) -> str:
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            return "/v1/jobs/{id}"
+        return "/" + "/".join(parts) if parts else "/"
+
+    def _begin_request(self, path: str) -> None:
+        self._obs_started: Optional[float] = time.perf_counter()
+        self._obs_endpoint = self._instrumented_endpoint(path)
+
+    def _finish_request(self, code: int) -> None:
+        started = getattr(self, "_obs_started", None)
+        if started is None:
+            return
+        self._obs_started = None
+        latency_h = getattr(self.server, "http_latency", None)
+        if latency_h is not None:
+            latency_h.observe(time.perf_counter() - started,
+                              endpoint=self._obs_endpoint)
+            self.server.http_requests.inc(  # type: ignore[attr-defined]
+                endpoint=self._obs_endpoint, code=str(code))
+
+    def _send_body(self, code: int, body: bytes, content_type: str,
                    node: Optional[str] = None) -> None:
-        body = json.dumps(obj).encode()
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if node:
             self.send_header("X-Repro-Node", node)
@@ -58,6 +102,12 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+        self._finish_request(code)
+
+    def _send_json(self, code: int, obj: Any,
+                   node: Optional[str] = None) -> None:
+        self._send_body(code, json.dumps(obj).encode(), "application/json",
+                        node=node)
 
     def _send_error_json(self, code: int, message: str) -> None:
         self._send_json(code, {"error": message})
@@ -66,15 +116,33 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
         url = urlparse(self.path)
+        self._begin_request(url.path)
         parts = [p for p in url.path.split("/") if p]
         if parts == ["v1", "healthz"]:
             self._send_json(200, self.router.healthz())
         elif parts == ["v1", "stats"]:
             self._send_json(200, self.router.stats())
+        elif parts == ["v1", "metrics"]:
+            self._get_metrics(url.query)
         elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
             self._get_job(parts[2], url.query)
         else:
             self._send_error_json(404, f"no such endpoint: {url.path}")
+
+    def _get_metrics(self, query: str) -> None:
+        """``GET /v1/metrics`` — the fleet-wide scrape surface: the
+        router's own series plus every reachable node's, re-exported
+        under ``node=`` labels (or the JSON documents, ``?format=json``)."""
+        fmt = parse_qs(query).get("format", ["prometheus"])[0]
+        if fmt == "json":
+            self._send_json(200, self.router.metrics_json())
+        elif fmt == "prometheus":
+            self._send_body(200, self.router.metrics_prometheus().encode(),
+                            PROMETHEUS_CONTENT_TYPE)
+        else:
+            self._send_error_json(
+                400, f"unknown metrics format {fmt!r}; "
+                     f"use 'prometheus' or 'json'")
 
     def _get_job(self, job_id: str, query: str) -> None:
         try:
@@ -97,6 +165,7 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
         url = urlparse(self.path)
+        self._begin_request(url.path)
         parts = [p for p in url.path.split("/") if p]
         if parts == ["v1", "jobs"]:
             self._post_job()
@@ -166,8 +235,9 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
 
 
 def create_router_server(router: ClusterRouter, host: str = "127.0.0.1",
-                         port: int = 0, *,
-                         verbose: bool = False) -> ThreadingHTTPServer:
+                         port: int = 0, *, verbose: bool = False,
+                         access_log_sample: float = 1.0
+                         ) -> ThreadingHTTPServer:
     """Bind a router HTTP server (``port=0`` picks a free port).
 
     The caller owns the lifecycle, exactly like the node server:
@@ -177,6 +247,16 @@ def create_router_server(router: ClusterRouter, host: str = "127.0.0.1",
     server = ThreadingHTTPServer((host, port), RouterRequestHandler)
     server.router = router  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
+    server.events = EventLog(  # type: ignore[attr-defined]
+        stream=sys.stderr if verbose else None, sample=access_log_sample)
+    server.http_latency = router.registry.histogram(  # type: ignore[attr-defined]
+        "repro_http_request_seconds",
+        "HTTP request handling latency by endpoint.",
+        labels=("endpoint",))
+    server.http_requests = router.registry.counter(  # type: ignore[attr-defined]
+        "repro_http_requests_total",
+        "HTTP requests served, by endpoint and status code.",
+        labels=("endpoint", "code"))
     server.daemon_threads = True
     return server
 

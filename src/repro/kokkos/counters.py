@@ -19,7 +19,7 @@ thread divergence in Section 4.5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict
+from typing import Dict, Iterable
 
 import numpy as np
 
@@ -110,6 +110,22 @@ class CostCounters:
     def as_dict(self) -> Dict[str, int]:
         """Counter values keyed by field name."""
         return {f.name: int(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def summed(cls, dicts: Iterable[Dict[str, int]]) -> "CostCounters":
+        """Accumulate several :meth:`as_dict` forms into one counter set.
+
+        Job payloads carry per-phase counter dicts (``tree``/``core``/
+        ``mst``); tracing attaches their total to the executed span, so
+        a trace shows the whole job's work profile at a glance.  Unknown
+        keys are ignored (forward compatibility with payloads produced
+        by newer counter schemas).
+        """
+        known = {f.name for f in fields(cls)}
+        total = cls()
+        for data in dicts:
+            total.add(cls(**{k: v for k, v in data.items() if k in known}))
+        return total
 
     @property
     def divergence_factor(self) -> float:

@@ -10,7 +10,16 @@ paper uses to argue dimension-agnostic performance.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Tuple
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default latency bucket upper bounds, in seconds.  Geometric-ish 1-2.5-5
+#: spacing from 0.5 ms to 30 s: tight enough at the bottom that a warm
+#: result-cache hit (~1 ms) and a cold 20k-point job (~100 ms+) land many
+#: buckets apart, wide enough at the top to catch long-poll tails.  An
+#: implicit +Inf overflow bucket always exists on top.
+DEFAULT_LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                           0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
 
 
 def features(n_points: int, dimension: int) -> int:
@@ -109,6 +118,166 @@ def fleet_mfeatures_per_second(features: Iterable[int],
     if total_busy <= 0 or total_features == 0:
         return 0.0
     return mfeatures_per_second(total_features, 1, total_busy)
+
+
+class Histogram:
+    """A fixed-bucket latency histogram: mergeable, quantile-computable.
+
+    Observations are counted into buckets bounded above by ``bounds`` (a
+    strictly increasing sequence) plus an implicit ``+Inf`` overflow
+    bucket, alongside a running ``sum`` and ``count`` — exactly the
+    Prometheus histogram data model, so the registry can expose it
+    verbatim.  Instances with equal bounds :meth:`merge` by adding their
+    buckets, which is how fleet aggregation must work: **pool buckets,
+    never average quantiles** (a p99 of per-node p99s is meaningless; the
+    p99 of the pooled buckets weights every observation equally, the same
+    argument as :func:`fleet_hit_rate`).
+
+    >>> h = Histogram(bounds=(1.0, 2.0, 4.0))
+    >>> for value in (0.5, 1.5, 3.0, 3.5):
+    ...     h.observe(value)
+    >>> h.count, h.sum
+    (4, 8.5)
+    >>> h.quantile(0.5)
+    2.0
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                 ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"bounds must strictly increase: {bounds}")
+        self.bounds = bounds
+        #: Per-bucket observation counts; the last entry is the +Inf
+        #: overflow bucket.
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Count one observation (bucket semantics: ``value <= bound``)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Pool ``other``'s buckets into ``self`` (in place); returns self.
+
+        >>> a, b = Histogram(bounds=(1.0, 2.0)), Histogram(bounds=(1.0, 2.0))
+        >>> a.observe(0.5); b.observe(1.5)
+        >>> a.merge(b).count
+        2
+        >>> a.counts
+        [1, 1, 0]
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.sum += other.sum
+        self.count += other.count
+        return self
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimated by linear bucket interpolation.
+
+        The rank ``q * count`` is located in the cumulative bucket counts
+        and interpolated linearly inside its bucket (lower edge 0.0 for
+        the first bucket — latencies are non-negative).  Observations in
+        the overflow bucket clamp to the largest finite bound, and an
+        empty histogram reports 0.0.
+
+        >>> h = Histogram(bounds=(1.0, 2.0, 4.0))
+        >>> for value in (0.5, 1.5, 3.0, 3.5):
+        ...     h.observe(value)
+        >>> h.quantile(0.25)
+        1.0
+        >>> h.quantile(1.0)
+        4.0
+        >>> Histogram(bounds=(1.0,)).quantile(0.99)
+        0.0
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.bounds):
+            previous = cumulative
+            cumulative += self.counts[i]
+            if cumulative >= rank:
+                if self.counts[i] == 0:
+                    return lower
+                fraction = (rank - previous) / self.counts[i]
+                return lower + fraction * (bound - lower)
+            lower = bound
+        return self.bounds[-1]  # rank fell in the +Inf overflow bucket
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; inverse of :meth:`from_dict`."""
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "sum": self.sum, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from its :meth:`as_dict` form."""
+        out = cls(bounds=data["bounds"])
+        counts = [int(n) for n in data["counts"]]
+        if len(counts) != len(out.counts):
+            raise ValueError(
+                f"expected {len(out.counts)} bucket counts, "
+                f"got {len(counts)}")
+        if any(n < 0 for n in counts):
+            raise ValueError(f"negative bucket count in {counts}")
+        out.counts = counts
+        out.sum = float(data["sum"])
+        out.count = int(data["count"])
+        return out
+
+
+def fleet_histogram(histograms: Iterable[Histogram],
+                    bounds: Optional[Sequence[float]] = None) -> Histogram:
+    """Pooled latency distribution over several nodes' histograms.
+
+    The fleet analogue of :func:`fleet_hit_rate`: buckets are summed so
+    every observation weighs equally, and quantiles are computed on the
+    pooled result — never by averaging per-node quantiles, which would
+    let an idle node's distribution distort the fleet tail.  ``bounds``
+    seeds the bucket scheme when ``histograms`` is empty (defaults to
+    :data:`DEFAULT_LATENCY_BUCKETS`).
+
+    >>> a, b = Histogram(bounds=(1.0, 2.0)), Histogram(bounds=(1.0, 2.0))
+    >>> for value in (0.5, 0.6, 0.7):
+    ...     a.observe(value)
+    >>> b.observe(1.5)
+    >>> pooled = fleet_histogram([a, b])
+    >>> pooled.count
+    4
+    >>> pooled.quantile(1.0)
+    2.0
+    """
+    pooled: Optional[Histogram] = None
+    for histogram in histograms:
+        if pooled is None:
+            pooled = Histogram(bounds=histogram.bounds)
+        pooled.merge(histogram)
+    if pooled is None:
+        pooled = Histogram(bounds=bounds if bounds is not None
+                           else DEFAULT_LATENCY_BUCKETS)
+    return pooled
 
 
 def jobs_per_second(n_jobs: int, seconds: float) -> float:

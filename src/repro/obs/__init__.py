@@ -1,0 +1,67 @@
+"""repro.obs — metrics registry, per-job tracing, structured events.
+
+The observability layer for the serving stack: every component registers
+its counters/gauges/histograms into a :class:`MetricsRegistry`, jobs
+carry span traces on ``JobResult.trace``, and both are exposed over
+``GET /v1/metrics`` and the ``repro top`` / ``repro trace`` CLI.
+
+Instrumentation is gated by the ``REPRO_OBS`` environment variable (see
+:func:`obs_enabled`): ``REPRO_OBS=off`` turns every registry write into a
+single attribute check, which is what ``benchmarks/bench_obs.py`` uses to
+bound the overhead.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.events import EventLog
+from repro.obs.registry import (
+    REGISTRY,
+    MetricsRegistry,
+    histogram_from_sample,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    TRACE_HEADER,
+    format_trace,
+    from_header,
+    make_span,
+    make_trace,
+    new_trace_id,
+    to_header,
+)
+
+_OFF_VALUES = frozenset({"off", "0", "false", "no", "disabled"})
+
+
+def obs_enabled(default: bool = True) -> bool:
+    """Whether instrumentation is on, per the ``REPRO_OBS`` env knob.
+
+    Unset (or anything not clearly negative) means *on* — observability
+    defaults to present; ``REPRO_OBS=off|0|false|no`` disables the hot
+    paths for overhead measurement.
+    """
+    raw = os.environ.get("REPRO_OBS")
+    if raw is None or raw == "":
+        return default
+    return raw.strip().lower() not in _OFF_VALUES
+
+
+__all__ = [
+    "EventLog",
+    "MetricsRegistry",
+    "REGISTRY",
+    "TRACE_HEADER",
+    "format_trace",
+    "from_header",
+    "histogram_from_sample",
+    "make_span",
+    "make_trace",
+    "new_trace_id",
+    "obs_enabled",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "to_header",
+]

@@ -1,0 +1,79 @@
+"""Structured JSONL event log with deterministic sampling.
+
+Replaces the serving stack's suppressed ``BaseHTTPRequestHandler.log_message``
+(which discarded every access log line) with a structured alternative: one
+JSON object per line, written to a stream when one is attached, and always
+retained in a bounded in-memory ring for inspection via stats.
+
+Sampling is deterministic — a counter, not a RNG — so a sample rate of
+``0.1`` keeps exactly every 10th event and test runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, TextIO
+
+
+class EventLog:
+    """A sampled, bounded, optionally stream-backed structured log."""
+
+    def __init__(self, stream: Optional[TextIO] = None, *,
+                 sample: float = 1.0, max_buffer: int = 256) -> None:
+        if max_buffer < 1:
+            raise ValueError(f"max_buffer must be positive: {max_buffer}")
+        self.stream = stream
+        self.sample = float(sample)
+        self._lock = threading.Lock()
+        self._buffer: "deque[Dict[str, Any]]" = deque(maxlen=max_buffer)
+        self._seen = 0
+        self._emitted = 0
+        self._written = 0
+
+    def emit(self, event: str, **fields: Any) -> bool:
+        """Record one event; returns whether sampling kept it.
+
+        The keep rule ``int(n * sample) != int((n - 1) * sample)`` admits
+        an exact ``sample`` fraction of the stream with no randomness:
+        ``sample >= 1`` keeps everything, ``sample <= 0`` nothing.
+        """
+        with self._lock:
+            self._seen += 1
+            n = self._seen
+            if self.sample >= 1.0:
+                keep = True
+            elif self.sample <= 0.0:
+                keep = False
+            else:
+                keep = int(n * self.sample) != int((n - 1) * self.sample)
+            if not keep:
+                return False
+            self._emitted += 1
+            record = {"ts": round(time.time(), 6), "event": event, **fields}
+            self._buffer.append(record)
+            stream = self.stream
+            if stream is not None:
+                line = json.dumps(record, separators=(",", ":"),
+                                  default=str)
+                try:
+                    stream.write(line + "\n")
+                    self._written += 1
+                except (OSError, ValueError):
+                    pass  # a dead stream must never fail the request path
+        return True
+
+    def recent(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent retained events, oldest first."""
+        with self._lock:
+            events = list(self._buffer)
+        return events if n is None else events[-n:]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"seen": self._seen, "emitted": self._emitted,
+                    "written": self._written,
+                    "sampled_out": self._seen - self._emitted,
+                    "sample": self.sample}

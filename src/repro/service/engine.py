@@ -50,7 +50,15 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Optional
 
 from repro.errors import InvalidInputError, ReproError, ServiceError
+from repro.kokkos.counters import CostCounters
 from repro.metrics import mfeatures_per_second
+from repro.obs import (
+    MetricsRegistry,
+    make_span,
+    make_trace,
+    new_trace_id,
+    obs_enabled,
+)
 from repro.service.executor import (
     bvh_from_state,
     bvh_to_state,
@@ -112,6 +120,11 @@ class _JobRecord:
     status: JobStatus = JobStatus.PENDING
     result: Optional[JobResult] = None
     payload_nbytes: int = 0
+    #: Trace context shipped with the submission (router hops), if any.
+    trace_parent: Optional[Dict[str, Any]] = None
+    #: Wall-clock submission time — trace spans need epoch timestamps so
+    #: router- and node-side spans sit on one axis.
+    submitted_wall: float = 0.0
 
 
 class Engine:
@@ -125,7 +138,8 @@ class Engine:
                  store_dir: Optional[str] = None,
                  store_bytes: int = DEFAULT_STORE_BYTES,
                  max_retained_jobs: int = 1024,
-                 max_retained_bytes: int = DEFAULT_RETAINED_BYTES) -> None:
+                 max_retained_bytes: int = DEFAULT_RETAINED_BYTES,
+                 obs: Optional[bool] = None) -> None:
         if max_retained_jobs < 1:
             raise ValueError(
                 f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
@@ -136,17 +150,56 @@ class Engine:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {backend!r}")
         self.backend = backend
+        #: One registry per engine — several engines share a test process
+        #: (and the cluster demo), so instrumentation must not pool across
+        #: them.  ``obs=None`` defers to the ``REPRO_OBS`` env knob;
+        #: disabled, every instrument write is a single attribute check.
+        self.registry = MetricsRegistry(
+            enabled=obs_enabled() if obs is None else bool(obs))
+        #: Name traces report for this engine's spans; the HTTP layer
+        #: overwrites it with the served node name.
+        self.node_name = ""
         #: Shared persistent spill target for all three tiers; ``None``
         #: keeps the engine memory-only (the pre-store behavior).
         self.store = DiskStore(store_dir, max_bytes=store_bytes) \
             if store_dir is not None else None
-        self.tree_cache = TieredCache("tree", tree_cache_bytes, self.store)
+        self.tree_cache = TieredCache("tree", tree_cache_bytes, self.store,
+                                      registry=self.registry)
         self.result_cache = TieredCache("result", result_cache_bytes,
-                                        self.store)
-        self.core_cache = TieredCache("core", core_cache_bytes, self.store)
+                                        self.store, registry=self.registry)
+        self.core_cache = TieredCache("core", core_cache_bytes, self.store,
+                                      registry=self.registry)
         self.scheduler = BatchScheduler(
             self._run_job, max_workers=max_workers, max_batch=max_batch,
-            batch_window=batch_window, backend=backend)
+            batch_window=batch_window, backend=backend,
+            registry=self.registry)
+        self._coalesced_c = self.registry.counter(
+            "repro_coalesced_total",
+            "Jobs answered by riding an identical in-flight computation.")
+        self._job_h = self.registry.histogram(
+            "repro_job_seconds",
+            "End-to-end runner seconds per job, by algorithm.",
+            labels=("algorithm",))
+        self._phase_h = self.registry.histogram(
+            "repro_phase_seconds",
+            "Seconds spent in each actually-executed phase "
+            "(replayed cache-hit phases are not observed).",
+            labels=("phase",))
+        self.registry.gauge(
+            "repro_uptime_seconds", "Seconds since the engine started.",
+            fn=lambda: time.perf_counter() - self._started_at)
+        self.registry.gauge(
+            "repro_cache_bytes",
+            "Bytes currently held by each memory cache tier.",
+            labels=("tier",),
+            fn=lambda: {"tree": self.tree_cache.memory.current_bytes,
+                        "result": self.result_cache.memory.current_bytes,
+                        "core": self.core_cache.memory.current_bytes})
+        self.registry.gauge(
+            "repro_store_bytes",
+            "Bytes currently held by the persistent disk store.",
+            fn=lambda: (self.store.current_bytes
+                        if self.store is not None else 0.0))
         #: Only the newest finished jobs stay queryable, bounded both by
         #: count and by total payload bytes (specs can carry inline point
         #: arrays and payloads can be large, so retention must be bounded
@@ -164,7 +217,6 @@ class Engine:
         #: concurrent jobs share one upstream execution (request
         #: coalescing); count of jobs answered that way.
         self._inflight: Dict[str, _Inflight] = {}
-        self._coalesced = 0
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._started_at = time.perf_counter()
@@ -172,17 +224,24 @@ class Engine:
 
     # ---------------------------------------------------------------- submit
 
-    def submit(self, spec: JobSpec) -> str:
+    def submit(self, spec: JobSpec,
+               trace: Optional[Dict[str, Any]] = None) -> str:
         """Queue a job; returns its id.  Spec errors raise synchronously;
         submitting to a closed engine raises :class:`ServiceError` (never a
-        raw ``concurrent.futures`` shutdown error)."""
+        raw ``concurrent.futures`` shutdown error).
+
+        ``trace`` is an upstream trace context (``{"trace_id", "spans"}``,
+        typically parsed from the ``X-Repro-Trace`` header): the job's own
+        spans are appended to it, so a routed job's trace shows the router
+        hops ahead of the node-side lifecycle."""
         spec.validate()
         if self._closed:
             raise ServiceError("engine is closed")
         job_id = f"job-{next(self._ids):06d}"
         # The record must exist before the scheduler can hand the job to a
         # worker, or a fast worker would look it up before it is stored.
-        record = _JobRecord(spec=spec, ticket=None)
+        record = _JobRecord(spec=spec, ticket=None, trace_parent=trace,
+                            submitted_wall=time.time())
         with self._lock:
             self._records[job_id] = record
         try:
@@ -255,8 +314,7 @@ class Engine:
             for record in self._records.values():
                 by_status[record.status.value] += 1
             total = len(self._records)
-        with self._lock:
-            coalesced = self._coalesced
+        coalesced = int(self._coalesced_c.value())
         return {
             "uptime_seconds": time.perf_counter() - self._started_at,
             "backend": self.backend,
@@ -328,6 +386,11 @@ class Engine:
                 timings={"queue": ticket.queue_seconds,
                          "run": ticket.run_seconds})
         ticket.failed = result.status is JobStatus.FAILED
+        self._job_h.observe(ticket.run_seconds,
+                            algorithm=record.spec.algorithm)
+        if self.registry.enabled:
+            self._observe_phases(result)
+            result.trace = self._build_trace(record, ticket, result)
         # record.payload_nbytes was set by _execute: the computed size for
         # misses, the cached entry's size for hits (a hit-record keeps the
         # payload alive even after cache eviction, so it must be charged).
@@ -351,6 +414,88 @@ class Engine:
                 if old is not None:
                     self._retained_bytes -= old.payload_nbytes
         return result
+
+    def _replayed_phases(self, result: JobResult) -> set:
+        """Timing keys that were replayed from a cache, not executed.
+
+        A tree-tier hit replays ``algo_tree``, a core-tier hit
+        ``algo_core``; a result hit or a coalesced follower replays every
+        algorithm phase.  (``resolve`` / ``tree_build`` / ``compute`` only
+        appear in ``timings`` when they actually ran.)
+        """
+        replayed = set()
+        if result.cache.get("tree_hit"):
+            replayed.add("algo_tree")
+        if result.cache.get("core_hit"):
+            replayed.add("algo_core")
+        if result.cache.get("result_hit") or result.cache.get("coalesced"):
+            replayed.update(k for k in result.timings
+                            if k.startswith("algo_"))
+        return replayed
+
+    def _observe_phases(self, result: JobResult) -> None:
+        """Feed actually-executed phase timings into the phase histogram.
+
+        Replayed phases carry the *original* run's wall time: observing
+        them again would double-count work the cache specifically avoided.
+        """
+        replayed = self._replayed_phases(result)
+        for name, seconds in result.timings.items():
+            if name in ("queue", "run") or name in replayed:
+                continue
+            self._phase_h.observe(seconds, phase=name.removeprefix("algo_"))
+
+    def _build_trace(self, record: _JobRecord, ticket: JobTicket,
+                     result: JobResult) -> Dict[str, Any]:
+        """The job's span tree: upstream hops + node-side lifecycle."""
+        parent = record.trace_parent
+        node = self.node_name
+        submitted = record.submitted_wall or time.time()
+        queue_s = result.timings.get("queue", 0.0)
+        run_s = result.timings.get("run", 0.0)
+        exec_start = submitted + queue_s
+        spans = list(parent["spans"]) if parent else []
+        spans.append(make_span(
+            "submit", node=node, start=submitted, job_id=ticket.job_id,
+            algorithm=record.spec.algorithm))
+        spans.append(make_span(
+            "queued", node=node, start=submitted, duration_s=queue_s))
+        spans.append(make_span(
+            "batched", node=node, start=exec_start,
+            batch_size=ticket.batch_size))
+        replayed = self._replayed_phases(result)
+        children = []
+        offset = exec_start
+        for name, seconds in result.timings.items():
+            if name in ("queue", "run"):
+                continue
+            meta = {"replayed": True} if name in replayed else {}
+            children.append(make_span(
+                name.removeprefix("algo_"), node=node, start=offset,
+                duration_s=seconds, **meta))
+            if not meta:  # replayed phases occupy no wall time here
+                offset += seconds
+        exec_meta: Dict[str, Any] = {}
+        if result.payload is not None:
+            inner = result.payload.get("emst", result.payload)
+            totals = CostCounters.summed(
+                (inner.get("counters") or {}).values())
+            exec_meta["counters"] = totals.as_dict()
+            exec_meta["divergence_factor"] = round(
+                totals.divergence_factor, 4)
+        spans.append(make_span(
+            "executed", node=node, start=exec_start, duration_s=run_s,
+            children=children, **exec_meta))
+        if result.status is JobStatus.FAILED:
+            spans.append(make_span("failed", node=node,
+                                   start=exec_start + run_s,
+                                   error=result.error))
+        else:
+            spans.append(make_span("served", node=node,
+                                   start=exec_start + run_s,
+                                   **result.cache))
+        trace_id = parent["trace_id"] if parent else new_trace_id()
+        return make_trace(trace_id, spans)
 
     def _execute(self, ticket: JobTicket) -> JobResult:
         spec: JobSpec = ticket.payload
@@ -394,8 +539,7 @@ class Engine:
                 if not leader_entry.failed:
                     payload = leader_entry.payload
                     coalesced = True
-                    with self._lock:
-                        self._coalesced += 1
+                    self._coalesced_c.inc()
                     self._record(ticket.job_id).payload_nbytes = \
                         leader_entry.payload_nbytes
         if payload is None:

@@ -379,10 +379,16 @@ class JobResult:
     timings: Dict[str, float] = field(default_factory=dict)
     cache: Dict[str, bool] = field(default_factory=dict)
     mfeatures_per_sec: float = 0.0
+    #: Span tree recorded by the observability layer (see
+    #: :mod:`repro.obs.trace`), or ``None`` when tracing is off.  Lives
+    #: on the result, never inside ``payload`` — like ``timings`` it
+    #: describes *how* the job was served, so
+    #: :func:`canonical_payload_bytes` is untouched by its presence.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict (JSON-safe) form; inverse of :meth:`from_dict`."""
-        return {
+        out = {
             "job_id": self.job_id,
             "status": self.status.value,
             "algorithm": self.algorithm,
@@ -392,6 +398,9 @@ class JobResult:
             "cache": dict(self.cache),
             "mfeatures_per_sec": self.mfeatures_per_sec,
         }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
@@ -406,6 +415,7 @@ class JobResult:
                      for k, v in data.get("timings", {}).items()},
             cache={k: bool(v) for k, v in data.get("cache", {}).items()},
             mfeatures_per_sec=float(data.get("mfeatures_per_sec", 0.0)),
+            trace=data.get("trace"),
         )
 
     def emst(self) -> EMSTResult:

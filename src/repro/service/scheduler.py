@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ServiceError
 from repro.metrics import jobs_per_second, mfeatures_per_second
+from repro.obs import MetricsRegistry
 
 #: Execution backends a scheduler (and the engine above it) can run.
 BACKENDS = ("thread", "process")
@@ -112,7 +113,8 @@ class BatchScheduler:
     def __init__(self, runner: Callable[[JobTicket], Any], *,
                  max_workers: int = 2, max_batch: int = 8,
                  batch_window: float = 0.002,
-                 backend: str = "thread") -> None:
+                 backend: str = "thread",
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if max_batch < 1:
@@ -139,14 +141,39 @@ class BatchScheduler:
         self._seq = itertools.count()
         self._cond = threading.Condition()
         self._shutdown = False
-        # Accounting (guarded by _cond's lock).
-        self._jobs_submitted = 0
-        self._jobs_completed = 0
-        self._jobs_failed = 0
-        self._batches = 0
+        # Accounting lives in the metrics registry: `stats()` reads the
+        # same instruments `/v1/metrics` scrapes, so the two surfaces can
+        # never disagree.  The registry is shared with the engine when the
+        # engine constructs the scheduler.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._jobs_submitted_c = self.registry.counter(
+            "repro_jobs_submitted_total",
+            "Jobs accepted by the batch scheduler.")
+        self._jobs_completed_c = self.registry.counter(
+            "repro_jobs_completed_total",
+            "Jobs whose runner finished (success or failure).")
+        self._jobs_failed_c = self.registry.counter(
+            "repro_jobs_failed_total",
+            "Jobs that ended in failure (raised or absorbed).")
+        self._batches_c = self.registry.counter(
+            "repro_batches_total", "Batches dispatched to the worker pool.")
+        self._features_done_c = self.registry.counter(
+            "repro_features_done_total",
+            "Features (n_points * dimension) of successfully computed jobs.")
+        self._busy_seconds_c = self.registry.counter(
+            "repro_busy_seconds_total",
+            "Worker-busy seconds accumulated by job runners.")
+        self._queue_wait_h = self.registry.histogram(
+            "repro_queue_wait_seconds",
+            "Seconds a job waited in the queue before a worker took it.")
+        self._batch_build_h = self.registry.histogram(
+            "repro_batch_build_seconds",
+            "Seconds spent collecting each batch (bounded by batch_window).")
+        self.registry.gauge(
+            "repro_queue_depth", "Jobs currently waiting in the queue.",
+            fn=lambda: len(self._heap))
+        # Remaining non-exposed accounting (guarded by _cond's lock).
         self._largest_batch = 0
-        self._busy_seconds = 0.0
-        self._features_done = 0
         self._first_enqueue: Optional[float] = None
         self._last_finish: Optional[float] = None
         self._collector = threading.Thread(
@@ -182,10 +209,10 @@ class BatchScheduler:
                 raise ServiceError("scheduler is shut down")
             heapq.heappush(self._heap,
                            (-priority, next(self._seq), ticket))
-            self._jobs_submitted += 1
             if self._first_enqueue is None:
                 self._first_enqueue = ticket.enqueued_at
             self._cond.notify_all()
+        self._jobs_submitted_c.inc()
         return ticket
 
     def _collect_loop(self) -> None:
@@ -207,8 +234,10 @@ class BatchScheduler:
                 batch = [heapq.heappop(self._heap)[2]
                          for _ in range(min(self.max_batch,
                                             len(self._heap)))]
-                self._batches += 1
                 self._largest_batch = max(self._largest_batch, len(batch))
+            self._batches_c.inc()
+            self._batch_build_h.observe(max(
+                0.0, time.perf_counter() - (deadline - self.batch_window)))
             # A batch is the scheduling quantum: its jobs enter the pool
             # together, in priority order.  Each job is its own pool task so
             # a batch still spreads across idle workers.
@@ -225,6 +254,7 @@ class BatchScheduler:
 
     def _run_one(self, ticket: JobTicket) -> None:
         ticket.started_at = time.perf_counter()
+        self._queue_wait_h.observe(ticket.queue_seconds)
         try:
             result = self._runner(ticket)
         except BaseException as exc:  # noqa: BLE001 — forwarded to future
@@ -237,15 +267,15 @@ class BatchScheduler:
             ticket.future.set_result(result)
 
     def _account(self, ticket: JobTicket, *, failed: bool) -> None:
+        self._jobs_completed_c.inc()
+        if failed or ticket.failed:
+            self._jobs_failed_c.inc()
+        else:
+            # Failed jobs keep their busy time but contribute no
+            # features: throughput counts only completed compute.
+            self._features_done_c.inc(ticket.features)
+        self._busy_seconds_c.inc(ticket.run_seconds)
         with self._cond:
-            self._jobs_completed += 1
-            if failed or ticket.failed:
-                self._jobs_failed += 1
-            else:
-                # Failed jobs keep their busy time but contribute no
-                # features: throughput counts only completed compute.
-                self._features_done += ticket.features
-            self._busy_seconds += ticket.run_seconds
             self._last_finish = ticket.finished_at
 
     def shutdown(self, wait: bool = True) -> None:
@@ -271,31 +301,38 @@ class BatchScheduler:
         seconds (compute throughput); ``jobs_per_sec`` against the wall-clock
         span from first enqueue to last finish (service throughput).
         """
+        jobs_submitted = int(self._jobs_submitted_c.value())
+        jobs_completed = int(self._jobs_completed_c.value())
+        jobs_failed = int(self._jobs_failed_c.value())
+        batches = int(self._batches_c.value())
+        features_done = int(self._features_done_c.value())
+        busy_seconds = self._busy_seconds_c.value()
         with self._cond:
             span = None
             if self._first_enqueue is not None \
                     and self._last_finish is not None:
                 span = self._last_finish - self._first_enqueue
-            return {
-                "queue_depth": len(self._heap),
-                "backend": self.backend,
-                "max_workers": self.max_workers,
-                "max_batch": self.max_batch,
-                "batch_window_seconds": self.batch_window,
-                "jobs_submitted": self._jobs_submitted,
-                "jobs_completed": self._jobs_completed,
-                "jobs_failed": self._jobs_failed,
-                "batches_dispatched": self._batches,
-                "largest_batch": self._largest_batch,
-                "mean_batch_size": (self._jobs_completed / self._batches
-                                    if self._batches else 0.0),
-                "busy_seconds": self._busy_seconds,
-                "features_done": self._features_done,
-                "mfeatures_per_sec": (
-                    mfeatures_per_second(self._features_done, 1,
-                                         self._busy_seconds)
-                    if self._busy_seconds > 0 and self._features_done else 0.0),
-                "jobs_per_sec": (
-                    jobs_per_second(self._jobs_completed, span)
-                    if span and span > 0 and self._jobs_completed else 0.0),
-            }
+            queue_depth = len(self._heap)
+            largest_batch = self._largest_batch
+        return {
+            "queue_depth": queue_depth,
+            "backend": self.backend,
+            "max_workers": self.max_workers,
+            "max_batch": self.max_batch,
+            "batch_window_seconds": self.batch_window,
+            "jobs_submitted": jobs_submitted,
+            "jobs_completed": jobs_completed,
+            "jobs_failed": jobs_failed,
+            "batches_dispatched": batches,
+            "largest_batch": largest_batch,
+            "mean_batch_size": (jobs_completed / batches
+                                if batches else 0.0),
+            "busy_seconds": busy_seconds,
+            "features_done": features_done,
+            "mfeatures_per_sec": (
+                mfeatures_per_second(features_done, 1, busy_seconds)
+                if busy_seconds > 0 and features_done else 0.0),
+            "jobs_per_sec": (
+                jobs_per_second(jobs_completed, span)
+                if span and span > 0 and jobs_completed else 0.0),
+        }

@@ -20,6 +20,12 @@ Endpoints (all JSON):
 ``GET /v1/healthz``
     Liveness probe (reports the node name, the backend and whether a
     store is attached).
+``GET /v1/metrics``
+    Prometheus text exposition of the engine's metrics registry —
+    latency histograms (job, queue-wait, per-phase, store I/O, HTTP),
+    cache lookup counters and occupancy gauges; ``?format=json`` returns
+    the JSON document form (what ``repro top`` and the router's fleet
+    scrape consume).
 ``POST /v1/admin/flush``
     Drop cached artifacts, memory and disk; returns entries and bytes
     reclaimed.  An optional JSON body ``{"tier": "bvh"|"core"|"result"}``
@@ -44,6 +50,8 @@ pool.  No dependencies outside the standard library.
 from __future__ import annotations
 
 import json
+import sys
+import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
@@ -51,8 +59,12 @@ from urllib.parse import parse_qs, urlparse
 
 import repro
 from repro.errors import InvalidInputError, ServiceError
+from repro.obs import TRACE_HEADER, EventLog, from_header
 from repro.service.engine import Engine
 from repro.service.jobs import JobSpec
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Largest accepted request body (an inline 1M-point 3D job is ~60 MB of
 #: JSON; anything bigger should arrive as a dataset spec).
@@ -97,14 +109,62 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def engine(self) -> Engine:
         return self.server.engine  # type: ignore[attr-defined]
 
-    def log_message(self, format: str, *args: Any) -> None:
-        if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        """Access logging via the structured event log (sampled).
 
-    def _send_json(self, code: int, obj: Any) -> None:
-        body = json.dumps(obj).encode()
+        The previous implementation silently discarded every request log
+        unless ``verbose`` was set; now each request emits a JSONL event —
+        to stderr when verbose, and always into the log's in-memory ring —
+        with the sampling knob (``--access-log-sample``) bounding the
+        volume on busy nodes.
+        """
+        events = getattr(self.server, "events", None)
+        if events is None:
+            return
+        try:
+            status = int(code)
+        except (TypeError, ValueError):
+            status = str(code)
+        events.emit("http_access", method=self.command, path=self.path,
+                    code=status, client=self.address_string())
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Non-access messages (errors, warnings) — never sampled away
+        silently to stdout-suppression; they land in the event ring too."""
+        events = getattr(self.server, "events", None)
+        if events is None:
+            if getattr(self.server, "verbose", False):
+                super().log_message(format, *args)
+            return
+        events.emit("http_message", message=format % args,
+                    client=self.address_string())
+
+    def _instrumented_endpoint(self, path: str) -> str:
+        """The path normalized for metric labels (bounded cardinality)."""
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            return "/v1/jobs/{id}"
+        return "/" + "/".join(parts) if parts else "/"
+
+    def _begin_request(self, path: str) -> None:
+        self._obs_started: Optional[float] = time.perf_counter()
+        self._obs_endpoint = self._instrumented_endpoint(path)
+
+    def _finish_request(self, code: int) -> None:
+        started = getattr(self, "_obs_started", None)
+        if started is None:
+            return
+        self._obs_started = None
+        latency_h = getattr(self.server, "http_latency", None)
+        if latency_h is not None:
+            latency_h.observe(time.perf_counter() - started,
+                              endpoint=self._obs_endpoint)
+            self.server.http_requests.inc(  # type: ignore[attr-defined]
+                endpoint=self._obs_endpoint, code=str(code))
+
+    def _send_body(self, code: int, body: bytes, content_type: str) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         node_name = getattr(self.server, "node_name", None)
         if node_name:
@@ -113,12 +173,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+        self._finish_request(code)
+
+    def _send_json(self, code: int, obj: Any) -> None:
+        self._send_body(code, json.dumps(obj).encode(), "application/json")
 
     def _send_error_json(self, code: int, message: str) -> None:
         self._send_json(code, {"error": message})
 
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
         url = urlparse(self.path)
+        self._begin_request(url.path)
         parts = [p for p in url.path.split("/") if p]
         if parts == ["v1", "healthz"]:
             self._send_json(200, {"status": "ok",
@@ -130,10 +195,28 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                                   is not None})
         elif parts == ["v1", "stats"]:
             self._send_json(200, self.engine.stats())
+        elif parts == ["v1", "metrics"]:
+            self._get_metrics(url.query)
         elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
             self._get_job(parts[2], url.query)
         else:
             self._send_error_json(404, f"no such endpoint: {url.path}")
+
+    def _get_metrics(self, query: str) -> None:
+        """``GET /v1/metrics`` — Prometheus text, or JSON with
+        ``?format=json`` (the form ``repro top`` and the router's fleet
+        scrape consume)."""
+        fmt = parse_qs(query).get("format", ["prometheus"])[0]
+        if fmt == "json":
+            self._send_json(200, self.engine.registry.as_dict())
+        elif fmt == "prometheus":
+            self._send_body(200,
+                            self.engine.registry.render_prometheus().encode(),
+                            PROMETHEUS_CONTENT_TYPE)
+        else:
+            self._send_error_json(
+                400, f"unknown metrics format {fmt!r}; "
+                     f"use 'prometheus' or 'json'")
 
     def _get_job(self, job_id: str, query: str) -> None:
         try:
@@ -167,6 +250,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
         url = urlparse(self.path)
+        self._begin_request(url.path)
         parts = [p for p in url.path.split("/") if p]
         if parts == ["v1", "admin", "flush"]:
             self._post_flush()
@@ -195,7 +279,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             spec = JobSpec.from_dict(data)
-            job_id = self.engine.submit(spec)
+            job_id = self.engine.submit(
+                spec, trace=from_header(self.headers.get(TRACE_HEADER)))
         except InvalidInputError as exc:
             self._send_error_json(400, str(exc))
             return
@@ -270,12 +355,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
 def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
                   *, verbose: bool = False,
-                  node_name: Optional[str] = None) -> ThreadingHTTPServer:
+                  node_name: Optional[str] = None,
+                  access_log_sample: float = 1.0) -> ThreadingHTTPServer:
     """Bind a service HTTP server (``port=0`` picks a free port).
 
     ``node_name`` is the identity reported in the ``X-Repro-Node`` header
     and ``/v1/healthz`` (default: the bound ``host:port``) — what a
     cluster router shows clients as the serving node.
+
+    ``access_log_sample`` keeps that fraction of access-log events
+    (deterministically — every ``1/sample``-th request); ``verbose``
+    additionally writes the kept events to stderr as JSONL.
 
     The caller owns the lifecycle: run ``serve_forever()`` (typically on a
     thread), later ``shutdown()`` + ``server_close()``, and close the engine.
@@ -286,6 +376,17 @@ def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
     bound_host, bound_port = server.server_address[:2]
     server.node_name = (  # type: ignore[attr-defined]
         node_name if node_name else f"{bound_host}:{bound_port}")
+    engine.node_name = server.node_name  # names this engine's trace spans
+    server.events = EventLog(  # type: ignore[attr-defined]
+        stream=sys.stderr if verbose else None, sample=access_log_sample)
+    server.http_latency = engine.registry.histogram(  # type: ignore
+        "repro_http_request_seconds",
+        "HTTP handler latency by (normalized) endpoint.",
+        labels=("endpoint",))
+    server.http_requests = engine.registry.counter(  # type: ignore
+        "repro_http_requests_total",
+        "HTTP requests served, by endpoint and status code.",
+        labels=("endpoint", "code"))
     server.daemon_threads = True
     return server
 
@@ -309,11 +410,13 @@ def run_server(server: ThreadingHTTPServer, engine: Engine) -> None:
 
 def serve(engine: Engine, host: str = "127.0.0.1", port: int = 8321,
           *, verbose: bool = False,
-          node_name: Optional[str] = None) -> None:
+          node_name: Optional[str] = None,
+          access_log_sample: float = 1.0) -> None:
     """Bind and run the API until interrupted, then drain the engine."""
     try:
         server = create_server(engine, host, port, verbose=verbose,
-                               node_name=node_name)
+                               node_name=node_name,
+                               access_log_sample=access_log_sample)
     except OSError:
         engine.close()  # bind failed; don't leak the worker pool
         raise

@@ -15,9 +15,11 @@ engine's code path identical whether persistence is configured or not.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.metrics import hit_rate
+from repro.obs import MetricsRegistry
 from repro.store.blob import codec_for
 from repro.store.disk import DiskStore
 from repro.store.memory import ContentCache, estimate_nbytes
@@ -35,7 +37,8 @@ class TieredCache:
     """
 
     def __init__(self, tier: str, max_bytes: int,
-                 store: Optional[DiskStore] = None) -> None:
+                 store: Optional[DiskStore] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.tier = tier
         self.memory = ContentCache(max_bytes, name=tier)
         self.store = store
@@ -45,6 +48,27 @@ class TieredCache:
         self.spill_errors = 0
         self.decode_errors = 0
         self.read_errors = 0
+        # Exposition: lookup counters per level/outcome and store I/O
+        # latency.  All engine tiers share one registry, so these are
+        # labeled children of shared families.  The plain int counters
+        # above remain the source of truth for `stats()` (and the tests
+        # pinning it); the registry mirrors them for `/v1/metrics`.
+        registry = registry if registry is not None \
+            else MetricsRegistry(enabled=False)
+        lookups = registry.counter(
+            "repro_cache_lookups_total",
+            "Cache lookups by tier, level (memory/disk) and outcome.",
+            labels=("tier", "level", "outcome"))
+        self._lookup = {
+            (level, outcome): lookups.labels(tier=tier, level=level,
+                                             outcome=outcome)
+            for level in SOURCES for outcome in ("hit", "miss")}
+        self._io_h = registry.histogram(
+            "repro_store_io_seconds",
+            "Latency of disk-store reads and writes by tier and op.",
+            labels=("tier", "op"))
+        self._io_get = self._io_h.labels(tier=tier, op="get")
+        self._io_put = self._io_h.labels(tier=tier, op="put")
 
     def __len__(self) -> int:
         return len(self.memory)
@@ -58,17 +82,24 @@ class TieredCache:
         """``(value, "memory" | "disk")`` on a hit, ``(None, None)`` else."""
         value = self.memory.get(key)
         if value is not None:
+            self._lookup[("memory", "hit")].inc()
             return value, "memory"
+        self._lookup[("memory", "miss")].inc()
         if self.store is None:
             return None, None
+        started = time.perf_counter()
         try:
             blob = self.store.get(self.tier, key)
         except OSError:  # an unreadable volume is a miss, not a failure
             self.read_errors += 1
             self.disk_misses += 1
+            self._lookup[("disk", "miss")].inc()
             return None, None
+        finally:
+            self._io_get.observe(time.perf_counter() - started)
         if blob is None:
             self.disk_misses += 1
+            self._lookup[("disk", "miss")].inc()
             return None, None
         try:
             value = self._decode(*blob)
@@ -76,8 +107,10 @@ class TieredCache:
             # miss (the job recomputes), never fail the request.
             self.decode_errors += 1
             self.disk_misses += 1
+            self._lookup[("disk", "miss")].inc()
             return None, None
         self.disk_hits += 1
+        self._lookup[("disk", "hit")].inc()
         # Promote with the size recorded at insert time: re-walking a large
         # payload with estimate_nbytes on the serving path would cost more
         # than the deserialization itself (and drift from the budget
@@ -97,6 +130,7 @@ class TieredCache:
         size = int(nbytes) if nbytes is not None else estimate_nbytes(value)
         stored = self.memory.put(key, value, size)
         if self.store is not None:
+            started = time.perf_counter()
             try:
                 meta, arrays = self._encode(value)
                 meta = dict(meta)
@@ -104,6 +138,8 @@ class TieredCache:
                 self.store.put(self.tier, key, meta, arrays)
             except OSError:
                 self.spill_errors += 1
+            finally:
+                self._io_put.observe(time.perf_counter() - started)
         return stored
 
     def size_of(self, key: str) -> Optional[int]:

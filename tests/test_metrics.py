@@ -5,10 +5,13 @@ import math
 import pytest
 
 from repro.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
     features,
     features_per_second,
     fleet_hit_rate,
     fleet_mfeatures_per_second,
+    fleet_histogram,
     format_rate,
     hit_rate,
     jobs_per_second,
@@ -132,3 +135,100 @@ class TestFormatRate:
 
     def test_nan(self):
         assert format_rate(math.nan) == "nan"
+
+
+class TestHistogram:
+    def test_observe_buckets_and_totals(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            h.observe(value)
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(7.0)
+        assert h.mean == pytest.approx(7.0 / 3)
+
+    def test_default_bucket_scheme(self):
+        h = Histogram()
+        assert h.bounds == DEFAULT_LATENCY_BUCKETS
+        assert len(h.counts) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            h.observe(value)
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        # Overflow observations clamp to the largest finite bound.
+        h.observe(100.0)
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_of_empty_is_zero(self):
+        assert Histogram().quantile(0.99) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram().quantile(-0.1)
+
+    def test_merge_pools_counts(self):
+        a, b = Histogram(bounds=(1.0, 2.0)), Histogram(bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        merged = a.merge(b)
+        assert merged is a
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+    def test_dict_round_trip(self):
+        h = Histogram(bounds=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        clone = Histogram.from_dict(h.as_dict())
+        assert clone.bounds == h.bounds
+        assert clone.counts == h.counts
+        assert clone.sum == h.sum
+        assert clone.count == h.count
+
+    def test_rejects_unsorted_or_empty_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+
+class TestFleetHistogram:
+    def test_pools_rather_than_averages(self):
+        busy, idle = Histogram(bounds=(1.0, 2.0)), Histogram(bounds=(1.0, 2.0))
+        for _ in range(99):
+            busy.observe(0.5)
+        idle.observe(1.5)
+        pooled = fleet_histogram([busy, idle])
+        # 99 fast observations dominate the pooled median; averaging
+        # per-node quantiles would report ~1.0 instead.
+        assert pooled.quantile(0.5) < 1.0
+        assert pooled.count == 100
+
+    def test_inputs_are_not_mutated(self):
+        a, b = Histogram(bounds=(1.0,)), Histogram(bounds=(1.0,))
+        a.observe(0.5)
+        b.observe(0.5)
+        pooled = fleet_histogram([a, b])
+        assert pooled.count == 2
+        assert a.count == 1 and b.count == 1
+
+    def test_empty_fleet_uses_seed_bounds(self):
+        pooled = fleet_histogram([], bounds=(0.5, 5.0))
+        assert pooled.bounds == (0.5, 5.0)
+        assert pooled.count == 0
+
+    def test_mismatched_bounds_raise(self):
+        with pytest.raises(ValueError):
+            fleet_histogram([Histogram(bounds=(1.0,)),
+                             Histogram(bounds=(2.0,))])

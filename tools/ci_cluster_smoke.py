@@ -23,6 +23,11 @@ Asserted invariants (the PR's acceptance criteria):
   same (surviving) node the ring pinned it to — observed through the
   router's ``X-Repro-Node`` header — and is answered as a result-tier
   hit;
+* **traces record the failure path**: every routed result carries a span
+  tree whose first hop is a router ``route`` span, and at least one job
+  touched by the kill shows the dead node in its history (a ``route``
+  hop that ended ``unavailable``, or a ``lost`` marker before the
+  recovery hop) — while the canonical payload bytes stay trace-free;
 * the router's health document reports the degraded fleet (2/3 up).
 
 Usage::
@@ -160,6 +165,40 @@ def run_smoke(args):
         print(f"ok: all {len(completions)} jobs completed through the "
               f"router, byte-identical to in-process execution "
               f"(one node down)")
+
+        # Every routed job carries a trace whose first span is the
+        # router's hop; the byte-identity checks above already proved the
+        # trace never leaks into the canonical payload.
+        failure_hops = 0
+        for body, node, result in completions:
+            trace = result.get("trace")
+            if not trace or not trace.get("spans"):
+                raise SystemExit(f"FAIL: routed job for {body} carries "
+                                 f"no trace")
+            spans = trace["spans"]
+            if spans[0]["name"] != "route":
+                raise SystemExit(f"FAIL: first span should be the router "
+                                 f"hop, got {spans[0]['name']!r}")
+            history = [(span["name"], span["node"],
+                        span.get("meta", {}).get("outcome"))
+                       for span in spans if span["name"] in ("route", "lost")]
+            touched_victim = any(
+                node_name == victim and
+                (name == "lost" or outcome == "unavailable")
+                for name, node_name, outcome in history)
+            if touched_victim:
+                failure_hops += 1
+                final_hop = [h for h in history if h[0] == "route"][-1]
+                if final_hop[1] == victim or final_hop[2] != "accepted":
+                    raise SystemExit(f"FAIL: trace history {history} does "
+                                     f"not end on an accepted survivor hop")
+        if not failure_hops:
+            raise SystemExit(
+                f"FAIL: no trace recorded the dead node {victim} — "
+                f"failover/recovery left no span history")
+        print(f"ok: traces intact — every result shows its router hop, "
+              f"{failure_hops} trace(s) record {victim}'s failure and "
+              f"the recovery hop to a survivor")
 
         # Warm pinning: re-submit a point set whose serving node survived;
         # the ring must send it back there and the result tier must answer.
