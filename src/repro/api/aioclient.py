@@ -1,0 +1,76 @@
+"""Tiny asyncio HTTP client for ``/v1`` (one connection per request).
+
+Just enough transport for the open-loop load harness and the long-poll
+concurrency tests: hundreds of concurrent requests from one thread, no
+connection pooling (each request opens, sends ``Connection: close``, and
+reads to EOF or Content-Length).  Production clients use the blocking
+:class:`repro.client.Client`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+
+async def request(base_url: str, path: str, *, method: str = "GET",
+                  body: Optional[bytes] = None,
+                  headers: Optional[Dict[str, str]] = None,
+                  timeout: float = 90.0
+                  ) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP exchange; returns ``(status, headers, body bytes)``."""
+    parsed = urlparse(base_url)
+    host, port = parsed.hostname, parsed.port or 80
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port, limit=1 << 20), timeout)
+    try:
+        head = [f"{method} {path} HTTP/1.1",
+                f"Host: {host}:{port}",
+                "Connection: close"]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
+        if body is not None:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(body)}")
+        writer.write("\r\n".join(head).encode() + b"\r\n\r\n")
+        if body is not None:
+            writer.write(body)
+        await asyncio.wait_for(writer.drain(), timeout)
+
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        status = int(status_line.split()[1])
+        response_headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if not line.strip():
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", -1))
+        if length >= 0:
+            payload = await asyncio.wait_for(
+                reader.readexactly(length), timeout)
+        else:
+            payload = await asyncio.wait_for(reader.read(), timeout)
+        return status, response_headers, payload
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def request_json(base_url: str, path: str, *, method: str = "GET",
+                       data: Optional[Any] = None,
+                       headers: Optional[Dict[str, str]] = None,
+                       timeout: float = 90.0
+                       ) -> Tuple[int, Dict[str, str], Any]:
+    """Like :func:`request`, JSON in / JSON out."""
+    body = json.dumps(data).encode() if data is not None else None
+    status, response_headers, payload = await request(
+        base_url, path, method=method, body=body, headers=headers,
+        timeout=timeout)
+    return status, response_headers, json.loads(payload) if payload else None

@@ -1,0 +1,339 @@
+"""The ``/v1`` wire contract, shared by the node and router front ends.
+
+One module owns everything a ``/v1`` server must agree on — the route
+table, query-parameter validation, body-size bounds, the error envelope
+and the ``X-Repro-*`` headers — so the two HTTP hosts
+(:mod:`repro.service.server` and :mod:`repro.cluster.server`) cannot
+drift apart.  The transport lives in :mod:`repro.api.http`; this module
+is pure request/response logic and runs unchanged under any host.
+
+Error envelope
+--------------
+Every non-2xx response body is::
+
+    {"error": {"code": <str>, "message": <str>, "retryable": <bool>}}
+
+``code`` is a stable machine-readable name (see the ``ERR_*`` constants),
+``message`` the human-readable detail (what the legacy ``{"error": str}``
+shape carried), and ``retryable`` tells a client whether the same request
+may succeed elsewhere or later — the cluster client keys failover on it
+instead of guessing from the status class.  2xx bodies are unchanged, so
+the envelope is additive for well-behaved clients.
+
+Dispatch
+--------
+:class:`WireAPI` parses a :class:`Request`, validates the query/body and
+calls one of seven abstract operations (``healthz``, ``stats``,
+``metrics_json``/``metrics_text``, ``submit``, ``job``, ``flush``,
+``compact``) implemented by the node backend (over an
+:class:`~repro.service.engine.Engine`) or the router backend (over a
+:class:`~repro.cluster.router.ClusterRouter`).  Backends raise
+:class:`ApiError` (or library errors mapped here) and the response is the
+uniform envelope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.errors import (
+    ClusterError,
+    InvalidInputError,
+    ServiceError,
+)
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Largest accepted request body (an inline 1M-point 3D job is ~60 MB of
+#: JSON; anything bigger should arrive as a dataset spec).
+MAX_BODY_BYTES = 256 << 20
+
+#: Cap on a single ``GET /v1/jobs/<id>`` long-poll; clients needing longer
+#: re-poll in chunks (see ``repro.client.Client.wait``).
+MAX_WAIT_SECONDS = 60.0
+
+# --------------------------------------------------------------- error codes
+#: The request was malformed (bad spec, bad JSON, bad query parameter).
+ERR_BAD_REQUEST = "bad_request"
+#: The job id is unknown (never submitted, or retention-evicted).
+ERR_UNKNOWN_JOB = "unknown_job"
+#: No such endpoint (or unsupported method on an existing one).
+ERR_NOT_FOUND = "not_found"
+#: Admission control shed the request; retry after ``Retry-After`` seconds.
+ERR_OVERLOADED = "overloaded"
+#: The service (engine shutting down / no node reachable) cannot take it.
+ERR_UNAVAILABLE = "unavailable"
+#: A router relaying a node error that carried no envelope of its own.
+ERR_UPSTREAM = "upstream_error"
+#: An unexpected server-side failure.
+ERR_INTERNAL = "internal"
+
+_DEFAULT_CODES = {400: ERR_BAD_REQUEST, 404: ERR_NOT_FOUND,
+                  429: ERR_OVERLOADED, 500: ERR_INTERNAL,
+                  503: ERR_UNAVAILABLE}
+
+
+class ApiError(Exception):
+    """One non-2xx outcome, carrying everything the envelope needs.
+
+    ``retryable`` defaults by status class: shed (429) and availability
+    (5xx) conditions may succeed elsewhere/later, client errors (4xx)
+    would just repeat the mistake.  ``retry_after`` (seconds) becomes a
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, status: int, message: str, *,
+                 code: Optional[str] = None,
+                 retryable: Optional[bool] = None,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code or _DEFAULT_CODES.get(status, ERR_INTERNAL)
+        self.retryable = (status == 429 or status >= 500) \
+            if retryable is None else bool(retryable)
+        self.retry_after = retry_after
+
+
+def error_envelope(code: str, message: str, retryable: bool
+                   ) -> Dict[str, Any]:
+    """The uniform non-2xx body shape."""
+    return {"error": {"code": code, "message": message,
+                      "retryable": bool(retryable)}}
+
+
+def parse_error_envelope(payload: Any
+                         ) -> Tuple[Optional[str], str, Optional[bool]]:
+    """``(code, message, retryable)`` from a decoded error body.
+
+    Tolerant of the legacy ``{"error": "<string>"}`` shape and arbitrary
+    bodies: missing fields come back as ``None`` (``retryable=None``
+    means *unknown* — callers fall back to status-class heuristics).
+    """
+    err = payload.get("error") if isinstance(payload, dict) else None
+    if isinstance(err, dict):
+        retryable = err.get("retryable")
+        return (str(err.get("code")) if err.get("code") is not None else None,
+                str(err.get("message", "")),
+                retryable if isinstance(retryable, bool) else None)
+    if err is not None:
+        return None, str(err), None
+    return None, str(payload), None
+
+
+def parse_wait_param(query: str) -> float:
+    """Long-poll seconds from a job-endpoint query string.
+
+    ``wait_s`` is the canonical spelling, ``wait`` the original one; the
+    explicit suffix wins when both are (oddly) supplied.  Bounded by
+    :data:`MAX_WAIT_SECONDS`, default 0.  Shared by the node and router
+    front ends so the wire contract cannot silently diverge.  Raises
+    :class:`InvalidInputError` on a non-numeric value.
+    """
+    wait = 0.0
+    params = parse_qs(query)
+    for name in ("wait", "wait_s"):
+        if name in params:
+            try:
+                wait = min(float(params[name][0]), MAX_WAIT_SECONDS)
+            except ValueError:
+                raise InvalidInputError(f"{name} must be a number")
+    return wait
+
+
+def parse_format_param(query: str) -> str:
+    """``format=`` from a metrics query string (``prometheus`` default).
+
+    Validated here — an unknown value is a 400 envelope, never a handler
+    crash — which is the shared fix for the historical ad-hoc parsing.
+    """
+    fmt = parse_qs(query).get("format", ["prometheus"])[0]
+    if fmt not in ("prometheus", "json"):
+        raise ApiError(400, f"unknown metrics format {fmt!r}; "
+                            f"use 'prometheus' or 'json'")
+    return fmt
+
+
+def normalize_endpoint(path: str) -> str:
+    """The path normalized for metric labels (bounded cardinality)."""
+    parts = [p for p in path.split("/") if p]
+    if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+        return "/v1/jobs/{id}"
+    return "/" + "/".join(parts) if parts else "/"
+
+
+# ----------------------------------------------------------- wire messages
+
+@dataclass
+class Request:
+    """One parsed HTTP request, transport-independent."""
+
+    method: str
+    path: str
+    query: str = ""
+    #: Header names lowercased by the transport.
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def target(self) -> str:
+        """The original request target (path + query), for access logs."""
+        return f"{self.path}?{self.query}" if self.query else self.path
+
+
+@dataclass
+class Response:
+    """One response: status, encoded body, and extra headers."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: Close the connection after this response (transport hint).
+    close: bool = False
+
+
+def json_response(status: int, obj: Any,
+                  node: Optional[str] = None) -> Response:
+    """Encode ``obj`` exactly as the legacy servers did (byte-identical)."""
+    response = Response(status, json.dumps(obj).encode())
+    if node:
+        response.headers["X-Repro-Node"] = node
+    return response
+
+
+def error_response(exc: ApiError) -> Response:
+    """The envelope response for one :class:`ApiError`."""
+    response = json_response(
+        exc.status, error_envelope(exc.code, str(exc), exc.retryable))
+    if exc.retry_after is not None:
+        response.headers["Retry-After"] = f"{exc.retry_after:g}"
+    return response
+
+
+# ---------------------------------------------------------------- dispatch
+
+class WireAPI:
+    """Routes parsed ``/v1`` requests onto seven backend operations.
+
+    Subclasses (the node's ``EngineAPI``, the router's ``RouterAPI``)
+    implement the ``async`` operations below; everything else — the route
+    table, query validation, body decoding, the error envelope — lives
+    here, once.  Large JSON encode/decode hops through a worker thread so
+    a 60 MB inline-points job never stalls the event loop.
+    """
+
+    # Backend operations ------------------------------------------------
+    async def healthz(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    async def stats(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    async def metrics_json(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    async def metrics_text(self) -> str:
+        raise NotImplementedError
+
+    async def submit(self, data: Dict[str, Any],
+                     trace_header: Optional[str]
+                     ) -> Tuple[Dict[str, Any], Optional[str]]:
+        """Accept one job body; returns ``(202 body, serving node)``."""
+        raise NotImplementedError
+
+    async def job(self, job_id: str, wait: float
+                  ) -> Tuple[Dict[str, Any], Optional[str]]:
+        """Look one job up; returns ``(body, serving node)``."""
+        raise NotImplementedError
+
+    async def flush(self, data: Dict[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    async def compact(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # Dispatch ----------------------------------------------------------
+    async def handle(self, request: Request) -> Response:
+        """One request in, one response out; library errors → envelopes."""
+        try:
+            return await self._dispatch(request)
+        except ApiError as exc:
+            return error_response(exc)
+        except InvalidInputError as exc:
+            return error_response(ApiError(400, str(exc)))
+        except ServiceError as exc:
+            # The request was fine; the engine is shutting down — an
+            # availability condition, not a client error.
+            return error_response(
+                ApiError(503, str(exc), retryable=True))
+        except ClusterError as exc:
+            return error_response(
+                ApiError(503, str(exc), retryable=True))
+
+    async def _dispatch(self, request: Request) -> Response:
+        parts = [p for p in request.path.split("/") if p]
+        if request.method == "GET":
+            if parts == ["v1", "healthz"]:
+                return json_response(200, await self.healthz())
+            if parts == ["v1", "stats"]:
+                return await self._encode(200, await self.stats())
+            if parts == ["v1", "metrics"]:
+                if parse_format_param(request.query) == "json":
+                    return await self._encode(200, await self.metrics_json())
+                text = await self.metrics_text()
+                return Response(200, text.encode(), PROMETHEUS_CONTENT_TYPE)
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                wait = parse_wait_param(request.query)
+                body, node = await self.job(parts[2], wait)
+                return await self._encode(200, body, node=node)
+        elif request.method == "POST":
+            if parts == ["v1", "jobs"]:
+                if not request.body:
+                    raise ApiError(400, "missing or oversized request body")
+                data = await asyncio.to_thread(self._decode, request.body)
+                accepted, node = await self.submit(
+                    data, request.headers.get("x-repro-trace"))
+                return json_response(202, accepted, node=node)
+            if parts == ["v1", "admin", "flush"]:
+                return json_response(
+                    200, await self.flush(self._admin_body(request)))
+            if parts == ["v1", "admin", "compact"]:
+                self._admin_body(request)  # bad admin bodies still 400
+                return json_response(200, await self.compact())
+        else:
+            raise ApiError(405, f"method {request.method} not allowed",
+                           code=ERR_NOT_FOUND)
+        raise ApiError(404, f"no such endpoint: {request.path}",
+                       code=ERR_NOT_FOUND)
+
+    @staticmethod
+    def _decode(raw: bytes) -> Any:
+        try:
+            return json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ApiError(400, f"bad JSON body: {exc}")
+
+    def _admin_body(self, request: Request) -> Dict[str, Any]:
+        """Decode an optional admin-endpoint JSON body (``{}`` if empty)."""
+        if not request.body.strip():
+            return {}
+        data = self._decode(request.body)
+        if not isinstance(data, dict):
+            raise ApiError(400, "admin body must be a JSON object")
+        return data
+
+    @staticmethod
+    async def _encode(status: int, obj: Any,
+                      node: Optional[str] = None) -> Response:
+        """JSON-encode off the event loop (job payloads can be ~60 MB)."""
+        body = await asyncio.to_thread(
+            lambda: json.dumps(obj).encode())
+        response = Response(status, body)
+        if node:
+            response.headers["X-Repro-Node"] = node
+        return response

@@ -150,7 +150,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         server = create_server(engine, args.host, args.port,
                                verbose=args.verbose, node_name=args.name,
-                               access_log_sample=args.access_log_sample)
+                               access_log_sample=args.access_log_sample,
+                               max_inflight=args.max_inflight,
+                               max_queue_depth=args.queue_depth)
     except OSError as exc:
         engine.close()
         raise InvalidInputError(
@@ -192,10 +194,9 @@ def _print_job_result(result_dict: dict) -> None:
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
-    import json
-    import time
-    import urllib.error
-    import urllib.request
+    from repro.client import Client
+    from repro.cluster import NodeHTTPError, NodeOverloadedError
+    from repro.errors import NodeUnavailableError
 
     if args.points.startswith("dataset:"):
         body: dict = {"dataset": args.points}
@@ -204,39 +205,25 @@ def cmd_submit(args: argparse.Namespace) -> int:
     body.update(algorithm=args.algorithm, k_pts=args.k_pts,
                 min_cluster_size=args.min_cluster_size,
                 priority=args.priority)
-    base = args.url.rstrip("/")
-
-    def request(url: str, data: Optional[bytes] = None) -> dict:
-        req = urllib.request.Request(
-            url, data=data,
-            headers={"Content-Type": "application/json"} if data else {})
-        with urllib.request.urlopen(req, timeout=90) as resp:
-            return json.loads(resp.read())
-
+    client = Client(args.url, timeout=90.0)
     try:
-        submitted = request(f"{base}/v1/jobs", json.dumps(body).encode())
-        job_id = submitted["job_id"]
-        # The server caps a single long-poll at 60s; poll in chunks until
-        # the job finishes or the local --timeout deadline passes.
-        deadline = time.monotonic() + args.timeout
-        while True:
-            remaining = deadline - time.monotonic()
-            chunk = max(0.0, min(remaining, 30.0))
-            result = request(f"{base}/v1/jobs/{job_id}?wait={chunk:.1f}")
-            if result.get("status") in ("done", "failed") or remaining <= 0:
-                break
-    except urllib.error.HTTPError as exc:
-        detail = exc.read().decode(errors="replace")
-        print(f"error: server rejected the request ({exc.code}): {detail}",
+        result = client.submit_and_wait(body, timeout=args.timeout)
+    except NodeHTTPError as exc:
+        print(f"error: server rejected the request ({exc.code}): {exc}",
               file=sys.stderr)
         return 1
-    except (urllib.error.URLError, OSError) as exc:
-        print(f"error: cannot reach {base}: {exc}\n"
+    except NodeOverloadedError as exc:
+        retry = f" (retry after {exc.retry_after:g}s)" \
+            if exc.retry_after else ""
+        print(f"error: server is shedding load (429): {exc}{retry}",
+              file=sys.stderr)
+        return 1
+    except NodeUnavailableError as exc:
+        print(f"error: cannot reach {client.url}: {exc}\n"
               f"       is `python -m repro serve` running?", file=sys.stderr)
         return 1
-    if result.get("status") not in ("done", "failed"):
-        print(f"error: job {job_id} still {result.get('status')} after "
-              f"{args.timeout}s", file=sys.stderr)
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     _print_job_result(result)
     return 0 if result["status"] == "done" else 1
@@ -272,7 +259,8 @@ def cmd_route(args: argparse.Namespace) -> int:
     try:
         server = create_router_server(router, args.host, args.port,
                                       verbose=args.verbose,
-                                      access_log_sample=args.access_log_sample)
+                                      access_log_sample=args.access_log_sample,
+                                      max_inflight=args.max_inflight)
     except OSError as exc:
         raise InvalidInputError(
             f"cannot bind http://{args.host}:{args.port}: {exc}")
@@ -374,15 +362,6 @@ def cmd_cluster_demo(args: argparse.Namespace) -> int:
             shutil.rmtree(store_root, ignore_errors=True)
 
 
-def _http_get_json(url: str, timeout: float = 30.0) -> dict:
-    import json
-    import urllib.request
-
-    with urllib.request.urlopen(urllib.request.Request(url),
-                                timeout=timeout) as resp:
-        return json.loads(resp.read())
-
-
 def _render_metrics_doc(title: str, doc: dict) -> None:
     """Print one registry document as a counters + latency-table block."""
     from repro.obs import histogram_from_sample
@@ -437,19 +416,23 @@ def _render_metrics_doc(title: str, doc: dict) -> None:
 
 def cmd_top(args: argparse.Namespace) -> int:
     import time
-    import urllib.error
 
-    base = args.url.rstrip("/")
+    from repro.client import Client
+    from repro.cluster import NodeHTTPError
+    from repro.errors import NodeUnavailableError
+
+    client = Client(args.url)
+    base = client.url
     iteration = 0
     while True:
         try:
-            doc = _http_get_json(f"{base}/v1/metrics?format=json")
-        except urllib.error.HTTPError as exc:
+            doc = client.metrics_json()
+        except NodeHTTPError as exc:
             print(f"error: {base} answered {exc.code} — is it a repro "
                   f"node/router with observability enabled?",
                   file=sys.stderr)
             return 1
-        except (urllib.error.URLError, OSError) as exc:
+        except NodeUnavailableError as exc:
             print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
             return 1
         if iteration and sys.stdout.isatty():
@@ -474,18 +457,19 @@ def cmd_top(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    import urllib.error
-
+    from repro.client import Client
+    from repro.cluster import NodeHTTPError
+    from repro.errors import NodeUnavailableError
     from repro.obs import format_trace
 
-    base = args.url.rstrip("/")
+    client = Client(args.url)
+    base = client.url
     try:
-        body = _http_get_json(f"{base}/v1/jobs/{args.job_id}")
-    except urllib.error.HTTPError as exc:
-        detail = exc.read().decode(errors="replace")
-        print(f"error: {exc.code}: {detail}", file=sys.stderr)
+        body = client.poll(args.job_id)
+    except NodeHTTPError as exc:
+        print(f"error: {exc.code}: {exc}", file=sys.stderr)
         return 1
-    except (urllib.error.URLError, OSError) as exc:
+    except NodeUnavailableError as exc:
         print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
         return 1
     trace = body.get("trace")
@@ -577,6 +561,12 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FRAC",
                          help="fraction of HTTP access events kept in the "
                               "structured event log (deterministic, 0..1)")
+    p_serve.add_argument("--max-inflight", type=int, default=1024,
+                         help="concurrent HTTP requests before shedding "
+                              "with 429 (healthz/metrics exempt)")
+    p_serve.add_argument("--queue-depth", type=int, default=512,
+                         help="unfinished engine jobs before submissions "
+                              "shed with 429 + Retry-After")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -615,6 +605,9 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FRAC",
                          help="fraction of HTTP access events kept in the "
                               "structured event log (deterministic, 0..1)")
+    p_route.add_argument("--max-inflight", type=int, default=1024,
+                         help="concurrent HTTP requests before shedding "
+                              "with 429 (healthz/metrics exempt)")
     p_route.set_defaults(func=cmd_route)
 
     p_demo = sub.add_parser(

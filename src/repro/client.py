@@ -1,0 +1,124 @@
+"""Public Python SDK for the ``/v1`` wire API.
+
+One :class:`Client` speaks to a single base URL — a ``repro serve`` node
+or a ``repro route`` router; the contract is identical by design, so the
+caller never needs to know which is answering (the ``X-Repro-Node``
+header and fleet-shaped stats documents are the only tells).
+
+Wraps the cluster tier's :class:`~repro.cluster.client.NodeClient`
+transport, so error handling is the typed taxonomy rather than raw
+``urllib`` exceptions:
+
+* :class:`~repro.cluster.client.NodeHTTPError` — the request is at
+  fault (bad spec → 400, unknown job → 404), with the envelope's
+  machine-readable ``error_code``;
+* :class:`~repro.errors.NodeOverloadedError` — admission control shed
+  the request (429); honor ``retry_after`` and retry;
+* :class:`~repro.errors.NodeUnavailableError` — the server is
+  unreachable or failing (connection error, 5xx).
+
+Example
+-------
+>>> from repro.client import Client                        # doctest: +SKIP
+>>> client = Client("http://127.0.0.1:8321")               # doctest: +SKIP
+>>> result = client.submit_and_wait(                       # doctest: +SKIP
+...     {"dataset": "Uniform100M2:100000", "algorithm": "emst"})
+>>> result["status"]                                       # doctest: +SKIP
+'done'
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Union
+
+from repro.cluster.client import DEFAULT_RETRIES, DEFAULT_TIMEOUT, NodeClient
+from repro.cluster.topology import Node
+from repro.service.jobs import JobSpec
+
+#: Job statuses after which the body carries the (possibly failed) result.
+TERMINAL_STATUSES = ("done", "failed")
+
+#: Server-side cap on one long-poll; longer waits re-poll in chunks.
+_WAIT_CHUNK = 30.0
+
+
+class Client:
+    """Blocking client for one ``/v1`` endpoint (node or router)."""
+
+    def __init__(self, url: str, *, timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES) -> None:
+        self.url = url.rstrip("/")
+        self._node = NodeClient(Node(self.url),
+                                timeout=timeout, retries=retries)
+
+    # ------------------------------------------------------------------ jobs
+
+    def submit(self, spec: Union[JobSpec, Dict[str, Any]]
+               ) -> Dict[str, Any]:
+        """POST one job; returns the 202 body (``job_id``, ``status``)."""
+        body = spec.to_dict() if isinstance(spec, JobSpec) else spec
+        return self._node.submit(body)[0]
+
+    def poll(self, job_id: str, wait_s: float = 0.0) -> Dict[str, Any]:
+        """GET one job, long-polling up to ``wait_s`` seconds server-side."""
+        return self._node.job(job_id, wait_s=wait_s)[0]
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The terminal job body, or ``None`` while still in flight."""
+        body = self.poll(job_id)
+        return body if body.get("status") in TERMINAL_STATUSES else None
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Dict[str, Any]:
+        """Block until ``job_id`` reaches a terminal status.
+
+        Long-polls in bounded server-side chunks (the wire caps one poll
+        at 60 s).  Raises the builtin :class:`TimeoutError` if the job is
+        still in flight after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            chunk = max(0.0, min(deadline - time.monotonic(), _WAIT_CHUNK))
+            body = self.poll(job_id, wait_s=chunk)
+            if body.get("status") in TERMINAL_STATUSES:
+                return body
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still "
+                                   f"{body.get('status')} after {timeout}s")
+
+    def submit_and_wait(self, spec: Union[JobSpec, Dict[str, Any]],
+                        timeout: float = 60.0) -> Dict[str, Any]:
+        """Submit one job and block for its terminal body."""
+        return self.wait(self.submit(spec)["job_id"], timeout=timeout)
+
+    def trace(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The job's span tree (``None`` until terminal, or if disabled)."""
+        body = self.result(job_id)
+        return body.get("trace") if body else None
+
+    # ----------------------------------------------------------- diagnostics
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._node.healthz()
+
+    def stats(self) -> Dict[str, Any]:
+        return self._node.stats()
+
+    def metrics_json(self) -> Dict[str, Any]:
+        """The metrics registry document (``/v1/metrics?format=json``)."""
+        return self._node.metrics_json()
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``/v1/metrics``)."""
+        return self._node.metrics_text()
+
+    # ----------------------------------------------------------------- admin
+
+    def flush(self, tier: Optional[str] = None) -> Dict[str, Any]:
+        """``POST /v1/admin/flush`` — whole cache, or one tier
+        (``bvh`` / ``result`` / ``core``)."""
+        return self._node.flush(tier)
+
+    def compact(self) -> Dict[str, Any]:
+        """``POST /v1/admin/compact`` — force a store journal compaction."""
+        return self._node.compact()

@@ -43,6 +43,7 @@ from repro.cluster.client import (
 from repro.cluster.router import ClusterRouter
 from repro.cluster.server import create_router_server, run_router_server
 from repro.cluster.topology import HashRing, Node, stable_hash
+from repro.errors import NodeOverloadedError, NodeUnavailableError
 
 __all__ = [
     "ClusterRouter",
@@ -52,6 +53,8 @@ __all__ = [
     "Node",
     "NodeClient",
     "NodeHTTPError",
+    "NodeOverloadedError",
+    "NodeUnavailableError",
     "create_router_server",
     "run_router_server",
     "stable_hash",

@@ -2,14 +2,24 @@
 
 One :class:`NodeClient` per :class:`~repro.cluster.topology.Node`; it
 speaks the existing ``/v1`` JSON API (jobs, stats, healthz, admin) with a
-per-request timeout and bounded retries.  Error taxonomy:
+per-request timeout and bounded retries.  Error taxonomy, keyed on the
+server's error envelope (``{"error": {"code", "message", "retryable"}}``,
+see :mod:`repro.api.contract`) rather than status-class guessing:
 
 * :class:`~repro.errors.NodeUnavailableError` — connection refused/reset,
-  timeout, or a 5xx response.  The node may be down; the router fails the
-  work over to the next node in ring order.
-* :class:`NodeHTTPError` — a 4xx response.  The *request* is at fault
-  (unknown job id, bad spec); failing over would just repeat the mistake
-  on another node, so it propagates with the upstream status code.
+  timeout, or a *retryable* error response (5xx).  The node may be down;
+  the router fails the work over to the next node in ring order.
+* :class:`~repro.errors.NodeOverloadedError` — a 429 shed.  Failover-
+  eligible (another node may have headroom) but the node is *alive*: the
+  router must not mark it down, and ``retry_after`` carries the server's
+  ``Retry-After`` hint.
+* :class:`NodeHTTPError` — a non-retryable error (4xx: unknown job id,
+  bad spec).  The *request* is at fault; failing over would just repeat
+  the mistake on another node, so it propagates with the upstream status
+  code and machine-readable ``error_code``.
+
+Responses without an envelope (legacy ``{"error": str}`` or non-JSON)
+fall back to the status class: 5xx retryable, 4xx not.
 
 Retries apply only to idempotent GETs (a lookup repeated is harmless); a
 ``POST /v1/jobs`` is never retried against the *same* node — re-dispatch
@@ -26,8 +36,13 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional, Tuple
 
+from repro.api.contract import parse_error_envelope
 from repro.cluster.topology import Node
-from repro.errors import ClusterError, NodeUnavailableError
+from repro.errors import (
+    ClusterError,
+    NodeOverloadedError,
+    NodeUnavailableError,
+)
 from repro.obs import TRACE_HEADER, to_header
 
 #: Seconds a single HTTP request may take before the node counts as down.
@@ -37,11 +52,22 @@ DEFAULT_RETRIES = 1
 
 
 class NodeHTTPError(ClusterError):
-    """A node answered with a 4xx status — the request itself is bad."""
+    """A node answered with a non-retryable error — the request is bad.
 
-    def __init__(self, code: int, message: str) -> None:
+    ``code`` is the HTTP status, ``error_code`` the envelope's
+    machine-readable name (``unknown_job``, ``bad_request``, ... or
+    ``None`` from a legacy server), ``retryable`` always ``False`` —
+    retryable errors raise :class:`NodeUnavailableError` /
+    :class:`NodeOverloadedError` instead.
+    """
+
+    def __init__(self, code: int, message: str, *,
+                 error_code: Optional[str] = None,
+                 retryable: bool = False) -> None:
         super().__init__(message)
         self.code = code
+        self.error_code = error_code
+        self.retryable = retryable
 
 
 class NodeClient:
@@ -62,13 +88,16 @@ class NodeClient:
     def _request(self, path: str, body: Optional[Dict[str, Any]] = None, *,
                  timeout: Optional[float] = None,
                  idempotent: bool = True,
-                 extra_headers: Optional[Dict[str, str]] = None
-                 ) -> Tuple[Dict[str, Any], str]:
+                 extra_headers: Optional[Dict[str, str]] = None,
+                 decode: bool = True) -> Tuple[Any, str]:
         """One JSON round trip; returns ``(decoded body, X-Repro-Node)``.
 
-        ``body`` switches the request to POST.  Connection-level failures
-        and 5xx responses raise :class:`NodeUnavailableError` (after
-        ``retries`` extra attempts when ``idempotent``); 4xx raise
+        ``body`` switches the request to POST; ``decode=False`` returns
+        the raw text (the Prometheus exposition).  Connection-level
+        failures and retryable error responses raise
+        :class:`NodeUnavailableError` (a 429 shed the
+        :class:`NodeOverloadedError` refinement, after ``retries`` extra
+        attempts when ``idempotent``); non-retryable errors raise
         :class:`NodeHTTPError`.
         """
         url = f"{self.node.base_url}{path}"
@@ -88,18 +117,17 @@ class NodeClient:
                         request,
                         timeout=timeout if timeout is not None
                         else self.timeout) as response:
-                    decoded = json.loads(response.read())
+                    raw = response.read()
+                    decoded = json.loads(raw) if decode else raw.decode()
                     return decoded, response.headers.get("X-Repro-Node", "")
             except urllib.error.HTTPError as exc:
-                detail = self._error_detail(exc)
-                if exc.code >= 500:
-                    last_error = exc
+                error = self._typed_error(exc)
+                if isinstance(error, NodeUnavailableError):
+                    last_error = error
                     if attempt + 1 < attempts:
                         continue
-                    raise NodeUnavailableError(
-                        f"node {self.node.name} answered "
-                        f"{exc.code}: {detail}") from exc
-                raise NodeHTTPError(exc.code, detail) from exc
+                    raise error from exc
+                raise error from exc
             except (urllib.error.URLError, socket.timeout, TimeoutError,
                     ConnectionError, OSError,
                     json.JSONDecodeError) as exc:
@@ -110,13 +138,39 @@ class NodeClient:
             f"node {self.node.name} unreachable at {url}: "
             f"{last_error}") from last_error
 
+    def _typed_error(self, exc: urllib.error.HTTPError) -> ClusterError:
+        """The typed exception for one HTTP error response.
+
+        Keyed on the envelope's ``retryable`` flag when present, the
+        status class (5xx retryable) otherwise.
+        """
+        error_code, detail, retryable = self._parse_body(exc)
+        if retryable is None:
+            retryable = exc.code >= 500
+        if exc.code == 429:
+            return NodeOverloadedError(
+                f"node {self.node.name} shed the request (429): {detail}",
+                retry_after=self._retry_after(exc))
+        if retryable:
+            return NodeUnavailableError(
+                f"node {self.node.name} answered {exc.code}: {detail}")
+        return NodeHTTPError(exc.code, detail, error_code=error_code,
+                             retryable=False)
+
     @staticmethod
-    def _error_detail(exc: urllib.error.HTTPError) -> str:
+    def _parse_body(exc: urllib.error.HTTPError
+                    ) -> Tuple[Optional[str], str, Optional[bool]]:
         try:
-            payload = json.loads(exc.read())
-            return str(payload.get("error", payload))
+            return parse_error_envelope(json.loads(exc.read()))
         except (json.JSONDecodeError, UnicodeDecodeError, OSError):
-            return str(exc.reason)
+            return None, str(exc.reason), None
+
+    @staticmethod
+    def _retry_after(exc: urllib.error.HTTPError) -> Optional[float]:
+        try:
+            return float(exc.headers.get("Retry-After"))
+        except (TypeError, ValueError):
+            return None
 
     # -------------------------------------------------------------- /v1 api
 
@@ -130,6 +184,11 @@ class NodeClient:
                      ) -> Dict[str, Any]:
         """The node's metrics registry document (``/v1/metrics?format=json``)."""
         return self._request("/v1/metrics?format=json", timeout=timeout)[0]
+
+    def metrics_text(self, *, timeout: Optional[float] = None) -> str:
+        """The node's Prometheus text exposition (``/v1/metrics``)."""
+        return self._request("/v1/metrics", timeout=timeout,
+                             decode=False)[0]
 
     def submit(self, body: Dict[str, Any],
                trace: Optional[Dict[str, Any]] = None

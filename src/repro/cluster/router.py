@@ -48,6 +48,7 @@ from repro.cluster.topology import HashRing, Node
 from repro.errors import (
     ClusterError,
     InvalidInputError,
+    NodeOverloadedError,
     NodeUnavailableError,
 )
 from repro.metrics import fleet_hit_rate, fleet_mfeatures_per_second
@@ -287,13 +288,18 @@ class ClusterRouter:
             try:
                 accepted, _header = client.submit(body, trace=trace)
             except NodeUnavailableError as exc:
+                # A shed (429) is failover-eligible but the node is alive:
+                # record the hop, try the next candidate, never mark_down.
+                overloaded = isinstance(exc, NodeOverloadedError)
                 elapsed = time.perf_counter() - started
                 self._upstream_h.observe(elapsed, node=node.name)
                 if hop is not None:
                     hop["duration_s"] = elapsed
-                    hop["meta"]["outcome"] = "unavailable"
+                    hop["meta"]["outcome"] = \
+                        "overloaded" if overloaded else "unavailable"
                     hop["meta"]["error"] = str(exc)[:200]
-                node.mark_down(str(exc))
+                if not overloaded:
+                    node.mark_down(str(exc))
                 if last_error is None:
                     self._failovers_c.inc()
                 last_error = exc
@@ -304,6 +310,14 @@ class ClusterRouter:
                 hop["duration_s"] = elapsed
             node.mark_up()
             return accepted, node
+        if isinstance(last_error, NodeOverloadedError):
+            # Every candidate shed: surface the retryable 429 (with its
+            # Retry-After hint) so the client backs off and retries the
+            # fleet, rather than a 503 that reads as an outage.
+            raise NodeOverloadedError(
+                f"no node accepted the job (primary and failover "
+                f"overloaded): {last_error}",
+                retry_after=last_error.retry_after) from last_error
         raise NodeUnavailableError(
             f"no node accepted the job (tried primary and failover): "
             f"{last_error}") from last_error
@@ -331,6 +345,11 @@ class ClusterRouter:
         node = self.ring.get(observed_node)
         try:
             body, _header = client.job(route.upstream_id, wait_s)
+        except NodeOverloadedError:
+            # The node is alive and still owns the job — shedding a poll
+            # is not job loss, so no mark_down and no recovery
+            # resubmission; the client backs off and polls again.
+            raise
         except NodeUnavailableError as exc:
             if node is not None:
                 node.mark_down(str(exc))
@@ -399,6 +418,11 @@ class ClusterRouter:
             try:
                 health = self.clients[node.name].healthz(
                     timeout=self.probe_timeout)
+            except NodeOverloadedError as exc:
+                # Shedding load is proof of life, not unreachability.
+                nodes.append({**node.as_dict(), "reachable": True,
+                              "error": str(exc)})
+                continue
             except NodeUnavailableError as exc:
                 node.mark_down(str(exc))
                 nodes.append({**node.as_dict(), "reachable": False})
@@ -433,6 +457,9 @@ class ClusterRouter:
             try:
                 stats = self.clients[node.name].stats(
                     timeout=self.probe_timeout)
+            except NodeOverloadedError as exc:
+                per_node.append({"node": node.name, "error": str(exc)})
+                continue
             except NodeUnavailableError as exc:
                 node.mark_down(str(exc))
                 per_node.append({"node": node.name, "error": str(exc)})
@@ -497,6 +524,8 @@ class ClusterRouter:
             try:
                 docs[node.name] = self.clients[node.name].metrics_json(
                     timeout=self.probe_timeout)
+            except NodeOverloadedError as exc:
+                docs[node.name] = {"error": str(exc)}
             except NodeUnavailableError as exc:
                 node.mark_down(str(exc))
                 docs[node.name] = {"error": str(exc)}
@@ -548,6 +577,9 @@ class ClusterRouter:
                 # deserves the node's own status code, not a 503.
                 if first_http_error is None:
                     first_http_error = exc
+                nodes.append({"node": node.name, "error": str(exc)})
+                errors += 1
+            except NodeOverloadedError as exc:
                 nodes.append({"node": node.name, "error": str(exc)})
                 errors += 1
             except NodeUnavailableError as exc:

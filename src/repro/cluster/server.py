@@ -4,264 +4,168 @@ Exposes exactly the node API — ``POST /v1/jobs``, ``GET /v1/jobs/<id>``
 (with ``wait_s`` long-poll), ``GET /v1/stats``, ``GET /v1/healthz``,
 ``POST /v1/admin/flush`` and ``POST /v1/admin/compact`` — so a client
 cannot tell a router from a single node: same endpoints, same bodies,
-same status-code mapping (400 bad spec, 404 unknown job, 503 nothing
-available).  The differences are additive: stats and healthz return
-fleet-level documents, job responses carry a ``"node"`` field, and the
-``X-Repro-Node`` header names the *backing* node that served the job —
-which is how warm-cache pinning stays observable through the router.
+same status-code mapping (400 bad spec, 404 unknown job, 429 fleet-wide
+shed, 503 nothing available) and the same error envelope
+(:mod:`repro.api.contract`).  The differences are additive: stats and
+healthz return fleet-level documents, job responses carry a ``"node"``
+field, and the ``X-Repro-Node`` header names the *backing* node that
+served the job — which is how warm-cache pinning stays observable
+through the router.
 
-Request threads block on upstream HTTP calls (one per request, bounded by
-the node client's timeout); there is no compute in this process at all.
+Built on the shared asyncio host (:class:`repro.api.http.AsyncHTTPHost`).
+Upstream node calls are blocking ``urllib`` long-polls (up to a minute
+each), so the backend runs them on its own wide thread pool rather than
+``asyncio.to_thread``'s default executor — a router relaying hundreds of
+long-polls must not serialize them behind a dozen shared threads.  There
+is no compute in this process at all.
 """
 
 from __future__ import annotations
 
-import json
 import sys
-import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional
-from urllib.parse import parse_qs, urlparse
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 
+import asyncio
+
+from repro.api.contract import (
+    ERR_OVERLOADED,
+    ERR_UNKNOWN_JOB,
+    ERR_UPSTREAM,
+    ApiError,
+    WireAPI,
+)
+from repro.api.http import AsyncHTTPHost, DEFAULT_MAX_INFLIGHT
 from repro.cluster.client import NodeHTTPError
 from repro.cluster.router import ClusterRouter
 from repro.errors import (
     ClusterError,
     InvalidInputError,
+    NodeOverloadedError,
     NodeUnavailableError,
 )
 from repro.obs import EventLog
-from repro.service.server import (
-    MAX_BODY_BYTES,
-    PROMETHEUS_CONTENT_TYPE,
-    parse_wait_param,
-)
+
+T = TypeVar("T")
+
+#: Upstream-relay threads: each in-flight long-poll occupies one for its
+#: full duration, so this bounds the router's concurrent node waits.
+RELAY_POOL_SIZE = 64
 
 
-class RouterRequestHandler(BaseHTTPRequestHandler):
-    """Routes the ``/v1`` API onto the server's :class:`ClusterRouter`."""
+class RouterAPI(WireAPI):
+    """The ``/v1`` contract bound to one :class:`ClusterRouter`."""
 
-    server_version = "repro-router/1"
-    protocol_version = "HTTP/1.1"
-    timeout = 120  # covers an upstream long-poll plus slack
+    def __init__(self, router: ClusterRouter) -> None:
+        self.router = router
+        self._pool = ThreadPoolExecutor(
+            max_workers=RELAY_POOL_SIZE, thread_name_prefix="repro-relay")
 
-    @property
-    def router(self) -> ClusterRouter:
-        return self.server.router  # type: ignore[attr-defined]
+    def close(self) -> None:
+        """Called by the host on ``server_close()``."""
+        self._pool.shutdown(wait=False)
 
-    def log_request(self, code: Any = "-", size: Any = "-") -> None:
-        events = getattr(self.server, "events", None)
-        if events is None:
-            return
+    async def _call(self, fn: Callable[..., T], *args: Any) -> T:
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool, lambda: fn(*args))
+
+    async def healthz(self) -> Dict[str, Any]:
+        return await self._call(self.router.healthz)
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._call(self.router.stats)
+
+    async def metrics_json(self) -> Dict[str, Any]:
+        return await self._call(self.router.metrics_json)
+
+    async def metrics_text(self) -> str:
+        return await self._call(self.router.metrics_prometheus)
+
+    async def submit(self, data: Dict[str, Any],
+                     trace_header: Optional[str]
+                     ) -> Tuple[Dict[str, Any], Optional[str]]:
         try:
-            status = int(code)
-        except (TypeError, ValueError):
-            status = str(code)
-        events.emit("http_access", method=self.command, path=self.path,
-                    code=status, client=self.address_string())
+            accepted = await self._call(self.router.submit, data)
+        except NodeOverloadedError as exc:
+            raise self._overloaded(exc)
+        return accepted, accepted.get("node")
 
-    def log_message(self, format: str, *args: Any) -> None:
-        events = getattr(self.server, "events", None)
-        if events is None:
-            if getattr(self.server, "verbose", False):
-                super().log_message(format, *args)
-            return
-        events.emit("http_message", message=format % args,
-                    client=self.address_string())
-
-    def _instrumented_endpoint(self, path: str) -> str:
-        parts = [p for p in path.split("/") if p]
-        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
-            return "/v1/jobs/{id}"
-        return "/" + "/".join(parts) if parts else "/"
-
-    def _begin_request(self, path: str) -> None:
-        self._obs_started: Optional[float] = time.perf_counter()
-        self._obs_endpoint = self._instrumented_endpoint(path)
-
-    def _finish_request(self, code: int) -> None:
-        started = getattr(self, "_obs_started", None)
-        if started is None:
-            return
-        self._obs_started = None
-        latency_h = getattr(self.server, "http_latency", None)
-        if latency_h is not None:
-            latency_h.observe(time.perf_counter() - started,
-                              endpoint=self._obs_endpoint)
-            self.server.http_requests.inc(  # type: ignore[attr-defined]
-                endpoint=self._obs_endpoint, code=str(code))
-
-    def _send_body(self, code: int, body: bytes, content_type: str,
-                   node: Optional[str] = None) -> None:
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        if node:
-            self.send_header("X-Repro-Node", node)
-        if self.close_connection:
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
-        self._finish_request(code)
-
-    def _send_json(self, code: int, obj: Any,
-                   node: Optional[str] = None) -> None:
-        self._send_body(code, json.dumps(obj).encode(), "application/json",
-                        node=node)
-
-    def _send_error_json(self, code: int, message: str) -> None:
-        self._send_json(code, {"error": message})
-
-    # ------------------------------------------------------------------- GET
-
-    def do_GET(self) -> None:  # noqa: N802 — http.server naming
-        url = urlparse(self.path)
-        self._begin_request(url.path)
-        parts = [p for p in url.path.split("/") if p]
-        if parts == ["v1", "healthz"]:
-            self._send_json(200, self.router.healthz())
-        elif parts == ["v1", "stats"]:
-            self._send_json(200, self.router.stats())
-        elif parts == ["v1", "metrics"]:
-            self._get_metrics(url.query)
-        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
-            self._get_job(parts[2], url.query)
-        else:
-            self._send_error_json(404, f"no such endpoint: {url.path}")
-
-    def _get_metrics(self, query: str) -> None:
-        """``GET /v1/metrics`` — the fleet-wide scrape surface: the
-        router's own series plus every reachable node's, re-exported
-        under ``node=`` labels (or the JSON documents, ``?format=json``)."""
-        fmt = parse_qs(query).get("format", ["prometheus"])[0]
-        if fmt == "json":
-            self._send_json(200, self.router.metrics_json())
-        elif fmt == "prometheus":
-            self._send_body(200, self.router.metrics_prometheus().encode(),
-                            PROMETHEUS_CONTENT_TYPE)
-        else:
-            self._send_error_json(
-                400, f"unknown metrics format {fmt!r}; "
-                     f"use 'prometheus' or 'json'")
-
-    def _get_job(self, job_id: str, query: str) -> None:
+    async def job(self, job_id: str, wait: float
+                  ) -> Tuple[Dict[str, Any], Optional[str]]:
         try:
-            wait = parse_wait_param(query)
+            body, node = await self._call(
+                lambda: self.router.job(job_id, wait_s=wait))
         except InvalidInputError as exc:
-            self._send_error_json(400, str(exc))
-            return
-        try:
-            body, node = self.router.job(job_id, wait_s=wait)
-        except InvalidInputError as exc:
-            self._send_error_json(404, str(exc))
+            raise ApiError(404, str(exc), code=ERR_UNKNOWN_JOB)
+        except NodeOverloadedError as exc:
+            raise self._overloaded(exc)
         except NodeHTTPError as exc:
-            self._send_error_json(exc.code, str(exc))
-        except (NodeUnavailableError, ClusterError) as exc:
-            self._send_error_json(503, str(exc))
-        else:
-            self._send_json(200, body, node=node)
+            raise self._upstream(exc)
+        return body, node
 
-    # ------------------------------------------------------------------ POST
-
-    def do_POST(self) -> None:  # noqa: N802 — http.server naming
-        url = urlparse(self.path)
-        self._begin_request(url.path)
-        parts = [p for p in url.path.split("/") if p]
-        if parts == ["v1", "jobs"]:
-            self._post_job()
-        elif parts == ["v1", "admin", "flush"]:
-            self._post_admin("flush")
-        elif parts == ["v1", "admin", "compact"]:
-            self._post_admin("compact")
-        else:
-            # Replying without consuming the body would leave its bytes to
-            # be parsed as the next request on this keep-alive connection.
-            self.close_connection = True
-            self._send_error_json(404, f"no such endpoint: {url.path}")
-
-    def _read_json_body(self, *, required: bool) -> Optional[Any]:
-        """Decode the request body; replies and returns ``None`` on error."""
+    async def flush(self, data: Dict[str, Any]) -> Dict[str, Any]:
         try:
-            length = int(self.headers.get("Content-Length", 0) or 0)
-        except ValueError:
-            length = -1
-        if length < 0 or length > MAX_BODY_BYTES or (required and not length):
-            self.close_connection = True
-            self._send_error_json(400, "missing or oversized request body")
-            return None
-        raw = self.rfile.read(length) if length else b""
-        if not raw.strip():
-            return {}
-        try:
-            return json.loads(raw)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            self._send_error_json(400, f"bad JSON body: {exc}")
-            return None
-
-    def _post_job(self) -> None:
-        data = self._read_json_body(required=True)
-        if data is None:
-            return
-        try:
-            accepted = self.router.submit(data)
-        except InvalidInputError as exc:
-            self._send_error_json(400, str(exc))
-            return
-        except (NodeUnavailableError, ClusterError) as exc:
-            self._send_error_json(503, str(exc))
-            return
-        self._send_json(202, accepted, node=accepted.get("node"))
-
-    def _post_admin(self, op: str) -> None:
-        data = self._read_json_body(required=False)
-        if data is None:
-            return
-        if not isinstance(data, dict):
-            self._send_error_json(400, "admin body must be a JSON object")
-            return
-        try:
-            if op == "flush":
-                tier = data.get("tier")
-                report = self.router.flush(tier)
-            else:
-                report = self.router.compact()
+            return await self._call(self.router.flush, data.get("tier"))
         except NodeHTTPError as exc:
-            self._send_error_json(exc.code, str(exc))
-            return
-        except (NodeUnavailableError, ClusterError) as exc:
-            self._send_error_json(503, str(exc))
-            return
-        self._send_json(200, report)
+            raise self._upstream(exc)
+
+    async def compact(self) -> Dict[str, Any]:
+        try:
+            return await self._call(self.router.compact)
+        except NodeHTTPError as exc:
+            raise self._upstream(exc)
+
+    @staticmethod
+    def _overloaded(exc: NodeOverloadedError) -> ApiError:
+        """Relay a fleet-wide shed as the same retryable 429 a node sends."""
+        return ApiError(429, str(exc), code=ERR_OVERLOADED, retryable=True,
+                        retry_after=exc.retry_after or 1)
+
+    @staticmethod
+    def _upstream(exc: NodeHTTPError) -> ApiError:
+        """Relay a node's HTTP error, preserving its status and code."""
+        return ApiError(exc.code, str(exc),
+                        code=exc.error_code or ERR_UPSTREAM,
+                        retryable=exc.retryable)
 
 
 def create_router_server(router: ClusterRouter, host: str = "127.0.0.1",
                          port: int = 0, *, verbose: bool = False,
-                         access_log_sample: float = 1.0
-                         ) -> ThreadingHTTPServer:
+                         access_log_sample: float = 1.0,
+                         max_inflight: int = DEFAULT_MAX_INFLIGHT
+                         ) -> AsyncHTTPHost:
     """Bind a router HTTP server (``port=0`` picks a free port).
 
     The caller owns the lifecycle, exactly like the node server:
     ``serve_forever()`` on a thread, later ``shutdown()`` +
     ``server_close()``, then ``router.close()``.
     """
-    server = ThreadingHTTPServer((host, port), RouterRequestHandler)
+    api = RouterAPI(router)
+    server = AsyncHTTPHost(api, host, port, max_inflight=max_inflight)
     server.router = router  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
-    server.events = EventLog(  # type: ignore[attr-defined]
+    server.events = EventLog(
         stream=sys.stderr if verbose else None, sample=access_log_sample)
-    server.http_latency = router.registry.histogram(  # type: ignore[attr-defined]
+    server.http_latency = router.registry.histogram(
         "repro_http_request_seconds",
         "HTTP request handling latency by endpoint.",
         labels=("endpoint",))
-    server.http_requests = router.registry.counter(  # type: ignore[attr-defined]
+    server.http_requests = router.registry.counter(
         "repro_http_requests_total",
         "HTTP requests served, by endpoint and status code.",
         labels=("endpoint", "code"))
-    server.daemon_threads = True
+    server.shed_total = router.registry.counter(
+        "repro_http_shed_total",
+        "Requests shed by admission control (429), by endpoint.",
+        labels=("endpoint",))
+    router.registry.gauge(
+        "repro_http_inflight_requests",
+        "Requests currently inside the HTTP handler.",
+        fn=lambda: float(server.inflight))
     return server
 
 
-def run_router_server(server: ThreadingHTTPServer,
+def run_router_server(server: AsyncHTTPHost,
                       router: ClusterRouter) -> None:
     """Run a bound router server until interrupted."""
     bound_host, bound_port = server.server_address[:2]

@@ -65,3 +65,19 @@ class NodeUnavailableError(ClusterError):
     """One node could not serve a request (connection error, timeout or a
     5xx response).  The router treats this as a failover trigger: the job
     moves to the next node in ring order rather than failing."""
+
+
+class NodeOverloadedError(NodeUnavailableError):
+    """One node shed the request (429 with a retryable envelope).
+
+    Failover-eligible like :class:`NodeUnavailableError` — another node
+    may have headroom — but deliberately distinct: an overloaded node is
+    *alive*, so the router must not mark it down or trigger job recovery,
+    and a client should honor ``retry_after`` (seconds, from the
+    ``Retry-After`` header) before retrying the same node.
+    """
+
+    def __init__(self, message: str, *,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

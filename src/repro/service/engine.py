@@ -295,6 +295,26 @@ class Engine:
             else max(0.0, deadline - time.perf_counter())
         return record.ticket.future.result(remaining)
 
+    def future(self, job_id: str) -> Optional["Future[JobResult]"]:
+        """The job's completion future, or ``None`` during the sub-ms
+        submit window before the scheduler ticket exists.
+
+        JobResult futures never raise (failures become FAILED results),
+        so a waiter may park on the future without result-consumption
+        obligations — the asyncio front end bridges it with
+        :func:`asyncio.wrap_future` to long-poll without a thread.
+        Unknown ids raise :class:`InvalidInputError`.
+        """
+        record = self._record(job_id)
+        return None if record.ticket is None else record.ticket.future
+
+    def queue_depth(self) -> int:
+        """Unfinished jobs (pending + running) — the admission-control
+        backlog the HTTP front end bounds at submit time."""
+        with self._lock:
+            return sum(1 for record in self._records.values()
+                       if not record.status.finished)
+
     def poll(self, job_id: str) -> Optional[JobResult]:
         """The finished result of ``job_id``, or ``None`` if still in flight."""
         record = self._record(job_id)

@@ -5,27 +5,28 @@ Endpoints (all JSON):
 ``POST /v1/jobs``
     Body is a :meth:`~repro.service.jobs.JobSpec.to_dict` object.  Returns
     ``202 {"job_id": ..., "status": "pending"}``; malformed specs get 400,
-    a closed engine 503.
+    a closed engine 503, a full admission queue 429 + ``Retry-After``.
 ``GET /v1/jobs/<id>[?wait_s=SECONDS]``
     The job's :class:`~repro.service.jobs.JobResult` once finished, else
     ``{"job_id": ..., "status": "pending" | "running"}``.  ``wait_s``
     blocks up to that many seconds (bounded, default 0) for completion
-    (long-poll) — implemented on the engine future's timeout, so a
-    waiting handler thread costs no polling.  ``wait`` is an accepted
-    alias (the original spelling).
+    (long-poll) — bridged onto the engine future with
+    :func:`asyncio.wrap_future`, so a waiting client costs an asyncio
+    task, not a thread.  ``wait`` is an accepted alias (the original
+    spelling).
 ``GET /v1/stats``
     :meth:`Engine.stats` — scheduler throughput plus per-tier cache hit
     rates, memory and disk (tree / result / core-distance tiers and the
     persistent store's occupancy, when one is configured).
 ``GET /v1/healthz``
     Liveness probe (reports the node name, the backend and whether a
-    store is attached).
+    store is attached).  Exempt from admission shedding.
 ``GET /v1/metrics``
     Prometheus text exposition of the engine's metrics registry —
     latency histograms (job, queue-wait, per-phase, store I/O, HTTP),
     cache lookup counters and occupancy gauges; ``?format=json`` returns
     the JSON document form (what ``repro top`` and the router's fleet
-    scrape consume).
+    scrape consume).  Exempt from admission shedding.
 ``POST /v1/admin/flush``
     Drop cached artifacts, memory and disk; returns entries and bytes
     reclaimed.  An optional JSON body ``{"tier": "bvh"|"core"|"result"}``
@@ -40,323 +41,164 @@ Endpoints (all JSON):
 Every response carries an ``X-Repro-Node`` header naming the serving node
 (``--name``, defaulting to ``host:port``), so a client behind the cluster
 router (:mod:`repro.cluster`) can observe which node answered — the
-router forwards the header untouched.
+router forwards the header untouched.  Every non-2xx body is the uniform
+``{"error": {"code", "message", "retryable"}}`` envelope
+(:mod:`repro.api.contract`).
 
-Built on :class:`http.server.ThreadingHTTPServer`; request threads only
-ever block on an engine future, the compute happens on the engine's worker
-pool.  No dependencies outside the standard library.
+Built on the shared asyncio host (:class:`repro.api.http.AsyncHTTPHost`):
+this module is just the :class:`~repro.api.contract.WireAPI` backend
+binding the contract onto an :class:`Engine`, plus admission control —
+submissions beyond ``max_queue_depth`` unfinished jobs shed with a
+retryable 429 instead of growing the backlog unboundedly.  No
+dependencies outside the standard library.
 """
 
 from __future__ import annotations
 
-import json
+import asyncio
 import sys
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
-from urllib.parse import parse_qs, urlparse
+from typing import Any, Dict, Optional, Tuple
 
 import repro
-from repro.errors import InvalidInputError, ServiceError
+from repro.api.contract import (  # noqa: F401 — re-exported wire constants
+    ERR_OVERLOADED,
+    ERR_UNKNOWN_JOB,
+    ApiError,
+    MAX_BODY_BYTES,
+    MAX_WAIT_SECONDS,
+    PROMETHEUS_CONTENT_TYPE,
+    WireAPI,
+    parse_wait_param,
+)
+from repro.api.http import AsyncHTTPHost, DEFAULT_MAX_INFLIGHT
+from repro.errors import InvalidInputError
 from repro.obs import TRACE_HEADER, EventLog, from_header
 from repro.service.engine import Engine
 from repro.service.jobs import JobSpec
 
-#: Content type of the Prometheus text exposition format.
-PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
-
-#: Largest accepted request body (an inline 1M-point 3D job is ~60 MB of
-#: JSON; anything bigger should arrive as a dataset spec).
-MAX_BODY_BYTES = 256 << 20
-
-#: Cap on a single ``GET /v1/jobs/<id>`` long-poll; clients needing longer
-#: re-poll in chunks (see ``repro submit``).
-MAX_WAIT_SECONDS = 60.0
+#: Default bound on unfinished jobs before submissions shed with 429.
+DEFAULT_MAX_QUEUE_DEPTH = 512
 
 
-def parse_wait_param(query: str) -> float:
-    """Long-poll seconds from a job-endpoint query string.
+class EngineAPI(WireAPI):
+    """The ``/v1`` contract bound to one :class:`Engine`.
 
-    ``wait_s`` is the canonical spelling, ``wait`` the original one; the
-    explicit suffix wins when both are (oddly) supplied.  Bounded by
-    :data:`MAX_WAIT_SECONDS`, default 0.  Shared by the node and router
-    front ends so the wire contract cannot silently diverge.  Raises
-    :class:`InvalidInputError` on a non-numeric value.
+    Engine calls are blocking (locks, futures, JSON-sized payloads), so
+    each hops through ``asyncio.to_thread``; only the long-poll park
+    itself stays on the loop, as a task on the wrapped engine future.
     """
-    wait = 0.0
-    params = parse_qs(query)
-    for name in ("wait", "wait_s"):
-        if name in params:
-            try:
-                wait = min(float(params[name][0]), MAX_WAIT_SECONDS)
-            except ValueError:
-                raise InvalidInputError(f"{name} must be a number")
-    return wait
 
+    def __init__(self, engine: Engine, *,
+                 node_name: Optional[str] = None,
+                 max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH) -> None:
+        self.engine = engine
+        self.node_name = node_name
+        self.max_queue_depth = max_queue_depth
 
-class ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes the ``/v1`` API onto the server's :class:`Engine`."""
+    async def healthz(self) -> Dict[str, Any]:
+        return {"status": "ok",
+                "version": repro.__version__,
+                "node": self.node_name,
+                "backend": self.engine.backend,
+                "persistent": self.engine.store is not None}
 
-    server_version = f"repro-service/{repro.__version__}"
-    protocol_version = "HTTP/1.1"
-    #: Socket timeout: a client that sends less body than Content-Length
-    #: (or stalls mid-request) frees its handler thread instead of
-    #: blocking it forever.
-    timeout = 60
+    async def stats(self) -> Dict[str, Any]:
+        return await asyncio.to_thread(self.engine.stats)
 
-    @property
-    def engine(self) -> Engine:
-        return self.server.engine  # type: ignore[attr-defined]
+    async def metrics_json(self) -> Dict[str, Any]:
+        return await asyncio.to_thread(self.engine.registry.as_dict)
 
-    def log_request(self, code: Any = "-", size: Any = "-") -> None:
-        """Access logging via the structured event log (sampled).
+    async def metrics_text(self) -> str:
+        return await asyncio.to_thread(
+            self.engine.registry.render_prometheus)
 
-        The previous implementation silently discarded every request log
-        unless ``verbose`` was set; now each request emits a JSONL event —
-        to stderr when verbose, and always into the log's in-memory ring —
-        with the sampling knob (``--access-log-sample``) bounding the
-        volume on busy nodes.
-        """
-        events = getattr(self.server, "events", None)
-        if events is None:
-            return
+    async def submit(self, data: Dict[str, Any],
+                     trace_header: Optional[str]
+                     ) -> Tuple[Dict[str, Any], Optional[str]]:
+        if self.engine.queue_depth() >= self.max_queue_depth:
+            raise ApiError(
+                429, f"admission queue full "
+                     f"({self.max_queue_depth} jobs unfinished); "
+                     f"retry shortly",
+                code=ERR_OVERLOADED, retryable=True, retry_after=1)
+
+        def _submit() -> str:
+            spec = JobSpec.from_dict(data)
+            return self.engine.submit(spec, trace=from_header(trace_header))
+
+        job_id = await asyncio.to_thread(_submit)
+        return {"job_id": job_id, "status": "pending"}, None
+
+    async def job(self, job_id: str, wait: float
+                  ) -> Tuple[Dict[str, Any], Optional[str]]:
         try:
-            status = int(code)
-        except (TypeError, ValueError):
-            status = str(code)
-        events.emit("http_access", method=self.command, path=self.path,
-                    code=status, client=self.address_string())
-
-    def log_message(self, format: str, *args: Any) -> None:
-        """Non-access messages (errors, warnings) — never sampled away
-        silently to stdout-suppression; they land in the event ring too."""
-        events = getattr(self.server, "events", None)
-        if events is None:
-            if getattr(self.server, "verbose", False):
-                super().log_message(format, *args)
-            return
-        events.emit("http_message", message=format % args,
-                    client=self.address_string())
-
-    def _instrumented_endpoint(self, path: str) -> str:
-        """The path normalized for metric labels (bounded cardinality)."""
-        parts = [p for p in path.split("/") if p]
-        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
-            return "/v1/jobs/{id}"
-        return "/" + "/".join(parts) if parts else "/"
-
-    def _begin_request(self, path: str) -> None:
-        self._obs_started: Optional[float] = time.perf_counter()
-        self._obs_endpoint = self._instrumented_endpoint(path)
-
-    def _finish_request(self, code: int) -> None:
-        started = getattr(self, "_obs_started", None)
-        if started is None:
-            return
-        self._obs_started = None
-        latency_h = getattr(self.server, "http_latency", None)
-        if latency_h is not None:
-            latency_h.observe(time.perf_counter() - started,
-                              endpoint=self._obs_endpoint)
-            self.server.http_requests.inc(  # type: ignore[attr-defined]
-                endpoint=self._obs_endpoint, code=str(code))
-
-    def _send_body(self, code: int, body: bytes, content_type: str) -> None:
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        node_name = getattr(self.server, "node_name", None)
-        if node_name:
-            self.send_header("X-Repro-Node", node_name)
-        if self.close_connection:
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
-        self._finish_request(code)
-
-    def _send_json(self, code: int, obj: Any) -> None:
-        self._send_body(code, json.dumps(obj).encode(), "application/json")
-
-    def _send_error_json(self, code: int, message: str) -> None:
-        self._send_json(code, {"error": message})
-
-    def do_GET(self) -> None:  # noqa: N802 — http.server naming
-        url = urlparse(self.path)
-        self._begin_request(url.path)
-        parts = [p for p in url.path.split("/") if p]
-        if parts == ["v1", "healthz"]:
-            self._send_json(200, {"status": "ok",
-                                  "version": repro.__version__,
-                                  "node": getattr(self.server, "node_name",
-                                                  None),
-                                  "backend": self.engine.backend,
-                                  "persistent": self.engine.store
-                                  is not None})
-        elif parts == ["v1", "stats"]:
-            self._send_json(200, self.engine.stats())
-        elif parts == ["v1", "metrics"]:
-            self._get_metrics(url.query)
-        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
-            self._get_job(parts[2], url.query)
-        else:
-            self._send_error_json(404, f"no such endpoint: {url.path}")
-
-    def _get_metrics(self, query: str) -> None:
-        """``GET /v1/metrics`` — Prometheus text, or JSON with
-        ``?format=json`` (the form ``repro top`` and the router's fleet
-        scrape consume)."""
-        fmt = parse_qs(query).get("format", ["prometheus"])[0]
-        if fmt == "json":
-            self._send_json(200, self.engine.registry.as_dict())
-        elif fmt == "prometheus":
-            self._send_body(200,
-                            self.engine.registry.render_prometheus().encode(),
-                            PROMETHEUS_CONTENT_TYPE)
-        else:
-            self._send_error_json(
-                400, f"unknown metrics format {fmt!r}; "
-                     f"use 'prometheus' or 'json'")
-
-    def _get_job(self, job_id: str, query: str) -> None:
-        try:
-            wait = parse_wait_param(query)
-        except InvalidInputError as exc:
-            self._send_error_json(400, str(exc))
-            return
-        try:
-            if wait > 0:
-                try:
-                    result = self.engine.result(job_id, timeout=wait)
-                except FutureTimeoutError:
-                    result = None
-            else:
-                result = self.engine.poll(job_id)
+            result = await asyncio.to_thread(self.engine.poll, job_id)
+            if result is None and wait > 0:
+                result = await self._wait_for_result(job_id, wait)
             if result is None:
                 # Status is only consulted with no result in hand (the
                 # record may be retention-evicted once the result is out).
                 status = self.engine.status(job_id)
                 if status.finished:
-                    # Finished between the wait/poll and the status read; a
-                    # terminal status must carry its result.
-                    result = self.engine.poll(job_id)
+                    # Finished between the wait/poll and the status read;
+                    # a terminal status must carry its result.
+                    result = await asyncio.to_thread(
+                        self.engine.poll, job_id)
         except InvalidInputError as exc:
-            self._send_error_json(404, str(exc))
-            return
+            raise ApiError(404, str(exc), code=ERR_UNKNOWN_JOB)
         if result is None:
-            self._send_json(200, {"job_id": job_id, "status": status.value})
-        else:
-            self._send_json(200, result.to_dict())
+            return {"job_id": job_id, "status": status.value}, None
+        return await asyncio.to_thread(result.to_dict), None
 
-    def do_POST(self) -> None:  # noqa: N802 — http.server naming
-        url = urlparse(self.path)
-        self._begin_request(url.path)
-        parts = [p for p in url.path.split("/") if p]
-        if parts == ["v1", "admin", "flush"]:
-            self._post_flush()
-            return
-        if parts == ["v1", "admin", "compact"]:
-            self._post_compact()
-            return
-        if parts != ["v1", "jobs"]:
-            # Replying without consuming the body would leave its bytes to
-            # be parsed as the next request on this keep-alive connection.
-            self.close_connection = True
-            self._send_error_json(404, f"no such endpoint: {url.path}")
-            return
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-        except ValueError:
-            length = -1
-        if length <= 0 or length > MAX_BODY_BYTES:
-            self.close_connection = True
-            self._send_error_json(400, "missing or oversized request body")
-            return
-        try:
-            data = json.loads(self.rfile.read(length))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            self._send_error_json(400, f"bad JSON body: {exc}")
-            return
-        try:
-            spec = JobSpec.from_dict(data)
-            job_id = self.engine.submit(
-                spec, trace=from_header(self.headers.get(TRACE_HEADER)))
-        except InvalidInputError as exc:
-            self._send_error_json(400, str(exc))
-            return
-        except ServiceError as exc:
-            # The spec was fine; the engine is shutting down — a service
-            # availability condition, not a client error.
-            self._send_error_json(503, str(exc))
-            return
-        self._send_json(202, {"job_id": job_id, "status": "pending"})
+    async def _wait_for_result(self, job_id: str, wait: float):
+        """Park on the engine future for up to ``wait`` seconds.
 
-    def _read_admin_body(self) -> Optional[Dict[str, Any]]:
-        """Consume and decode an optional admin-endpoint JSON body.
-
-        Returns the decoded object (``{}`` for an empty body) or ``None``
-        after replying 400 — admin bodies are tiny, but the bytes must be
-        consumed either way so the keep-alive connection stays in sync; a
-        malformed or oversized Content-Length closes the connection
-        instead (the unread bytes would otherwise be parsed as the next
-        request).
+        The future is shielded: a long-poll timing out must not cancel
+        the job.  JobResult futures never raise (failures are FAILED
+        results), so abandoning one leaks no unretrieved exception.  The
+        ticket is unset only for the sub-ms registration window inside
+        ``Engine.submit``; spin past it asynchronously.
         """
+        deadline = time.monotonic() + wait
+        while True:
+            future = self.engine.future(job_id)
+            if future is not None:
+                break
+            if time.monotonic() >= deadline:
+                return None
+            await asyncio.sleep(0.0005)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return None
         try:
-            length = int(self.headers.get("Content-Length", 0) or 0)
-        except ValueError:
-            length = -1
-        if length < 0 or length > MAX_BODY_BYTES:
-            self.close_connection = True
-            self._send_error_json(400, "bad Content-Length")
+            return await asyncio.wait_for(
+                asyncio.shield(asyncio.wrap_future(future)), remaining)
+        except (asyncio.TimeoutError, FutureTimeoutError):
             return None
-        raw = self.rfile.read(length) if length else b""
-        if not raw.strip():
-            return {}
-        try:
-            data = json.loads(raw)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            self._send_error_json(400, f"bad JSON body: {exc}")
-            return None
-        if not isinstance(data, dict):
-            self._send_error_json(400, "admin body must be a JSON object")
-            return None
-        return data
 
-    def _post_flush(self) -> None:
-        """``POST /v1/admin/flush`` — empty cache tiers, whole or by tier.
-
-        An optional ``{"tier": "bvh"|"core"|"result"}`` body flushes just
-        that tier (memory and its slice of the disk store); ``bvh`` is
-        accepted as the wire name of the internal ``tree`` tier.
-        """
-        data = self._read_admin_body()
-        if data is None:
-            return
+    async def flush(self, data: Dict[str, Any]) -> Dict[str, Any]:
         tier = data.get("tier")
         if tier is not None:
             # The BVH tier is "tree" internally (it once held kd-trees
             # too); the wire name matches what operators see in the docs.
             tier = {"bvh": "tree"}.get(tier, tier)
-        try:
-            flushed = self.engine.flush(tier=tier)
-        except InvalidInputError as exc:
-            self._send_error_json(400, str(exc))
-            return
-        self._send_json(200, {"status": "ok", "tier": tier,
-                              "flushed": flushed})
+        flushed = await asyncio.to_thread(self.engine.flush, tier)
+        return {"status": "ok", "tier": tier, "flushed": flushed}
 
-    def _post_compact(self) -> None:
-        """``POST /v1/admin/compact`` — force a store journal compaction."""
-        if self._read_admin_body() is None:
-            return
-        self._send_json(200, {"status": "ok",
-                              "compacted": self.engine.compact()})
+    async def compact(self) -> Dict[str, Any]:
+        return {"status": "ok",
+                "compacted": await asyncio.to_thread(self.engine.compact)}
 
 
 def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
                   *, verbose: bool = False,
                   node_name: Optional[str] = None,
-                  access_log_sample: float = 1.0) -> ThreadingHTTPServer:
+                  access_log_sample: float = 1.0,
+                  max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                  max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH
+                  ) -> AsyncHTTPHost:
     """Bind a service HTTP server (``port=0`` picks a free port).
 
     ``node_name`` is the identity reported in the ``X-Repro-Node`` header
@@ -367,31 +209,48 @@ def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
     (deterministically — every ``1/sample``-th request); ``verbose``
     additionally writes the kept events to stderr as JSONL.
 
+    ``max_inflight`` bounds concurrent in-handler requests,
+    ``max_queue_depth`` bounds unfinished engine jobs; beyond either the
+    server sheds with a retryable 429 envelope and ``Retry-After``.
+
     The caller owns the lifecycle: run ``serve_forever()`` (typically on a
     thread), later ``shutdown()`` + ``server_close()``, and close the engine.
     """
-    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    api = EngineAPI(engine, max_queue_depth=max_queue_depth)
+    server = AsyncHTTPHost(api, host, port, max_inflight=max_inflight)
     server.engine = engine  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
     bound_host, bound_port = server.server_address[:2]
-    server.node_name = (  # type: ignore[attr-defined]
+    server.node_name = (
         node_name if node_name else f"{bound_host}:{bound_port}")
+    api.node_name = server.node_name
     engine.node_name = server.node_name  # names this engine's trace spans
-    server.events = EventLog(  # type: ignore[attr-defined]
+    server.events = EventLog(
         stream=sys.stderr if verbose else None, sample=access_log_sample)
-    server.http_latency = engine.registry.histogram(  # type: ignore
+    server.http_latency = engine.registry.histogram(
         "repro_http_request_seconds",
         "HTTP handler latency by (normalized) endpoint.",
         labels=("endpoint",))
-    server.http_requests = engine.registry.counter(  # type: ignore
+    server.http_requests = engine.registry.counter(
         "repro_http_requests_total",
         "HTTP requests served, by endpoint and status code.",
         labels=("endpoint", "code"))
-    server.daemon_threads = True
+    server.shed_total = engine.registry.counter(
+        "repro_http_shed_total",
+        "Requests shed by admission control (429), by endpoint.",
+        labels=("endpoint",))
+    engine.registry.gauge(
+        "repro_http_inflight_requests",
+        "Requests currently inside the HTTP handler.",
+        fn=lambda: float(server.inflight))
+    engine.registry.gauge(
+        "repro_admission_queue_depth",
+        "Unfinished jobs counted against the admission bound.",
+        fn=lambda: float(engine.queue_depth()))
     return server
 
 
-def run_server(server: ThreadingHTTPServer, engine: Engine) -> None:
+def run_server(server: AsyncHTTPHost, engine: Engine) -> None:
     """Run a bound server until interrupted, then drain the engine."""
     bound_host, bound_port = server.server_address[:2]
     print(f"repro.service listening on http://{bound_host}:{bound_port} "
@@ -411,12 +270,16 @@ def run_server(server: ThreadingHTTPServer, engine: Engine) -> None:
 def serve(engine: Engine, host: str = "127.0.0.1", port: int = 8321,
           *, verbose: bool = False,
           node_name: Optional[str] = None,
-          access_log_sample: float = 1.0) -> None:
+          access_log_sample: float = 1.0,
+          max_inflight: int = DEFAULT_MAX_INFLIGHT,
+          max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH) -> None:
     """Bind and run the API until interrupted, then drain the engine."""
     try:
         server = create_server(engine, host, port, verbose=verbose,
                                node_name=node_name,
-                               access_log_sample=access_log_sample)
+                               access_log_sample=access_log_sample,
+                               max_inflight=max_inflight,
+                               max_queue_depth=max_queue_depth)
     except OSError:
         engine.close()  # bind failed; don't leak the worker pool
         raise

@@ -113,7 +113,9 @@ def test_bad_spec_is_400(api):
                                 "algorithm": "kmeans"})
     assert excinfo.value.code == 400
     detail = json.loads(excinfo.value.read())
-    assert "algorithm" in detail["error"]
+    assert detail["error"]["code"] == "bad_request"
+    assert detail["error"]["retryable"] is False
+    assert "algorithm" in detail["error"]["message"]
 
 
 def test_failed_job_reported_over_http(api):
@@ -132,14 +134,16 @@ def test_wrong_typed_fields_are_400(api):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post(f"{api}/v1/jobs", body)
         assert excinfo.value.code == 400
-        assert "integer" in json.loads(excinfo.value.read())["error"]
+        assert "integer" in \
+            json.loads(excinfo.value.read())["error"]["message"]
 
 
 def test_bad_dataset_spec_is_400(api):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         post(f"{api}/v1/jobs", {"dataset": "NoSuchDataset:100"})
     assert excinfo.value.code == 400
-    assert "unknown dataset" in json.loads(excinfo.value.read())["error"]
+    assert "unknown dataset" in \
+        json.loads(excinfo.value.read())["error"]["message"]
 
 
 def test_wait_s_long_poll_alias(api):
@@ -166,7 +170,7 @@ def test_huge_integer_points_are_400_not_500(api):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         urllib.request.urlopen(req, timeout=30)
     assert excinfo.value.code == 400
-    assert "points" in json.loads(excinfo.value.read())["error"]
+    assert "points" in json.loads(excinfo.value.read())["error"]["message"]
 
 
 def test_ragged_points_are_400(api):
