@@ -13,6 +13,9 @@ Asserted invariants:
 * payloads are **byte-identical** across modes (tracing must never touch
   the canonical result) and the instrumented run actually produced
   traces while the disabled run produced none;
+* the instrumented engine offered every job to the tail-sampling trace
+  archive (both modes run over a store dir, so blob I/O is symmetric
+  and the archive's disk writes are priced into the gate);
 * with >= 2 cores and a full (non ``--smoke``) run, instrumentation
   costs **< 3%** end-to-end wall — the observability acceptance gate.
 
@@ -24,6 +27,7 @@ sizes without the perf assertion).
 import argparse
 import json
 import os
+import tempfile
 import time
 
 from repro.bench.tables import REPORTS_DIR, render_table, save_report
@@ -48,21 +52,31 @@ def _workload(n_points):
 
 
 def _run_workload(obs, n_points):
-    """One cold engine driven through the workload; returns its report."""
+    """One cold engine driven through the workload; returns its report.
+
+    Both modes get a fresh store dir so blob I/O is symmetric — the only
+    obs-mode extra on disk is the trace archive itself, which is exactly
+    the write path the overhead gate must price in.
+    """
     bodies = _workload(n_points)
-    with Engine(max_workers=1, batch_window=0.001, obs=obs) as engine:
+    with tempfile.TemporaryDirectory(prefix="bench-obs-") as store_dir, \
+            Engine(max_workers=1, batch_window=0.001, obs=obs,
+                   store_dir=store_dir) as engine:
         started = time.perf_counter()
         job_ids = [engine.submit(JobSpec.from_dict(body))
                    for body in bodies]
         results = [engine.result(job_id, timeout=600.0)
                    for job_id in job_ids]
         wall = time.perf_counter() - started
+        archive = engine.trace_archive.stats() if engine.trace_archive \
+            else None
     for result in results:
         assert result.status.value == "done", result.error
     return {
         "wall_seconds": wall,
         "bytes": [canonical_payload_bytes(r.payload) for r in results],
         "traced": sum(r.trace is not None for r in results),
+        "archive_offered": archive["offered"] if archive else 0,
     }
 
 
@@ -76,6 +90,10 @@ def run_comparison(n_points, reps):
         assert off["traced"] == 0, "REPRO_OBS=off engine produced traces"
         assert on["traced"] == len(_workload(n_points)), \
             "instrumented engine dropped traces"
+        assert on["archive_offered"] == len(_workload(n_points)), \
+            "instrumented engine skipped the trace-archive offer path"
+        assert off["archive_offered"] == 0, \
+            "REPRO_OBS=off engine ran the trace archive"
         assert on["bytes"] == off["bytes"], \
             "instrumentation changed canonical payload bytes"
         reference = reference or off["bytes"]

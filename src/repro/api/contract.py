@@ -23,9 +23,10 @@ the envelope is additive for well-behaved clients.
 Dispatch
 --------
 :class:`WireAPI` parses a :class:`Request`, validates the query/body and
-calls one of seven abstract operations (``healthz``, ``stats``,
+calls one of the abstract operations (``healthz``, ``stats``,
 ``metrics_json``/``metrics_text``, ``submit``, ``job``, ``flush``,
-``compact``) implemented by the node backend (over an
+``compact``, ``traces``/``trace``, ``events``, ``dump``) implemented by
+the node backend (over an
 :class:`~repro.service.engine.Engine`) or the router backend (over a
 :class:`~repro.cluster.router.ClusterRouter`).  Backends raise
 :class:`ApiError` (or library errors mapped here) and the response is the
@@ -62,6 +63,9 @@ MAX_WAIT_SECONDS = 60.0
 ERR_BAD_REQUEST = "bad_request"
 #: The job id is unknown (never submitted, or retention-evicted).
 ERR_UNKNOWN_JOB = "unknown_job"
+#: The trace id is not in the archive (sampled out, evicted, or never
+#: seen by this node/fleet).
+ERR_UNKNOWN_TRACE = "unknown_trace"
 #: No such endpoint (or unsupported method on an existing one).
 ERR_NOT_FOUND = "not_found"
 #: Admission control shed the request; retry after ``Retry-After`` seconds.
@@ -158,11 +162,87 @@ def parse_format_param(query: str) -> str:
     return fmt
 
 
+#: Most trace records one query may return (the router multiplies this
+#: across nodes before merging, so it bounds fan-out payloads too).
+MAX_TRACE_LIMIT = 500
+#: Default trace records per query.
+DEFAULT_TRACE_LIMIT = 50
+#: Most events one ``/v1/admin/events`` request may return.
+MAX_EVENTS_LIMIT = 1000
+
+#: Archived-trace outcomes a query filter may name.
+TRACE_OUTCOMES = ("done", "failed")
+
+
+def parse_traces_query(query: str) -> Dict[str, Any]:
+    """Validated filters from a ``GET /v1/traces`` query string.
+
+    Returns kwargs for :meth:`repro.obs.TraceArchive.query` —
+    ``since`` (unix seconds), ``min_duration_s`` (the wire speaks
+    ``min_duration_ms``), ``outcome``, ``algorithm``, ``limit``.  Bad
+    values are 400 envelopes here, identically on node and router.
+    """
+    params = parse_qs(query)
+    out: Dict[str, Any] = {"limit": DEFAULT_TRACE_LIMIT}
+
+    def _float(name: str) -> Optional[float]:
+        if name not in params:
+            return None
+        try:
+            value = float(params[name][0])
+        except ValueError:
+            raise ApiError(400, f"{name} must be a number")
+        if value < 0:
+            raise ApiError(400, f"{name} must be >= 0")
+        return value
+
+    since = _float("since")
+    if since is not None:
+        out["since"] = since
+    min_ms = _float("min_duration_ms")
+    if min_ms is not None:
+        out["min_duration_s"] = min_ms / 1000.0
+    if "outcome" in params:
+        outcome = params["outcome"][0]
+        if outcome not in TRACE_OUTCOMES:
+            raise ApiError(400, f"unknown outcome {outcome!r}; "
+                                f"use one of {TRACE_OUTCOMES}")
+        out["outcome"] = outcome
+    if "algorithm" in params:
+        out["algorithm"] = params["algorithm"][0]
+    if "limit" in params:
+        try:
+            limit = int(params["limit"][0])
+        except ValueError:
+            raise ApiError(400, "limit must be an integer")
+        if not 1 <= limit <= MAX_TRACE_LIMIT:
+            raise ApiError(400, f"limit must be in "
+                                f"[1, {MAX_TRACE_LIMIT}]")
+        out["limit"] = limit
+    return out
+
+
+def parse_events_limit(query: str) -> Optional[int]:
+    """``limit=`` for ``GET /v1/admin/events`` (``None`` = whole ring)."""
+    params = parse_qs(query)
+    if "limit" not in params:
+        return None
+    try:
+        limit = int(params["limit"][0])
+    except ValueError:
+        raise ApiError(400, "limit must be an integer")
+    if not 1 <= limit <= MAX_EVENTS_LIMIT:
+        raise ApiError(400, f"limit must be in [1, {MAX_EVENTS_LIMIT}]")
+    return limit
+
+
 def normalize_endpoint(path: str) -> str:
     """The path normalized for metric labels (bounded cardinality)."""
     parts = [p for p in path.split("/") if p]
     if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
         return "/v1/jobs/{id}"
+    if len(parts) == 3 and parts[:2] == ["v1", "traces"]:
+        return "/v1/traces/{id}"
     return "/" + "/".join(parts) if parts else "/"
 
 
@@ -218,7 +298,7 @@ def error_response(exc: ApiError) -> Response:
 # ---------------------------------------------------------------- dispatch
 
 class WireAPI:
-    """Routes parsed ``/v1`` requests onto seven backend operations.
+    """Routes parsed ``/v1`` requests onto the backend operations.
 
     Subclasses (the node's ``EngineAPI``, the router's ``RouterAPI``)
     implement the ``async`` operations below; everything else — the route
@@ -257,6 +337,24 @@ class WireAPI:
     async def compact(self) -> Dict[str, Any]:
         raise NotImplementedError
 
+    async def traces(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        """Archived-trace query (validated kwargs from
+        :func:`parse_traces_query`)."""
+        raise NotImplementedError
+
+    async def trace(self, trace_id: str
+                    ) -> Tuple[Dict[str, Any], Optional[str]]:
+        """One archived trace; returns ``(record body, serving node)``."""
+        raise NotImplementedError
+
+    async def events(self, limit: Optional[int]) -> Dict[str, Any]:
+        """The in-memory structured-event ring (newest ``limit``)."""
+        raise NotImplementedError
+
+    async def dump(self) -> Dict[str, Any]:
+        """Flight-recorder snapshot: one debug bundle for postmortems."""
+        raise NotImplementedError
+
     # Dispatch ----------------------------------------------------------
     async def handle(self, request: Request) -> Response:
         """One request in, one response out; library errors → envelopes."""
@@ -291,6 +389,15 @@ class WireAPI:
                 wait = parse_wait_param(request.query)
                 body, node = await self.job(parts[2], wait)
                 return await self._encode(200, body, node=node)
+            if parts == ["v1", "traces"]:
+                filters = parse_traces_query(request.query)
+                return await self._encode(200, await self.traces(filters))
+            if len(parts) == 3 and parts[:2] == ["v1", "traces"]:
+                body, node = await self.trace(parts[2])
+                return await self._encode(200, body, node=node)
+            if parts == ["v1", "admin", "events"]:
+                limit = parse_events_limit(request.query)
+                return await self._encode(200, await self.events(limit))
         elif request.method == "POST":
             if parts == ["v1", "jobs"]:
                 if not request.body:
@@ -305,6 +412,9 @@ class WireAPI:
             if parts == ["v1", "admin", "compact"]:
                 self._admin_body(request)  # bad admin bodies still 400
                 return json_response(200, await self.compact())
+            if parts == ["v1", "admin", "dump"]:
+                self._admin_body(request)  # bad admin bodies still 400
+                return await self._encode(200, await self.dump())
         else:
             raise ApiError(405, f"method {request.method} not allowed",
                            code=ERR_NOT_FOUND)

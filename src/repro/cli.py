@@ -140,7 +140,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         tree_cache_bytes=args.cache_mb << 20,
                         result_cache_bytes=args.result_cache_mb << 20,
                         store_dir=args.store_dir,
-                        store_bytes=args.store_mb << 20)
+                        store_bytes=args.store_mb << 20,
+                        trace_archive_bytes=args.trace_archive_mb << 20,
+                        trace_slow_threshold=args.trace_slow_ms / 1000.0,
+                        trace_sample=args.trace_sample)
     except (ValueError, OSError) as exc:
         # An unusable --store-dir (permissions, a file in the way) is a
         # user-input error like any other bad flag value.
@@ -362,6 +365,41 @@ def cmd_cluster_demo(args: argparse.Namespace) -> int:
             shutil.rmtree(store_root, ignore_errors=True)
 
 
+def _window_seconds(label: str) -> float:
+    """``"5m" -> 300.0`` — sorts window labels chronologically."""
+    try:
+        unit = label[-1]
+        scale = {"s": 1.0, "m": 60.0, "h": 3600.0}.get(unit)
+        if scale is None:
+            return float(label)
+        return float(label[:-1]) * scale
+    except (ValueError, IndexError):
+        return float("inf")
+
+
+def _slo_rows(doc: dict) -> list:
+    """``(slo, target, {window: burn}, budget)`` rows from one registry
+    document (empty when the server exports no SLO gauges)."""
+    targets: dict = {}
+    burns: dict = {}
+    budgets: dict = {}
+    for metric in doc.get("metrics", []):
+        name = metric.get("name")
+        if name == "repro_slo_target":
+            for sample in metric["samples"]:
+                targets[sample["labels"].get("slo", "?")] = sample["value"]
+        elif name == "repro_slo_burn_rate":
+            for sample in metric["samples"]:
+                labels = sample["labels"]
+                burns.setdefault(labels.get("slo", "?"), {})[
+                    labels.get("window", "?")] = sample["value"]
+        elif name == "repro_slo_budget_remaining":
+            for sample in metric["samples"]:
+                budgets[sample["labels"].get("slo", "?")] = sample["value"]
+    return [(slo, targets[slo], burns.get(slo, {}), budgets.get(slo, 1.0))
+            for slo in sorted(targets)]
+
+
 def _render_metrics_doc(title: str, doc: dict) -> None:
     """Print one registry document as a counters + latency-table block."""
     from repro.obs import histogram_from_sample
@@ -391,6 +429,17 @@ def _render_metrics_doc(title: str, doc: dict) -> None:
             if total:
                 counters.append((metric["name"], total))
     print(f"-- {title} " + "-" * max(0, 64 - len(title)))
+    slo_rows = _slo_rows(doc)
+    if slo_rows:
+        print("  slo (burn rate per window; >1 = spending budget too fast):")
+        for slo, target, burn, budget in slo_rows:
+            winds = "  ".join(
+                f"{window} {burn[window]:.2f}" for window in
+                sorted(burn, key=_window_seconds))
+            status = "BURNING" if any(rate >= 1.0
+                                      for rate in burn.values()) else "ok"
+            print(f"    {slo:16s} target {target:7.2%}  {winds}  "
+                  f"budget {budget:7.1%}  {status}")
     if counters:
         width = max(len(name) for name, _ in counters)
         for name, total in counters:
@@ -454,6 +503,59 @@ def cmd_top(args: argparse.Namespace) -> int:
         if args.iterations and iteration >= args.iterations:
             return 0
         time.sleep(args.interval)
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro.client import Client
+    from repro.cluster import NodeHTTPError
+    from repro.errors import NodeUnavailableError
+
+    client = Client(args.url)
+    base = client.url
+    try:
+        doc = client.metrics_json()
+    except NodeHTTPError as exc:
+        print(f"error: {base} answered {exc.code}: {exc}", file=sys.stderr)
+        return 1
+    except NodeUnavailableError as exc:
+        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+        return 1
+    if doc.get("role") == "router":
+        print(f"repro slo — fleet behind {base}")
+        sources = sorted(doc.get("nodes", {}).items())
+    else:
+        print(f"repro slo — node at {base}")
+        sources = [("node", doc)]
+    rows = []
+    unreachable = []
+    for name, node_doc in sources:
+        if "error" in node_doc:
+            unreachable.append((name, node_doc["error"]))
+            continue
+        for slo, target, burn, budget in _slo_rows(node_doc):
+            rows.append((name, slo, target, burn, budget))
+    if not rows and not unreachable:
+        print("error: no SLO series exported — the server may run with "
+              "REPRO_OBS=off or predate the SLO engine", file=sys.stderr)
+        return 1
+    windows = sorted({window for _, _, _, burn, _ in rows
+                      for window in burn}, key=_window_seconds)
+    name_w = max([len(name) for name, *_ in rows] + [4])
+    slo_w = max([len(slo) for _, slo, *_ in rows] + [3])
+    header = (f"{'node':{name_w}s}  {'slo':{slo_w}s}  {'target':>8s}  "
+              + "  ".join(f"{'burn ' + w:>9s}" for w in windows)
+              + f"  {'budget':>8s}  status")
+    print(header)
+    for name, slo, target, burn, budget in rows:
+        cells = "  ".join(f"{burn.get(window, 0.0):>9.2f}"
+                          for window in windows)
+        status = "BURNING" if any(rate >= 1.0 for rate in burn.values()) \
+            else "ok"
+        print(f"{name:{name_w}s}  {slo:{slo_w}s}  {target:>8.2%}  "
+              f"{cells}  {budget:>8.1%}  {status}")
+    for name, error in unreachable:
+        print(f"{name:{name_w}s}  UNREACHABLE: {error}")
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -567,6 +669,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--queue-depth", type=int, default=512,
                          help="unfinished engine jobs before submissions "
                               "shed with 429 + Retry-After")
+    p_serve.add_argument("--trace-archive-mb", type=int, default=16,
+                         help="trace-archive ring budget in MiB (persists "
+                              "under --store-dir/traces when a store is "
+                              "configured)")
+    p_serve.add_argument("--trace-slow-ms", type=float, default=250.0,
+                         help="jobs at or over this runtime always keep "
+                              "their trace")
+    p_serve.add_argument("--trace-sample", type=float, default=0.05,
+                         metavar="FRAC",
+                         help="fraction of fast, successful traces kept "
+                              "(deterministic; failures, slow jobs and "
+                              "failover traces are always kept)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -640,6 +754,12 @@ def build_parser() -> argparse.ArgumentParser:
                                      "that served the job")
     p_trace.add_argument("job_id", help="job id returned at submit time")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_slo = sub.add_parser(
+        "slo", help="SLO compliance table for a node or fleet")
+    p_slo.add_argument("url", nargs="?", default="http://127.0.0.1:8321",
+                       help="base URL of a node or router")
+    p_slo.set_defaults(func=cmd_slo)
     return parser
 
 

@@ -98,6 +98,49 @@ class Client:
 
     # ----------------------------------------------------------- diagnostics
 
+    def traces(self, *, since: Optional[float] = None,
+               min_duration_ms: Optional[float] = None,
+               outcome: Optional[str] = None,
+               algorithm: Optional[str] = None,
+               limit: Optional[int] = None) -> Dict[str, Any]:
+        """``GET /v1/traces`` — archived (tail-sampled) trace records.
+
+        Against a router this answers fleet-wide, node-tagged and merged
+        slowest-first.  Filters: ``since`` (unix seconds),
+        ``min_duration_ms``, ``outcome`` (``done``/``failed``),
+        ``algorithm``, ``limit``.
+        """
+        params: Dict[str, Any] = {}
+        if since is not None:
+            params["since"] = since
+        if min_duration_ms is not None:
+            params["min_duration_ms"] = min_duration_ms
+        if outcome is not None:
+            params["outcome"] = outcome
+        if algorithm is not None:
+            params["algorithm"] = algorithm
+        if limit is not None:
+            params["limit"] = limit
+        return self._node.traces(params or None)
+
+    def archived_trace(self, trace_id: str) -> Dict[str, Any]:
+        """``GET /v1/traces/<id>`` — one archived trace record.
+
+        (Distinct from :meth:`trace`, which reads the live span tree off
+        a finished job body.)  An unknown id raises
+        :class:`~repro.cluster.client.NodeHTTPError` with
+        ``error_code="unknown_trace"``.
+        """
+        return self._node.trace(trace_id)[0]
+
+    def events(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """``GET /v1/admin/events`` — the server's structured-event ring."""
+        return self._node.events(limit)
+
+    def dump(self) -> Dict[str, Any]:
+        """``POST /v1/admin/dump`` — the flight-recorder debug bundle."""
+        return self._node.dump()
+
     def healthz(self) -> Dict[str, Any]:
         return self._node.healthz()
 

@@ -35,6 +35,7 @@ import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlencode
 
 from repro.api.contract import parse_error_envelope
 from repro.cluster.topology import Node
@@ -222,3 +223,31 @@ class NodeClient:
 
     def compact(self) -> Dict[str, Any]:
         return self._request("/v1/admin/compact", {}, idempotent=False)[0]
+
+    def traces(self, params: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+        """GET the node's archived-trace query endpoint.
+
+        ``params`` uses the wire names (``since``, ``min_duration_ms``,
+        ``outcome``, ``algorithm``, ``limit``); values are urlencoded
+        as-is.
+        """
+        path = "/v1/traces"
+        if params:
+            path += "?" + urlencode(params)
+        return self._request(path)[0]
+
+    def trace(self, trace_id: str) -> Tuple[Dict[str, Any], str]:
+        """GET one archived trace record (404 → :class:`NodeHTTPError`)."""
+        return self._request(f"/v1/traces/{trace_id}")
+
+    def events(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """GET the node's structured-event ring (newest ``limit``)."""
+        path = "/v1/admin/events"
+        if limit is not None:
+            path += f"?limit={int(limit)}"
+        return self._request(path)[0]
+
+    def dump(self) -> Dict[str, Any]:
+        """POST ``/v1/admin/dump``; returns the flight-recorder bundle."""
+        return self._request("/v1/admin/dump", {}, idempotent=False)[0]

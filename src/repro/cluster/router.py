@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 import repro
+from repro.api.contract import DEFAULT_TRACE_LIMIT, ERR_UNKNOWN_TRACE
 from repro.cluster.client import (
     DEFAULT_RETRIES,
     DEFAULT_TIMEOUT,
@@ -552,6 +553,97 @@ class ClusterRouter:
             if "error" not in doc:
                 documents.append(({"node": name}, doc))
         return render_prometheus(documents)
+
+    # ------------------------------------------------------------ obs query
+
+    def traces(self, query: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+        """Fan an archived-trace query across the fleet and merge.
+
+        ``query`` uses the validated internal form (``since``,
+        ``min_duration_s``, ``outcome``, ``algorithm``, ``limit``).  Each
+        node answers with its own retained records; the merge tags every
+        record with its serving node, sorts slowest-first across the
+        whole fleet and re-applies ``limit`` — so one router request
+        answers "show me the slowest traces cluster-wide".  Unreachable
+        nodes are reported per-node instead of failing the query.
+        """
+        query = dict(query or {})
+        limit = int(query.pop("limit", DEFAULT_TRACE_LIMIT))
+        params: Dict[str, Any] = {"limit": limit}
+        if "since" in query:
+            params["since"] = query["since"]
+        if "min_duration_s" in query:
+            params["min_duration_ms"] = query["min_duration_s"] * 1000.0
+        for name in ("outcome", "algorithm"):
+            if name in query:
+                params[name] = query[name]
+        merged: List[Dict[str, Any]] = []
+        per_node: Dict[str, Any] = {}
+        for node in self.ring.nodes:
+            try:
+                doc = self.clients[node.name].traces(params)
+            except NodeUnavailableError as exc:
+                node.mark_down(str(exc))
+                per_node[node.name] = {"error": str(exc)}
+                continue
+            except (NodeOverloadedError, NodeHTTPError) as exc:
+                per_node[node.name] = {"error": str(exc)}
+                continue
+            records = doc.get("traces", [])
+            for record in records:
+                merged.append({**record,
+                               "node": record.get("node") or node.name})
+            per_node[node.name] = {"returned": len(records),
+                                   "stats": doc.get("stats")}
+        merged.sort(key=lambda r: (-r.get("duration_s", 0.0),
+                                   -r.get("ts", 0.0)))
+        return {"traces": merged[:limit], "nodes": per_node}
+
+    def trace(self, trace_id: str
+              ) -> Optional[Tuple[Dict[str, Any], str]]:
+        """Find one archived trace anywhere in the fleet.
+
+        Returns ``(record, serving node name)`` from the first node that
+        has it, or ``None`` — a node not knowing the id (404) is the
+        expected miss, not an error; unreachable nodes are skipped the
+        same way so a partial fleet still answers for the traces it has.
+        """
+        for node in self.ring.nodes:
+            try:
+                record, served_by = self.clients[node.name].trace(trace_id)
+            except NodeUnavailableError as exc:
+                node.mark_down(str(exc))
+                continue
+            except NodeOverloadedError:
+                continue
+            except NodeHTTPError as exc:
+                if exc.error_code == ERR_UNKNOWN_TRACE or exc.code == 404:
+                    continue
+                raise
+            return record, served_by or node.name
+        return None
+
+    def dump(self) -> Dict[str, Any]:
+        """The router's flight-recorder bundle.
+
+        Router-side state only (routing counters, registry, fleet
+        health, ring shares) — node dumps are fetched from the nodes
+        directly; bundling every node's full dump here would make the
+        postmortem endpoint itself an outage amplifier.
+        """
+        with self._lock:
+            known_routes = len(self._routes)
+            inflight = len(self._inflight)
+        return {
+            "ts": time.time(),
+            "role": "router",
+            "known_routes": known_routes,
+            "inflight_coalesce_keys": inflight,
+            "metrics": self.registry.as_dict(),
+            "healthz": self.healthz(),
+            "key_share": self.ring.key_share(1024),
+        }
 
     # ----------------------------------------------------------------- admin
 

@@ -31,6 +31,7 @@ import asyncio
 from repro.api.contract import (
     ERR_OVERLOADED,
     ERR_UNKNOWN_JOB,
+    ERR_UNKNOWN_TRACE,
     ERR_UPSTREAM,
     ApiError,
     WireAPI,
@@ -60,6 +61,9 @@ class RouterAPI(WireAPI):
         self.router = router
         self._pool = ThreadPoolExecutor(
             max_workers=RELAY_POOL_SIZE, thread_name_prefix="repro-relay")
+        #: The host's structured-event ring; attached by
+        #: ``create_router_server`` so ``GET /v1/admin/events`` serves it.
+        self.event_log: Optional[EventLog] = None
 
     def close(self) -> None:
         """Called by the host on ``server_close()``."""
@@ -115,6 +119,37 @@ class RouterAPI(WireAPI):
         except NodeHTTPError as exc:
             raise self._upstream(exc)
 
+    async def traces(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        return await self._call(self.router.traces, query)
+
+    async def trace(self, trace_id: str
+                    ) -> Tuple[Dict[str, Any], Optional[str]]:
+        try:
+            found = await self._call(self.router.trace, trace_id)
+        except NodeHTTPError as exc:
+            raise self._upstream(exc)
+        if found is None:
+            raise ApiError(404, f"unknown trace id {trace_id!r} "
+                                f"(no node has it archived)",
+                           code=ERR_UNKNOWN_TRACE)
+        record, node = found
+        return record, node
+
+    async def events(self, limit: Optional[int]) -> Dict[str, Any]:
+        # The router's own access ring — node rings are one hop away via
+        # each node's /v1/admin/events.
+        log = self.event_log
+        if log is None:
+            return {"events": [], "stats": None}
+        return {"events": log.recent(limit), "stats": log.stats()}
+
+    async def dump(self) -> Dict[str, Any]:
+        bundle = await self._call(self.router.dump)
+        if self.event_log is not None:
+            bundle["events"] = self.event_log.recent()
+            bundle["events_stats"] = self.event_log.stats()
+        return bundle
+
     @staticmethod
     def _overloaded(exc: NodeOverloadedError) -> ApiError:
         """Relay a fleet-wide shed as the same retryable 429 a node sends."""
@@ -146,6 +181,7 @@ def create_router_server(router: ClusterRouter, host: str = "127.0.0.1",
     server.verbose = verbose  # type: ignore[attr-defined]
     server.events = EventLog(
         stream=sys.stderr if verbose else None, sample=access_log_sample)
+    api.event_log = server.events  # /v1/admin/events serves this ring
     server.http_latency = router.registry.histogram(
         "repro_http_request_seconds",
         "HTTP request handling latency by endpoint.",

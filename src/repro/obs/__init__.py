@@ -15,6 +15,13 @@ from __future__ import annotations
 
 import os
 
+from repro.obs.archive import (
+    DEFAULT_ARCHIVE_BYTES,
+    DEFAULT_SAMPLE,
+    DEFAULT_SLOW_THRESHOLD_S,
+    RetentionPolicy,
+    TraceArchive,
+)
 from repro.obs.events import EventLog
 from repro.obs.registry import (
     REGISTRY,
@@ -22,6 +29,13 @@ from repro.obs.registry import (
     histogram_from_sample,
     parse_prometheus_text,
     render_prometheus,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    DEFAULT_WINDOWS,
+    SLO,
+    SloEngine,
+    format_window,
 )
 from repro.obs.trace import (
     TRACE_HEADER,
@@ -50,10 +64,20 @@ def obs_enabled(default: bool = True) -> bool:
 
 
 __all__ = [
+    "DEFAULT_ARCHIVE_BYTES",
+    "DEFAULT_SAMPLE",
+    "DEFAULT_SLOS",
+    "DEFAULT_SLOW_THRESHOLD_S",
+    "DEFAULT_WINDOWS",
     "EventLog",
     "MetricsRegistry",
     "REGISTRY",
+    "RetentionPolicy",
+    "SLO",
+    "SloEngine",
     "TRACE_HEADER",
+    "TraceArchive",
+    "format_window",
     "format_trace",
     "from_header",
     "histogram_from_sample",

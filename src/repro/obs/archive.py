@@ -1,0 +1,389 @@
+"""Tail-sampled trace retention with a crash-safe on-disk JSONL ring.
+
+Per-job span trees (PR 6) die with their ``JobResult`` — useful live,
+useless for postmortems.  This module keeps the traces worth keeping:
+
+* :class:`RetentionPolicy` decides, at job completion, whether a trace is
+  retained and *why*.  The tail is always kept — failures, traces whose
+  routing history shows a lost job or a failed-over hop, and anything
+  slower than the latency threshold — while the fast majority is sampled
+  deterministically (a counter, not a RNG, so tests and CI replays see
+  the exact same keeps).
+* :class:`TraceArchive` is a bounded ring of retained trace records,
+  always queryable in memory and — with a directory attached — mirrored
+  to an append-only ``traces.jsonl`` that survives restarts.  Durability
+  mirrors :class:`repro.store.disk.DiskStore`: appends are plain JSONL
+  lines; once the file accumulates enough dead lines (evicted records),
+  it is compacted by atomic temp-write + fsync + ``os.replace``; opening
+  replays the file and *self-heals* — a torn final line (writer killed
+  mid-append) is quarantined, never fatal, and orphaned compaction temps
+  are swept.
+
+The archived ``trace`` object is stored verbatim — the exact dict that
+rode ``JobResult.trace`` — so a trace served later from
+``GET /v1/traces/<id>`` is byte-identical (canonical JSON) to what the
+client saw in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: Default byte budget for the retained-trace ring (memory and disk).
+DEFAULT_ARCHIVE_BYTES = 16 << 20
+#: Default latency threshold (seconds) above which a trace is always kept
+#: — aligned to a ``DEFAULT_LATENCY_BUCKETS`` bound so the SLO engine and
+#: the archive agree on what "slow" means.
+DEFAULT_SLOW_THRESHOLD_S = 0.25
+#: Default keep fraction for the fast majority (deterministic).
+DEFAULT_SAMPLE = 0.05
+#: Hard cap on records in the ring regardless of byte budget.
+MAX_ARCHIVE_RECORDS = 8192
+
+#: Dead (evicted) journal lines tolerated before the file is compacted.
+_COMPACT_SLACK = 256
+
+_ARCHIVE_NAME = "traces.jsonl"
+_QUARANTINE_DIR = "quarantine"
+
+#: Span names / hop outcomes that mark a trace as routing-anomalous.
+_ANOMALY_SPANS = frozenset({"lost", "shed"})
+_ANOMALY_HOPS = frozenset({"unavailable", "overloaded", "lost"})
+
+
+@dataclass
+class RetentionPolicy:
+    """Keep/drop decision for one completed job's trace.
+
+    ``decide`` returns the retention *reason* (``failed`` / ``lost`` /
+    ``failover`` / ``slow`` / ``sampled``) or ``None`` for a drop.  The
+    sampling counter advances only for jobs that none of the always-keep
+    rules claimed, so the sample rate applies to the fast majority alone.
+    """
+
+    slow_threshold_s: float = DEFAULT_SLOW_THRESHOLD_S
+    sample: float = DEFAULT_SAMPLE
+
+    def __post_init__(self) -> None:
+        if self.slow_threshold_s < 0:
+            raise ValueError(
+                f"slow_threshold_s must be >= 0, got {self.slow_threshold_s}")
+        if not 0.0 <= self.sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {self.sample}")
+        self._fast_seen = 0
+        self._lock = threading.Lock()
+
+    def decide(self, *, outcome: str, duration_s: float,
+               trace: Optional[Dict[str, Any]]) -> Optional[str]:
+        if outcome != "done":
+            return "failed"
+        anomaly = self._routing_anomaly(trace)
+        if anomaly is not None:
+            return anomaly
+        if duration_s >= self.slow_threshold_s:
+            return "slow"
+        with self._lock:
+            self._fast_seen += 1
+            n = self._fast_seen
+        if self.sample >= 1.0:
+            return "sampled"
+        if self.sample <= 0.0:
+            return None
+        # The EventLog keep rule: admits an exact `sample` fraction of the
+        # fast stream with no randomness.
+        if int(n * self.sample) != int((n - 1) * self.sample):
+            return "sampled"
+        return None
+
+    @staticmethod
+    def _routing_anomaly(trace: Optional[Dict[str, Any]]) -> Optional[str]:
+        """``lost`` / ``failover`` if the routing history shows trouble.
+
+        A ``lost`` marker span means the job was transparently re-executed
+        after its node died; a ``route`` hop whose outcome is not
+        ``accepted`` means a failover happened on the way in.  Both are
+        exactly the traces a postmortem needs, however fast the retry ran.
+        """
+        if not trace:
+            return None
+        for span in trace.get("spans", ()):
+            if not isinstance(span, dict):
+                continue
+            if span.get("name") in _ANOMALY_SPANS:
+                return "lost"
+            meta = span.get("meta") or {}
+            if span.get("name") == "route" \
+                    and meta.get("outcome") in _ANOMALY_HOPS:
+                return "failover"
+        return None
+
+
+class TraceArchive:
+    """Bounded, queryable, optionally disk-backed ring of kept traces.
+
+    All methods are thread-safe.  With ``directory=None`` the ring is
+    memory-only (the pre-store engine posture); with a directory, every
+    retained record appends one JSONL line and restarts replay the file.
+    An archive write failure (full disk, read-only volume) degrades to
+    memory-only operation — archiving must never fail the job it records.
+    """
+
+    def __init__(self, directory: Optional[str] = None, *,
+                 max_bytes: int = DEFAULT_ARCHIVE_BYTES,
+                 max_records: int = MAX_ARCHIVE_RECORDS,
+                 policy: Optional[RetentionPolicy] = None,
+                 registry: Optional[Any] = None) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1, got {max_records}")
+        self.policy = policy or RetentionPolicy()
+        self.max_bytes = int(max_bytes)
+        self.max_records = int(max_records)
+        self.directory = os.path.abspath(directory) if directory else None
+        self._path = os.path.join(self.directory, _ARCHIVE_NAME) \
+            if self.directory else None
+        self._lock = threading.Lock()
+        #: (nbytes of the serialized line, record), oldest first.
+        self._records: Deque[Tuple[int, Dict[str, Any]]] = deque()
+        self._bytes = 0
+        self._file_lines = 0
+        self._offered = 0
+        self._dropped = 0
+        self._write_errors = 0
+        self._retained_by_reason: Dict[str, int] = {}
+        self.healed: Dict[str, int] = {}
+        if self.directory:
+            os.makedirs(self.directory, exist_ok=True)
+            self._open()
+        if registry is not None:
+            self._register(registry)
+
+    # ------------------------------------------------------------ open & heal
+
+    def _open(self) -> None:
+        """Replay ``traces.jsonl``, healing crash damage as it goes.
+
+        A line that fails to parse is quarantined (the evidence is kept
+        under ``quarantine/``, out of the hot path) and skipped — the one
+        expected case is the torn final line of a writer killed
+        mid-append.  Orphaned compaction temps are swept.  The file is
+        then rewritten clean, so damage never accumulates.
+        """
+        healed = {"bad_lines": 0, "orphan_tmp": 0}
+        records: List[Tuple[int, Dict[str, Any]]] = []
+        bad: List[str] = []
+        if os.path.exists(self._path):
+            with open(self._path, "r", encoding="utf-8",
+                      errors="replace") as fh:
+                for line in fh:
+                    try:
+                        record = json.loads(line)
+                        if not isinstance(record, dict) \
+                                or "trace_id" not in record:
+                            raise ValueError("not a trace record")
+                    except (ValueError, TypeError):
+                        healed["bad_lines"] += 1
+                        bad.append(line)
+                        continue
+                    records.append((len(line.encode("utf-8")), record))
+        for name in os.listdir(self.directory):
+            if name.startswith(_ARCHIVE_NAME + "."):
+                os.unlink(os.path.join(self.directory, name))
+                healed["orphan_tmp"] += 1
+        if bad:
+            self._quarantine(bad)
+        self._records = deque(records)
+        self._bytes = sum(nbytes for nbytes, _ in self._records)
+        self._evict_over_budget()
+        self.healed = healed
+        try:
+            self._compact()
+        except OSError:
+            self._write_errors += 1
+
+    def _quarantine(self, lines: List[str]) -> None:
+        """Keep unparseable journal bytes as evidence, best-effort."""
+        qdir = os.path.join(self.directory, _QUARANTINE_DIR)
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            fd, path = tempfile.mkstemp(dir=qdir, prefix="torn-",
+                                        suffix=".jsonl")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.writelines(lines)
+            del path
+        except OSError:
+            pass
+
+    # ---------------------------------------------------------------- journal
+
+    def _append_line(self, line: str) -> None:
+        with open(self._path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+        self._file_lines += 1
+        if self._file_lines > len(self._records) + _COMPACT_SLACK:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Atomically rewrite the file as exactly the live records."""
+        fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                   prefix=_ARCHIVE_NAME + ".")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for _nbytes, record in self._records:
+                    fh.write(json.dumps(record, separators=(",", ":"),
+                                        sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self._path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._file_lines = len(self._records)
+
+    def _evict_over_budget(self) -> None:
+        while self._records and (
+                self._bytes > self.max_bytes
+                or len(self._records) > self.max_records):
+            nbytes, _record = self._records.popleft()
+            self._bytes -= nbytes
+
+    # -------------------------------------------------------------------- api
+
+    def offer(self, *, job_id: str, trace: Optional[Dict[str, Any]],
+              outcome: str, algorithm: str, duration_s: float,
+              node: str = "", ts: float = 0.0) -> Optional[str]:
+        """Apply the retention policy to one completed job.
+
+        Returns the retention reason, or ``None`` when the trace was
+        sampled out.  Jobs without a trace (``REPRO_OBS=off`` upstream)
+        are counted but never retained.
+        """
+        with self._lock:
+            self._offered += 1
+        if trace is None:
+            with self._lock:
+                self._dropped += 1
+            return None
+        reason = self.policy.decide(outcome=outcome, duration_s=duration_s,
+                                    trace=trace)
+        if reason is None:
+            with self._lock:
+                self._dropped += 1
+            return None
+        record = {
+            "trace_id": trace.get("trace_id", ""),
+            "job_id": job_id,
+            "node": node,
+            "ts": round(float(ts), 6),
+            "outcome": outcome,
+            "algorithm": algorithm,
+            "duration_s": float(duration_s),
+            "reason": reason,
+            "trace": trace,
+        }
+        line = json.dumps(record, separators=(",", ":"),
+                          sort_keys=True) + "\n"
+        with self._lock:
+            self._records.append((len(line.encode("utf-8")), record))
+            self._bytes += len(line.encode("utf-8"))
+            self._retained_by_reason[reason] = \
+                self._retained_by_reason.get(reason, 0) + 1
+            self._evict_over_budget()
+            if self._path is not None:
+                try:
+                    self._append_line(line)
+                except OSError:
+                    self._write_errors += 1
+        return reason
+
+    def query(self, *, since: Optional[float] = None,
+              min_duration_s: Optional[float] = None,
+              outcome: Optional[str] = None,
+              algorithm: Optional[str] = None,
+              limit: int = 50) -> List[Dict[str, Any]]:
+        """Matching records, slowest first (what "show me the slowest
+        traces in the last hour" wants), bounded by ``limit``."""
+        with self._lock:
+            records = [record for _nbytes, record in self._records]
+        out = []
+        for record in records:
+            if since is not None and record.get("ts", 0.0) < since:
+                continue
+            if min_duration_s is not None \
+                    and record.get("duration_s", 0.0) < min_duration_s:
+                continue
+            if outcome is not None and record.get("outcome") != outcome:
+                continue
+            if algorithm is not None \
+                    and record.get("algorithm") != algorithm:
+                continue
+            out.append(record)
+        out.sort(key=lambda r: (-r.get("duration_s", 0.0),
+                                -r.get("ts", 0.0)))
+        return out[:max(0, int(limit))]
+
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The newest record for ``trace_id``, or ``None``."""
+        with self._lock:
+            for _nbytes, record in reversed(self._records):
+                if record.get("trace_id") == trace_id:
+                    return record
+        return None
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "records": len(self._records),
+                "bytes": self._bytes,
+                "offered": self._offered,
+                "retained": sum(self._retained_by_reason.values()),
+                "dropped": self._dropped,
+                "by_reason": dict(self._retained_by_reason),
+                "write_errors": self._write_errors,
+                "persistent": self._path is not None,
+                "path": self._path,
+                "healed": dict(self.healed),
+            }
+
+    # ---------------------------------------------------------------- metrics
+
+    def _register(self, registry: Any) -> None:
+        self._retained_c = registry.counter(
+            "repro_trace_archive_retained_total",
+            "Traces retained by the tail-sampling policy, by reason.",
+            labels=("reason",))
+        self._dropped_c = registry.counter(
+            "repro_trace_archive_dropped_total",
+            "Completed jobs whose trace the policy sampled out.")
+        registry.gauge(
+            "repro_trace_archive_bytes",
+            "Bytes currently held by the trace-archive ring.",
+            fn=lambda: float(self._bytes))
+        registry.gauge(
+            "repro_trace_archive_records",
+            "Trace records currently queryable in the archive.",
+            fn=lambda: float(len(self._records)))
+        # Mirror the internal tallies into the registry on every offer by
+        # wrapping: cheaper to re-point offer than to double-count here.
+        inner_offer = self.offer
+
+        def counted_offer(**kwargs: Any) -> Optional[str]:
+            reason = inner_offer(**kwargs)
+            if reason is None:
+                self._dropped_c.inc()
+            else:
+                self._retained_c.inc(reason=reason)
+            return reason
+
+        self.offer = counted_offer  # type: ignore[method-assign]

@@ -1,0 +1,274 @@
+"""Declarative SLOs evaluated into multi-window burn-rate gauges.
+
+An :class:`SLO` states an objective over metrics the registry already
+collects — "99.9% of jobs complete successfully", "95% of jobs finish
+under 1 s" — and :class:`SloEngine` turns the cumulative counters behind
+it into the two numbers an operator actually pages on:
+
+* **burn rate** per sliding window: the error rate over the window
+  divided by the rate the objective budgets for.  1.0 means the budget
+  is being spent exactly on schedule; 14 means a 30-day budget is gone
+  in ~2 days.  Exposed as ``repro_slo_burn_rate{slo,window}``.
+* **budget remaining**: the fraction of the all-time error budget still
+  unspent, ``repro_slo_budget_remaining{slo}``.
+
+The engine holds no collector threads: it snapshots the underlying
+counters lazily, whenever a gauge is scraped (with a small guard so the
+several SLO gauges on one ``/v1/metrics`` page share a snapshot), and
+keeps a bounded deque of timestamped snapshots spanning the longest
+window.  Burn over a window is the delta between the freshest snapshot
+and the one closest to the window boundary — no per-request bookkeeping,
+so the job hot path pays nothing.
+
+Sources are the existing families, read directly (never via
+``registry.as_dict()``, which would re-enter the SLO gauges themselves):
+
+* availability: ``repro_jobs_completed_total`` (total, counts failures
+  too) and ``repro_jobs_failed_total`` (bad);
+* latency: the ``repro_job_seconds`` histogram, summed across its
+  ``algorithm`` labels — good = observations at or under the bucket
+  bound matching ``threshold_s``, so thresholds must sit on a bucket
+  boundary (validated at registration).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .registry import MetricsRegistry
+
+#: Default burn-rate windows (seconds): fast page, slow ticket.
+DEFAULT_WINDOWS: Tuple[float, ...] = (300.0, 3600.0)
+
+#: Minimum seconds between two counter snapshots — the SLO gauges on one
+#: metrics page all trigger collection; they should share one snapshot.
+_SNAPSHOT_GUARD_S = 0.05
+
+
+def format_window(seconds: float) -> str:
+    """``300.0 -> "5m"``, ``3600.0 -> "1h"`` — stable gauge label values."""
+    seconds = float(seconds)
+    if seconds < 60 or seconds % 60:
+        return f"{seconds:g}s"
+    if seconds < 3600 or seconds % 3600:
+        return f"{int(seconds // 60)}m"
+    return f"{int(seconds // 3600)}h"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective.
+
+    ``kind`` is ``"availability"`` (good = job did not fail) or
+    ``"latency"`` (good = job ran in at most ``threshold_s`` seconds;
+    required, and must equal one of the ``repro_job_seconds`` bucket
+    bounds so the histogram can answer exactly).
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_s: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO target must be in (0, 1), got {self.target}")
+        if self.kind == "latency" and self.threshold_s is None:
+            raise ValueError(f"latency SLO {self.name!r} needs threshold_s")
+
+
+#: The stock objectives every engine ships with: jobs succeed, and the
+#: overwhelming majority finish within a second.
+DEFAULT_SLOS: Tuple[SLO, ...] = (
+    SLO("availability", "availability", 0.999,
+        description="Jobs complete without failure."),
+    SLO("latency_1s", "latency", 0.95, threshold_s=1.0,
+        description="Jobs finish within 1 s end to end."),
+)
+
+
+@dataclass
+class _Counts:
+    """Cumulative (bad, total) for one SLO at one instant."""
+
+    bad: float = 0.0
+    total: float = 0.0
+
+
+class SloEngine:
+    """Evaluate :class:`SLO` objectives from a registry's own counters."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 slos: Tuple[SLO, ...] = DEFAULT_SLOS,
+                 windows: Tuple[float, ...] = DEFAULT_WINDOWS,
+                 clock: Callable[[], float] = time.time) -> None:
+        if not slos:
+            raise ValueError("SloEngine needs at least one SLO")
+        if not windows or any(w <= 0 for w in windows):
+            raise ValueError(f"bad windows {windows!r}")
+        self.registry = registry
+        self.slos = tuple(slos)
+        self.windows = tuple(sorted(float(w) for w in windows))
+        self._clock = clock
+        self._lock = threading.Lock()
+        # Idempotent re-registration hands back the live families the
+        # scheduler and engine write into (creating them zeroed if the
+        # SLO engine boots first).
+        self._completed = registry.counter(
+            "repro_jobs_completed_total",
+            "Jobs whose runner finished (success or failure).")
+        self._failed = registry.counter(
+            "repro_jobs_failed_total",
+            "Jobs that ended in failure (raised or absorbed).")
+        self._job_h = registry.histogram(
+            "repro_job_seconds",
+            "End-to-end runner seconds per job, by algorithm.",
+            labels=("algorithm",))
+        for slo in self.slos:
+            if slo.kind == "latency" \
+                    and slo.threshold_s not in self._job_h.buckets:
+                raise ValueError(
+                    f"latency SLO {slo.name!r}: threshold_s="
+                    f"{slo.threshold_s} is not a repro_job_seconds bucket "
+                    f"bound {self._job_h.buckets}")
+        #: (ts, {slo name: _Counts}), oldest first, spanning max(windows).
+        self._snapshots: Deque[Tuple[float, Dict[str, _Counts]]] = deque()
+        # Seed the baseline now, so the very first scrape already has a
+        # window start to diff against.
+        self._snapshots.append((self._clock(), self._read_counts()))
+        registry.gauge(
+            "repro_slo_target", "Declared objective target, per SLO.",
+            labels=("slo",),
+            fn=lambda: {(s.name,): s.target for s in self.slos})
+        registry.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate per sliding window "
+            "(1.0 = spending exactly on budget).",
+            labels=("slo", "window"), fn=self._burn_gauge)
+        registry.gauge(
+            "repro_slo_budget_remaining",
+            "Fraction of the all-time error budget still unspent, per SLO.",
+            labels=("slo",), fn=self._budget_gauge)
+
+    # ------------------------------------------------------------- collection
+
+    def _read_counts(self) -> Dict[str, _Counts]:
+        latency_samples = None
+        out: Dict[str, _Counts] = {}
+        for slo in self.slos:
+            if slo.kind == "availability":
+                out[slo.name] = _Counts(bad=self._failed.value(),
+                                        total=self._completed.value())
+                continue
+            if latency_samples is None:
+                latency_samples = self._job_h.samples()
+            bound_idx = self._job_h.buckets.index(slo.threshold_s)
+            good = total = 0.0
+            for sample in latency_samples:
+                counts = sample.get("counts") or ()
+                good += sum(counts[:bound_idx + 1])
+                total += sum(counts)
+            out[slo.name] = _Counts(bad=total - good, total=total)
+        return out
+
+    def _snapshot(self) -> Tuple[float, Dict[str, _Counts]]:
+        """Append a fresh snapshot (or reuse a just-taken one)."""
+        now = self._clock()
+        with self._lock:
+            if self._snapshots \
+                    and now - self._snapshots[-1][0] < _SNAPSHOT_GUARD_S:
+                return self._snapshots[-1]
+            counts = self._read_counts()
+            self._snapshots.append((now, counts))
+            # Keep exactly one snapshot at or beyond the longest window's
+            # boundary so every window always has a baseline to diff
+            # against.
+            horizon = now - self.windows[-1]
+            while len(self._snapshots) >= 2 \
+                    and self._snapshots[1][0] <= horizon:
+                self._snapshots.popleft()
+            return self._snapshots[-1]
+
+    def _baseline(self, now: float, window: float,
+                  ) -> Tuple[float, Dict[str, _Counts]]:
+        """The snapshot closest to (at or before) the window boundary."""
+        boundary = now - window
+        with self._lock:
+            chosen = self._snapshots[0]
+            for ts, counts in self._snapshots:
+                if ts > boundary:
+                    break
+                chosen = (ts, counts)
+            return chosen
+
+    # ------------------------------------------------------------ evaluation
+
+    def burn_rates(self) -> Dict[Tuple[str, str], float]:
+        """``{(slo, window label): burn rate}`` for every SLO × window."""
+        now, fresh = self._snapshot()
+        out: Dict[Tuple[str, str], float] = {}
+        for window in self.windows:
+            _base_ts, base = self._baseline(now, window)
+            for slo in self.slos:
+                cur = fresh.get(slo.name, _Counts())
+                old = base.get(slo.name, _Counts())
+                d_total = cur.total - old.total
+                d_bad = cur.bad - old.bad
+                burn = 0.0
+                if d_total > 0:
+                    burn = (d_bad / d_total) / (1.0 - slo.target)
+                out[(slo.name, format_window(window))] = burn
+        return out
+
+    def budget_remaining(self) -> Dict[str, float]:
+        """``{slo: fraction of the all-time error budget unspent}``."""
+        _now, fresh = self._snapshot()
+        out: Dict[str, float] = {}
+        for slo in self.slos:
+            counts = fresh.get(slo.name, _Counts())
+            if counts.total <= 0:
+                out[slo.name] = 1.0
+                continue
+            spent = (counts.bad / counts.total) / (1.0 - slo.target)
+            out[slo.name] = 1.0 - spent
+        return out
+
+    def report(self) -> List[Dict[str, Any]]:
+        """JSON-safe evaluation of every SLO (CLI / flight-recorder form)."""
+        burn = self.burn_rates()
+        budget = self.budget_remaining()
+        _now, fresh = self._snapshot()
+        out: List[Dict[str, Any]] = []
+        for slo in self.slos:
+            counts = fresh.get(slo.name, _Counts())
+            out.append({
+                "name": slo.name,
+                "kind": slo.kind,
+                "target": slo.target,
+                "threshold_s": slo.threshold_s,
+                "description": slo.description,
+                "total": counts.total,
+                "bad": counts.bad,
+                "budget_remaining": budget[slo.name],
+                "burn_rate": {
+                    format_window(w): burn[(slo.name, format_window(w))]
+                    for w in self.windows},
+            })
+        return out
+
+    # --------------------------------------------------------------- gauges
+
+    def _burn_gauge(self) -> Dict[Tuple[str, str], float]:
+        return self.burn_rates()
+
+    def _budget_gauge(self) -> Dict[Tuple[str], float]:
+        return {(name,): value
+                for name, value in self.budget_remaining().items()}

@@ -39,6 +39,7 @@ The engine is directly embeddable (no server required)::
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from collections import deque
@@ -53,7 +54,14 @@ from repro.errors import InvalidInputError, ReproError, ServiceError
 from repro.kokkos.counters import CostCounters
 from repro.metrics import mfeatures_per_second
 from repro.obs import (
+    DEFAULT_ARCHIVE_BYTES,
+    DEFAULT_SAMPLE,
+    DEFAULT_SLOS,
+    DEFAULT_SLOW_THRESHOLD_S,
     MetricsRegistry,
+    RetentionPolicy,
+    SloEngine,
+    TraceArchive,
     make_span,
     make_trace,
     new_trace_id,
@@ -139,7 +147,11 @@ class Engine:
                  store_bytes: int = DEFAULT_STORE_BYTES,
                  max_retained_jobs: int = 1024,
                  max_retained_bytes: int = DEFAULT_RETAINED_BYTES,
-                 obs: Optional[bool] = None) -> None:
+                 obs: Optional[bool] = None,
+                 trace_archive_bytes: int = DEFAULT_ARCHIVE_BYTES,
+                 trace_slow_threshold: float = DEFAULT_SLOW_THRESHOLD_S,
+                 trace_sample: float = DEFAULT_SAMPLE,
+                 slos: Optional[tuple] = None) -> None:
         if max_retained_jobs < 1:
             raise ValueError(
                 f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
@@ -200,6 +212,24 @@ class Engine:
             "Bytes currently held by the persistent disk store.",
             fn=lambda: (self.store.current_bytes
                         if self.store is not None else 0.0))
+        #: Tail-sampled trace retention + the SLO burn-rate gauges, both
+        #: alive only when instrumentation is on (with ``REPRO_OBS=off``
+        #: no trace exists to retain and the gauges would read zeros).
+        #: The archive persists under ``<store_dir>/traces`` when the
+        #: engine has a store dir, memory-only otherwise.
+        self.trace_archive: Optional[TraceArchive] = None
+        self.slo_engine: Optional[SloEngine] = None
+        if self.registry.enabled:
+            archive_dir = os.path.join(store_dir, "traces") \
+                if store_dir is not None else None
+            self.trace_archive = TraceArchive(
+                archive_dir, max_bytes=trace_archive_bytes,
+                policy=RetentionPolicy(
+                    slow_threshold_s=trace_slow_threshold,
+                    sample=trace_sample),
+                registry=self.registry)
+            self.slo_engine = SloEngine(
+                self.registry, slos=tuple(slos) if slos else DEFAULT_SLOS)
         #: Only the newest finished jobs stay queryable, bounded both by
         #: count and by total payload bytes (specs can carry inline point
         #: arrays and payloads can be large, so retention must be bounded
@@ -221,6 +251,22 @@ class Engine:
         self._ids = itertools.count(1)
         self._started_at = time.perf_counter()
         self._closed = False
+        #: The construction-time configuration, verbatim, for the flight
+        #: recorder — a dump must show what the process was booted with.
+        self._config: Dict[str, Any] = {
+            "max_workers": max_workers, "max_batch": max_batch,
+            "batch_window": batch_window, "backend": backend,
+            "tree_cache_bytes": tree_cache_bytes,
+            "result_cache_bytes": result_cache_bytes,
+            "core_cache_bytes": core_cache_bytes,
+            "store_dir": store_dir, "store_bytes": store_bytes,
+            "max_retained_jobs": max_retained_jobs,
+            "max_retained_bytes": max_retained_bytes,
+            "obs_enabled": self.registry.enabled,
+            "trace_archive_bytes": trace_archive_bytes,
+            "trace_slow_threshold": trace_slow_threshold,
+            "trace_sample": trace_sample,
+        }
 
     # ---------------------------------------------------------------- submit
 
@@ -389,6 +435,51 @@ class Engine:
         """
         return self.store.compact() if self.store is not None else None
 
+    # ------------------------------------------------------------- obs query
+
+    def traces(self, query: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+        """Archived-trace records matching ``query`` (see
+        :meth:`repro.obs.TraceArchive.query`), plus archive statistics.
+
+        With instrumentation off there is no archive; the answer is an
+        empty, well-formed document rather than an error, so fleet-wide
+        tooling can hit every node uniformly.
+        """
+        if self.trace_archive is None:
+            return {"traces": [], "stats": None}
+        return {"traces": self.trace_archive.query(**(query or {})),
+                "stats": self.trace_archive.stats()}
+
+    def trace(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """One archived trace record by id, or ``None``."""
+        if self.trace_archive is None:
+            return None
+        return self.trace_archive.get(trace_id)
+
+    def dump(self) -> Dict[str, Any]:
+        """The engine's flight-recorder bundle: everything a postmortem
+        wants from this process, in one JSON-safe snapshot."""
+        with self._lock:
+            inflight = [
+                {"job_id": job_id, "status": record.status.value,
+                 "algorithm": record.spec.algorithm,
+                 "submitted_wall": record.submitted_wall}
+                for job_id, record in self._records.items()
+                if not record.status.finished]
+        return {
+            "ts": time.time(),
+            "config": dict(self._config),
+            "queue_depth": self.queue_depth(),
+            "inflight_jobs": inflight,
+            "stats": self.stats(),
+            "metrics": self.registry.as_dict(),
+            "slo": (self.slo_engine.report()
+                    if self.slo_engine is not None else None),
+            "trace_archive": (self.trace_archive.stats()
+                              if self.trace_archive is not None else None),
+        }
+
     # ---------------------------------------------------------------- worker
 
     def _run_job(self, ticket: JobTicket) -> JobResult:
@@ -411,6 +502,16 @@ class Engine:
         if self.registry.enabled:
             self._observe_phases(result)
             result.trace = self._build_trace(record, ticket, result)
+            if self.trace_archive is not None:
+                # The retention decision happens here, at completion,
+                # with the finished trace in hand — the archive stores
+                # the *same object* the client sees on JobResult.trace.
+                self.trace_archive.offer(
+                    job_id=ticket.job_id, trace=result.trace,
+                    outcome=result.status.value,
+                    algorithm=record.spec.algorithm,
+                    duration_s=ticket.run_seconds, node=self.node_name,
+                    ts=time.time())
         # record.payload_nbytes was set by _execute: the computed size for
         # misses, the cached entry's size for hits (a hit-record keeps the
         # payload alive even after cache eviction, so it must be charged).

@@ -37,6 +37,19 @@ Endpoints (all JSON):
     Force a journal compaction of the persistent store; returns the
     journal lines/bytes reclaimed, or ``{"compacted": null}`` on a
     memory-only node.  No request body required.
+``GET /v1/traces[?since=&min_duration_ms=&outcome=&algorithm=&limit=]``
+    Archived trace records kept by the tail-sampling retention policy
+    (failures, slow jobs, failover/lost traces, plus a deterministic
+    sample of the fast majority), slowest first.
+``GET /v1/traces/<trace_id>``
+    One archived trace record; 404 ``unknown_trace`` if sampled out or
+    evicted.
+``GET /v1/admin/events[?limit=]``
+    The newest entries of the in-memory structured-event ring — remote
+    access to what ``--verbose`` writes to stderr.
+``POST /v1/admin/dump``
+    Flight-recorder snapshot: config, stats, metrics, SLO report,
+    inflight jobs, queue depth and the event ring in one debug bundle.
 
 Every response carries an ``X-Repro-Node`` header naming the serving node
 (``--name``, defaulting to ``host:port``), so a client behind the cluster
@@ -65,6 +78,7 @@ import repro
 from repro.api.contract import (  # noqa: F401 — re-exported wire constants
     ERR_OVERLOADED,
     ERR_UNKNOWN_JOB,
+    ERR_UNKNOWN_TRACE,
     ApiError,
     MAX_BODY_BYTES,
     MAX_WAIT_SECONDS,
@@ -96,6 +110,9 @@ class EngineAPI(WireAPI):
         self.engine = engine
         self.node_name = node_name
         self.max_queue_depth = max_queue_depth
+        #: The HTTP host's structured-event ring; attached by
+        #: ``create_server`` so ``GET /v1/admin/events`` can serve it.
+        self.event_log: Optional[EventLog] = None
 
     async def healthz(self) -> Dict[str, Any]:
         return {"status": "ok",
@@ -191,6 +208,32 @@ class EngineAPI(WireAPI):
         return {"status": "ok",
                 "compacted": await asyncio.to_thread(self.engine.compact)}
 
+    async def traces(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        return await asyncio.to_thread(self.engine.traces, query)
+
+    async def trace(self, trace_id: str
+                    ) -> Tuple[Dict[str, Any], Optional[str]]:
+        record = await asyncio.to_thread(self.engine.trace, trace_id)
+        if record is None:
+            raise ApiError(404, f"unknown trace id {trace_id!r}",
+                           code=ERR_UNKNOWN_TRACE)
+        return record, None
+
+    async def events(self, limit: Optional[int]) -> Dict[str, Any]:
+        log = self.event_log
+        if log is None:
+            return {"events": [], "stats": None}
+        return {"events": log.recent(limit), "stats": log.stats()}
+
+    async def dump(self) -> Dict[str, Any]:
+        bundle = await asyncio.to_thread(self.engine.dump)
+        bundle["role"] = "node"
+        bundle["node"] = self.node_name
+        if self.event_log is not None:
+            bundle["events"] = self.event_log.recent()
+            bundle["events_stats"] = self.event_log.stats()
+        return bundle
+
 
 def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
                   *, verbose: bool = False,
@@ -227,6 +270,7 @@ def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
     engine.node_name = server.node_name  # names this engine's trace spans
     server.events = EventLog(
         stream=sys.stderr if verbose else None, sample=access_log_sample)
+    api.event_log = server.events  # /v1/admin/events serves this ring
     server.http_latency = engine.registry.histogram(
         "repro_http_request_seconds",
         "HTTP handler latency by (normalized) endpoint.",

@@ -1,0 +1,236 @@
+"""Tests for the tail-sampled trace archive (repro.obs.archive)."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RetentionPolicy,
+    TraceArchive,
+    make_span,
+    make_trace,
+)
+
+
+def _trace(trace_id="tr-test", spans=None):
+    return make_trace(trace_id=trace_id, spans=spans or [
+        make_span("executed", start=1000.0, duration_s=0.01)])
+
+
+def _offer(archive, trace_id, *, outcome="done", duration_s=10.0,
+           algorithm="emst", ts=0.0, trace=None):
+    """Retained-by-default offer (duration far over any slow threshold)."""
+    return archive.offer(
+        job_id=f"job-{trace_id}", trace=trace or _trace(trace_id),
+        outcome=outcome, algorithm=algorithm, duration_s=duration_s,
+        node="node-0", ts=ts)
+
+
+class TestRetentionPolicy:
+    def test_failure_always_kept(self):
+        policy = RetentionPolicy(slow_threshold_s=0.25, sample=0.0)
+        assert policy.decide(outcome="failed", duration_s=0.001,
+                             trace=_trace()) == "failed"
+
+    def test_slow_always_kept(self):
+        policy = RetentionPolicy(slow_threshold_s=0.25, sample=0.0)
+        assert policy.decide(outcome="done", duration_s=0.25,
+                             trace=_trace()) == "slow"
+        assert policy.decide(outcome="done", duration_s=0.24,
+                             trace=_trace()) is None
+
+    def test_lost_marker_span_kept(self):
+        trace = make_trace(spans=[make_span("lost", node="router")])
+        policy = RetentionPolicy(sample=0.0)
+        assert policy.decide(outcome="done", duration_s=0.0,
+                             trace=trace) == "lost"
+
+    def test_failover_hop_kept(self):
+        trace = make_trace(spans=[
+            make_span("route", node="router", outcome="unavailable"),
+            make_span("route", node="router", outcome="accepted")])
+        policy = RetentionPolicy(sample=0.0)
+        assert policy.decide(outcome="done", duration_s=0.0,
+                             trace=trace) == "failover"
+
+    def test_clean_route_hop_not_an_anomaly(self):
+        trace = make_trace(spans=[
+            make_span("route", node="router", outcome="accepted")])
+        policy = RetentionPolicy(sample=0.0)
+        assert policy.decide(outcome="done", duration_s=0.0,
+                             trace=trace) is None
+
+    def test_sampling_is_deterministic_and_exact(self):
+        policy = RetentionPolicy(slow_threshold_s=100.0, sample=0.5)
+        kept = [policy.decide(outcome="done", duration_s=0.0,
+                              trace=_trace()) for _ in range(10)]
+        assert kept.count("sampled") == 5
+
+    def test_sample_edges(self):
+        keep_all = RetentionPolicy(slow_threshold_s=100.0, sample=1.0)
+        assert keep_all.decide(outcome="done", duration_s=0.0,
+                               trace=_trace()) == "sampled"
+        keep_none = RetentionPolicy(slow_threshold_s=100.0, sample=0.0)
+        assert keep_none.decide(outcome="done", duration_s=0.0,
+                                trace=_trace()) is None
+
+    def test_slow_jobs_do_not_advance_the_sample_counter(self):
+        # The sample fraction applies to the *fast* stream alone: keeping
+        # a slow job must not consume a fast job's keep slot.
+        policy = RetentionPolicy(slow_threshold_s=1.0, sample=0.5)
+        for _ in range(100):
+            assert policy.decide(outcome="done", duration_s=2.0,
+                                 trace=_trace()) == "slow"
+        kept = [policy.decide(outcome="done", duration_s=0.0,
+                              trace=_trace()) for _ in range(10)]
+        assert kept.count("sampled") == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(slow_threshold_s=-1.0)
+        with pytest.raises(ValueError):
+            RetentionPolicy(sample=1.5)
+
+
+class TestArchiveMemory:
+    def test_memory_only_round_trip(self):
+        archive = TraceArchive()
+        assert _offer(archive, "tr-a") == "slow"
+        assert archive.get("tr-a")["job_id"] == "job-tr-a"
+        assert archive.get("tr-missing") is None
+        stats = archive.stats()
+        assert not stats["persistent"] and stats["records"] == 1
+
+    def test_traceless_offer_counted_but_dropped(self):
+        archive = TraceArchive()
+        assert archive.offer(job_id="j", trace=None, outcome="done",
+                             algorithm="emst", duration_s=99.0) is None
+        stats = archive.stats()
+        assert stats["offered"] == 1 and stats["dropped"] == 1
+
+    def test_byte_budget_evicts_oldest(self):
+        archive = TraceArchive(max_bytes=1024)
+        for i in range(50):
+            _offer(archive, f"tr-{i:02d}")
+        stats = archive.stats()
+        assert stats["bytes"] <= 1024
+        assert archive.get("tr-00") is None  # oldest fell off the ring
+        assert archive.get("tr-49") is not None
+
+    def test_record_cap_evicts_oldest(self):
+        archive = TraceArchive(max_records=3)
+        for i in range(5):
+            _offer(archive, f"tr-{i}")
+        assert archive.stats()["records"] == 3
+        assert archive.get("tr-1") is None
+        assert archive.get("tr-4") is not None
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TraceArchive(max_bytes=0)
+        with pytest.raises(ValueError):
+            TraceArchive(max_records=0)
+
+    def test_query_filters_and_slowest_first_order(self):
+        archive = TraceArchive()
+        _offer(archive, "tr-fast", duration_s=0.3, ts=10.0)
+        _offer(archive, "tr-slow", duration_s=9.0, ts=20.0,
+               algorithm="hdbscan")
+        _offer(archive, "tr-bad", outcome="failed", duration_s=0.4, ts=30.0)
+        ids = [r["trace_id"] for r in archive.query()]
+        assert ids == ["tr-slow", "tr-bad", "tr-fast"]
+        assert [r["trace_id"] for r in archive.query(outcome="failed")] \
+            == ["tr-bad"]
+        assert [r["trace_id"] for r in archive.query(algorithm="hdbscan")] \
+            == ["tr-slow"]
+        assert [r["trace_id"] for r in archive.query(since=15.0)] \
+            == ["tr-slow", "tr-bad"]
+        assert [r["trace_id"] for r in archive.query(min_duration_s=1.0)] \
+            == ["tr-slow"]
+        assert len(archive.query(limit=2)) == 2
+
+    def test_registry_counts_retained_and_dropped(self):
+        registry = MetricsRegistry()
+        archive = TraceArchive(
+            policy=RetentionPolicy(slow_threshold_s=100.0, sample=0.0),
+            registry=registry)
+        _offer(archive, "tr-bad", outcome="failed")
+        _offer(archive, "tr-fast", duration_s=0.0)  # sampled out
+        retained = registry.counter("repro_trace_archive_retained_total",
+                                    labels=("reason",))
+        dropped = registry.counter("repro_trace_archive_dropped_total")
+        assert retained.value(reason="failed") == 1.0
+        assert dropped.value() == 1.0
+        by_name = {m["name"]: m for m in registry.as_dict()["metrics"]}
+        assert by_name["repro_trace_archive_records"][
+            "samples"][0]["value"] == 1.0
+
+
+class TestArchivePersistence:
+    """A killed writer must never poison the archive: opening self-heals
+    (mirrors the DiskStore crash-safety contract in test_store.py)."""
+
+    def test_reopen_serves_byte_identical_records(self, tmp_path):
+        root = str(tmp_path / "traces")
+        archive = TraceArchive(root)
+        _offer(archive, "tr-keep", outcome="failed", duration_s=0.123)
+        original = archive.get("tr-keep")
+
+        reopened = TraceArchive(root)
+        record = reopened.get("tr-keep")
+        assert json.dumps(record, sort_keys=True) \
+            == json.dumps(original, sort_keys=True)
+        assert reopened.stats()["healed"] == {"bad_lines": 0,
+                                              "orphan_tmp": 0}
+
+    def test_torn_final_line_quarantined_on_open(self, tmp_path):
+        root = str(tmp_path / "traces")
+        archive = TraceArchive(root)
+        _offer(archive, "tr-a")
+        _offer(archive, "tr-b")
+        with open(os.path.join(root, "traces.jsonl"), "a",
+                  encoding="utf-8") as fh:
+            fh.write('{"trace_id": "tr-c", "tr')  # kill -9 mid-append
+
+        reopened = TraceArchive(root)
+        assert reopened.stats()["healed"]["bad_lines"] == 1
+        assert reopened.get("tr-a") and reopened.get("tr-b")
+        quarantined = os.listdir(os.path.join(root, "quarantine"))
+        assert any(name.startswith("torn-") for name in quarantined)
+        # The heal rewrote the file clean: a second open finds no damage.
+        assert TraceArchive(root).stats()["healed"]["bad_lines"] == 0
+
+    def test_orphan_compaction_temp_swept_on_open(self, tmp_path):
+        root = str(tmp_path / "traces")
+        archive = TraceArchive(root)
+        _offer(archive, "tr-a")
+        stray = os.path.join(root, "traces.jsonl.orphan")
+        with open(stray, "w", encoding="utf-8") as fh:
+            fh.write("crash mid-compact leftovers")
+
+        reopened = TraceArchive(root)
+        assert not os.path.exists(stray)
+        assert reopened.stats()["healed"]["orphan_tmp"] == 1
+        assert reopened.get("tr-a") is not None
+
+    def test_eviction_compacts_the_file_eventually(self, tmp_path):
+        root = str(tmp_path / "traces")
+        archive = TraceArchive(root, max_records=4)
+        for i in range(400):  # > _COMPACT_SLACK dead lines
+            _offer(archive, f"tr-{i:03d}")
+        with open(os.path.join(root, "traces.jsonl"),
+                  encoding="utf-8") as fh:
+            lines = fh.readlines()
+        assert len(lines) < 400
+        assert archive.stats()["records"] == 4
+
+    def test_reopen_respects_tighter_budget(self, tmp_path):
+        root = str(tmp_path / "traces")
+        archive = TraceArchive(root)
+        for i in range(10):
+            _offer(archive, f"tr-{i}")
+        reopened = TraceArchive(root, max_records=3)
+        assert reopened.stats()["records"] == 3
+        assert reopened.get("tr-9") is not None  # newest survive the cut

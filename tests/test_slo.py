@@ -1,0 +1,181 @@
+"""Tests for the SLO burn-rate engine (repro.obs.slo)."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SLOS,
+    MetricsRegistry,
+    SLO,
+    SloEngine,
+    format_window,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _engine(registry, clock, windows=(300.0, 3600.0), slos=DEFAULT_SLOS):
+    return SloEngine(registry, slos=slos, windows=windows, clock=clock)
+
+
+class TestSloDeclaration:
+    def test_format_window(self):
+        assert format_window(300.0) == "5m"
+        assert format_window(3600.0) == "1h"
+        assert format_window(90.0) == "90s"
+        assert format_window(5400.0) == "90m"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO("x", "throughput", 0.99)
+        with pytest.raises(ValueError):
+            SLO("x", "availability", 1.0)
+        with pytest.raises(ValueError):
+            SLO("x", "latency", 0.95)  # no threshold_s
+
+    def test_latency_threshold_must_sit_on_a_bucket_bound(self):
+        registry = MetricsRegistry()
+        offbucket = SLO("latency_odd", "latency", 0.95, threshold_s=0.33)
+        with pytest.raises(ValueError, match="bucket"):
+            _engine(registry, FakeClock(), slos=(offbucket,))
+
+    def test_engine_rejects_empty_config(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            _engine(registry, FakeClock(), slos=())
+        with pytest.raises(ValueError):
+            _engine(registry, FakeClock(), windows=())
+
+
+class TestBurnMath:
+    def _counters(self, registry):
+        completed = registry.counter("repro_jobs_completed_total")
+        failed = registry.counter("repro_jobs_failed_total")
+        latency = registry.histogram("repro_job_seconds",
+                                     labels=("algorithm",))
+        return completed, failed, latency
+
+    def test_availability_burn_over_a_window(self):
+        registry, clock = MetricsRegistry(), FakeClock()
+        engine = _engine(registry, clock)  # baseline seeded at t=1000
+        completed, failed, _ = self._counters(registry)
+        for _ in range(100):
+            completed.inc()
+        failed.inc()  # 1% failure against a 0.1% budget
+        clock.advance(60.0)
+        burn = engine.burn_rates()
+        assert burn[("availability", "5m")] == pytest.approx(
+            0.01 / (1.0 - 0.999))
+        # Both windows see the same young delta.
+        assert burn[("availability", "1h")] == \
+            pytest.approx(burn[("availability", "5m")])
+
+    def test_latency_burn_counts_over_threshold_jobs(self):
+        registry, clock = MetricsRegistry(), FakeClock()
+        engine = _engine(registry, clock)
+        completed, _, latency = self._counters(registry)
+        for _ in range(8):
+            latency.observe(0.01, algorithm="emst")
+            completed.inc()
+        for _ in range(2):  # over the 1 s threshold, split across labels
+            latency.observe(2.0, algorithm="hdbscan")
+            completed.inc()
+        clock.advance(60.0)
+        burn = engine.burn_rates()
+        assert burn[("latency_1s", "5m")] == pytest.approx(
+            0.2 / (1.0 - 0.95))
+
+    def test_zero_traffic_burns_nothing(self):
+        registry, clock = MetricsRegistry(), FakeClock()
+        engine = _engine(registry, clock)
+        clock.advance(60.0)
+        assert set(engine.burn_rates().values()) == {0.0}
+        assert set(engine.budget_remaining().values()) == {1.0}
+
+    def test_old_errors_age_out_of_the_window(self):
+        registry, clock = MetricsRegistry(), FakeClock()
+        engine = _engine(registry, clock, windows=(300.0,))
+        completed, failed, _ = self._counters(registry)
+        for _ in range(100):
+            completed.inc()
+        failed.inc()
+        clock.advance(60.0)
+        assert engine.burn_rates()[("availability", "5m")] > 0.0
+        # A clean 10 minutes later the bad minute is outside the window.
+        for _ in range(100):
+            completed.inc()
+        clock.advance(600.0)
+        assert engine.burn_rates()[("availability", "5m")] == 0.0
+
+    def test_budget_remaining_is_all_time(self):
+        registry, clock = MetricsRegistry(), FakeClock()
+        engine = _engine(registry, clock)
+        completed, failed, _ = self._counters(registry)
+        for _ in range(2000):
+            completed.inc()
+        failed.inc()  # 0.05% of a 0.1% budget: half spent
+        clock.advance(60.0)
+        assert engine.budget_remaining()["availability"] == \
+            pytest.approx(0.5)
+
+    def test_report_is_json_safe_and_complete(self):
+        import json
+
+        registry, clock = MetricsRegistry(), FakeClock()
+        engine = _engine(registry, clock)
+        completed, _, _ = self._counters(registry)
+        completed.inc()
+        clock.advance(60.0)
+        report = json.loads(json.dumps(engine.report()))
+        assert [entry["name"] for entry in report] == \
+            ["availability", "latency_1s"]
+        assert set(report[0]["burn_rate"]) == {"5m", "1h"}
+        assert report[0]["total"] == 1.0
+
+    def test_snapshot_history_stays_bounded(self):
+        registry, clock = MetricsRegistry(), FakeClock()
+        engine = _engine(registry, clock, windows=(300.0,))
+        for _ in range(100):
+            clock.advance(30.0)
+            engine.burn_rates()
+        # ~10 snapshots cover a 300 s window at one per 30 s; the deque
+        # must not grow with scrape count.
+        assert len(engine._snapshots) < 15
+
+
+class TestSloGauges:
+    def test_gauges_render_without_recursion(self):
+        registry, clock = MetricsRegistry(), FakeClock()
+        _engine(registry, clock)
+        completed = registry.counter("repro_jobs_completed_total")
+        failed = registry.counter("repro_jobs_failed_total")
+        for _ in range(10):
+            completed.inc()
+        failed.inc()
+        clock.advance(60.0)
+        text = registry.render_prometheus()
+        assert 'repro_slo_burn_rate{slo="availability",window="5m"}' in text
+        assert 'repro_slo_budget_remaining{slo="latency_1s"}' in text
+        assert 'repro_slo_target{slo="availability"} 0.999' in text
+
+    def test_scrapes_inside_the_guard_share_one_snapshot(self):
+        registry, clock = MetricsRegistry(), FakeClock()
+        engine = _engine(registry, clock)
+        completed = registry.counter("repro_jobs_completed_total")
+        completed.inc()
+        clock.advance(60.0)
+        engine.burn_rates()
+        depth = len(engine._snapshots)
+        # Same instant (the several SLO gauges on one metrics page):
+        # no second snapshot is taken.
+        engine.budget_remaining()
+        engine.burn_rates()
+        assert len(engine._snapshots) == depth

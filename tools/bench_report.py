@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Aggregate every ``reports/BENCH_*.json`` into one trend summary.
+
+Each benchmark driver writes its own machine-readable report; this tool
+folds whatever subset exists into a single table so one CI artifact
+answers "how did this build do" without opening five JSON files.  Known
+benchmarks get curated headline rows (the numbers their gates are about:
+obs overhead %, load peak throughput, kernel speedups, ...); anything
+unrecognized falls back to its shallowest numeric leaves, so a new
+``BENCH_foo.json`` shows up here the day it lands with no edit to this
+file.
+
+Outputs, next to the inputs:
+
+* ``reports/BENCH_report.md``   — one markdown table per benchmark;
+* ``reports/BENCH_report.json`` — the same rows, machine-readable.
+
+Usage::
+
+    python tools/bench_report.py [--reports-dir reports]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Cap on fallback rows per benchmark, so a deeply nested report cannot
+#: drown the table; curated extractors are exempt.
+MAX_GENERIC_ROWS = 8
+
+
+# --------------------------------------------------------------- extractors
+#
+# Each extractor maps one benchmark payload to [(metric, value), ...].
+# They only .get() their way in — a missing key degrades to fewer rows,
+# never a crash — and an extractor raising falls back to the generic walk.
+
+def _headline_obs(payload):
+    comparison = payload.get("comparison", {})
+    return [
+        ("overhead_pct", comparison.get("overhead_pct")),
+        ("best_off_seconds", comparison.get("best_off_seconds")),
+        ("best_on_seconds", comparison.get("best_on_seconds")),
+        ("n_points", comparison.get("n_points")),
+    ]
+
+
+def _headline_load(payload):
+    sweep = payload.get("sweep") or []
+    rows = []
+    if sweep:
+        peak = max(sweep, key=lambda e: e.get(
+            "throughput_jobs_per_sec", 0.0))
+        rows += [
+            ("peak_throughput_jobs_per_sec",
+             peak.get("throughput_jobs_per_sec")),
+            ("lightest_rate_p50_s", sweep[0].get("p50_s")),
+            ("lightest_rate_p99_s", sweep[0].get("p99_s")),
+            ("top_rate_shed_fraction", sweep[-1].get("shed_rate")),
+        ]
+    overload = payload.get("overload", {})
+    if overload.get("burst"):
+        rows.append(("overload_shed_fraction",
+                     overload.get("shed", 0) / overload["burst"]))
+    return rows
+
+
+def _headline_kernels(payload):
+    rows = []
+    dims = payload.get("headline", {}).get("dimensions", {})
+    for dim in sorted(dims):
+        rows.append((f"headline_speedup_{dim}d", dims[dim].get("speedup")))
+        rows.append((f"headline_new_seconds_{dim}d",
+                     dims[dim].get("new_seconds")))
+    return rows
+
+
+def _headline_store(payload):
+    by_size = payload.get("by_size", {})
+    if not by_size:
+        return []
+    biggest = by_size[max(by_size, key=int)]
+    return [(f"n{max(by_size, key=int)}_{key}", value)
+            for key, value in sorted(biggest.items())
+            if isinstance(value, (int, float)) and not isinstance(value, bool)]
+
+
+def _headline_cluster(payload):
+    by_fleet = payload.get("by_fleet", {})
+    if not by_fleet:
+        return []
+    biggest = by_fleet[max(by_fleet, key=int)]
+    return [(f"fleet{max(by_fleet, key=int)}_{key}", value)
+            for key, value in sorted(biggest.items())
+            if isinstance(value, (int, float)) and not isinstance(value, bool)]
+
+
+HEADLINES = {
+    "bench_obs": _headline_obs,
+    "bench_load": _headline_load,
+    "bench_kernels": _headline_kernels,
+    "bench_store": _headline_store,
+    "bench_cluster": _headline_cluster,
+}
+
+#: Bookkeeping keys the generic walk skips — present in every report and
+#: never a trend signal.
+_SKIP_KEYS = ("cpu_count", "seed")
+
+
+def _numeric_leaves(payload, prefix="", depth=0):
+    """Depth-first ``(dotted.path, value)`` pairs, shallowest first."""
+    if depth > 3:
+        return
+    for key in sorted(payload):
+        if depth == 0 and key in _SKIP_KEYS:
+            continue
+        value = payload[key]
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            yield path, value
+        elif isinstance(value, dict):
+            yield from _numeric_leaves(value, f"{path}.", depth + 1)
+
+
+def extract_rows(payload):
+    """Headline ``(metric, value)`` rows for one benchmark payload."""
+    extractor = HEADLINES.get(payload.get("benchmark"))
+    if extractor is not None:
+        try:
+            rows = [(metric, value) for metric, value in extractor(payload)
+                    if value is not None]
+            if rows:
+                return rows, "curated"
+        except (KeyError, TypeError, ValueError, ZeroDivisionError):
+            pass  # malformed report: the generic walk still says something
+    generic = sorted(_numeric_leaves(payload),
+                     key=lambda item: (item[0].count("."), item[0]))
+    return generic[:MAX_GENERIC_ROWS], "generic"
+
+
+def _fmt(value):
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value)) if isinstance(value, float) else str(value)
+
+
+def build_report(reports_dir):
+    """All ``BENCH_*.json`` under ``reports_dir`` folded into one doc."""
+    paths = sorted(glob.glob(os.path.join(reports_dir, "BENCH_*.json")))
+    paths = [p for p in paths
+             if os.path.basename(p) != "BENCH_report.json"]
+    benchmarks, skipped = {}, []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            skipped.append({"file": os.path.basename(path),
+                            "error": str(exc)})
+            continue
+        name = payload.get("benchmark") or \
+            os.path.basename(path)[len("BENCH_"):-len(".json")]
+        rows, source = extract_rows(payload)
+        benchmarks[name] = {
+            "file": os.path.basename(path),
+            "cpu_count": payload.get("cpu_count"),
+            "source": source,
+            "headlines": {metric: value for metric, value in rows},
+        }
+    return {"reports_dir": os.path.abspath(reports_dir),
+            "benchmarks": benchmarks, "skipped": skipped}
+
+
+def render_markdown(report):
+    lines = ["# Benchmark trend summary", ""]
+    if not report["benchmarks"]:
+        lines.append("_No BENCH_*.json reports found._")
+        return "\n".join(lines) + "\n"
+    for name, entry in sorted(report["benchmarks"].items()):
+        suffix = " (generic rows)" if entry["source"] == "generic" else ""
+        lines += [f"## {name}{suffix}", "",
+                  f"`{entry['file']}`, cpu_count={entry['cpu_count']}", "",
+                  "| metric | value |", "| --- | ---: |"]
+        lines += [f"| {metric} | {_fmt(value)} |"
+                  for metric, value in entry["headlines"].items()]
+        lines.append("")
+    for skip in report["skipped"]:
+        lines.append(f"_skipped {skip['file']}: {skip['error']}_")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--reports-dir", default="reports",
+                        help="directory holding the BENCH_*.json inputs "
+                             "(outputs land beside them)")
+    args = parser.parse_args(argv)
+    if not os.path.isdir(args.reports_dir):
+        print(f"note: no reports directory at {args.reports_dir!r}; "
+              f"nothing to aggregate")
+        return 0
+
+    report = build_report(args.reports_dir)
+    markdown = render_markdown(report)
+    md_path = os.path.join(args.reports_dir, "BENCH_report.md")
+    json_path = os.path.join(args.reports_dir, "BENCH_report.json")
+    with open(md_path, "w", encoding="utf-8") as fh:
+        fh.write(markdown)
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(markdown)
+    print(f"trend summary written to {md_path} and {json_path} "
+          f"({len(report['benchmarks'])} benchmark(s), "
+          f"{len(report['skipped'])} skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
