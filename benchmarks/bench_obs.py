@@ -16,10 +16,16 @@ Asserted invariants:
 * the instrumented engine offered every job to the tail-sampling trace
   archive (both modes run over a store dir, so blob I/O is symmetric
   and the archive's disk writes are priced into the gate);
+* the instrumented engine's always-on sampling profiler (default rate)
+  actually collected samples while the disabled engine collected none —
+  so the continuous-profiling cost is priced into the same gate, and
+  the measured profiler share of wall time lands in the JSON report;
 * with >= 2 cores and a full (non ``--smoke``) run, instrumentation
   costs **< 3%** end-to-end wall — the observability acceptance gate.
 
-Everything lands in ``reports/BENCH_obs.json`` for CI to archive.
+Everything lands in ``reports/BENCH_obs.json`` for CI to archive, plus
+a collapsed-stack profile of the final instrumented run in
+``reports/PROFILE_obs.collapsed`` (flamegraph.pl / speedscope input).
 Runs standalone (``python benchmarks/bench_obs.py``, ``--smoke`` for CI
 sizes without the perf assertion).
 """
@@ -31,6 +37,7 @@ import tempfile
 import time
 
 from repro.bench.tables import REPORTS_DIR, render_table, save_report
+from repro.obs import render_collapsed
 from repro.service import Engine, JobSpec, canonical_payload_bytes
 
 #: Observability gate: maximum wall-clock overhead of the instrumented
@@ -70,6 +77,9 @@ def _run_workload(obs, n_points):
         wall = time.perf_counter() - started
         archive = engine.trace_archive.stats() if engine.trace_archive \
             else None
+        prof = engine.profiler.stats() if engine.profiler else None
+        collapsed = render_collapsed(engine.profile()) \
+            if engine.profiler else None
     for result in results:
         assert result.status.value == "done", result.error
     return {
@@ -77,12 +87,24 @@ def _run_workload(obs, n_points):
         "bytes": [canonical_payload_bytes(r.payload) for r in results],
         "traced": sum(r.trace is not None for r in results),
         "archive_offered": archive["offered"] if archive else 0,
+        "profiler_samples": prof["samples_total"] if prof else 0,
+        "profiler_sampling_seconds":
+            prof["sampling_seconds"] if prof else 0.0,
+        "profiler_hz": prof["hz"] if prof else 0.0,
+        "collapsed": collapsed,
     }
 
 
 def run_comparison(n_points, reps):
-    """Alternating off/on repetitions; best-of walls and overhead pct."""
-    off_walls, on_walls = [], []
+    """Alternating off/on repetitions; best-of walls and overhead pct.
+
+    Returns ``(comparison, collapsed)``: the measurement dict plus the
+    collapsed-stack profile of the last instrumented repetition.
+    """
+    off_walls, on_walls, profiler_shares = [], [], []
+    profiler_samples = 0
+    profiler_hz = 0.0
+    collapsed = None
     reference = None
     for _ in range(reps):
         off = _run_workload(False, n_points)
@@ -94,12 +116,21 @@ def run_comparison(n_points, reps):
             "instrumented engine skipped the trace-archive offer path"
         assert off["archive_offered"] == 0, \
             "REPRO_OBS=off engine ran the trace archive"
+        assert on["profiler_samples"] > 0, \
+            "instrumented engine's sampling profiler never fired"
+        assert off["profiler_samples"] == 0, \
+            "REPRO_OBS=off engine ran the sampling profiler"
         assert on["bytes"] == off["bytes"], \
             "instrumentation changed canonical payload bytes"
         reference = reference or off["bytes"]
         assert off["bytes"] == reference, "run-to-run bytes diverged"
         off_walls.append(off["wall_seconds"])
         on_walls.append(on["wall_seconds"])
+        profiler_shares.append(on["profiler_sampling_seconds"]
+                               / on["wall_seconds"] * 100.0)
+        profiler_samples += on["profiler_samples"]
+        profiler_hz = on["profiler_hz"]
+        collapsed = on["collapsed"]
     best_off, best_on = min(off_walls), min(on_walls)
     overhead_pct = (best_on - best_off) / best_off * 100.0
     return {
@@ -111,7 +142,14 @@ def run_comparison(n_points, reps):
         "best_off_seconds": best_off,
         "best_on_seconds": best_on,
         "overhead_pct": overhead_pct,
-    }
+        "profiler_hz": profiler_hz,
+        "profiler_samples": profiler_samples,
+        # Worst repetition: the profiler's own stack-walk time as a share
+        # of end-to-end wall.  Informational — its cost is already inside
+        # overhead_pct, which is what the gate binds on.
+        "profiler_share_pct": max(profiler_shares),
+        "profiler_shares_pct": profiler_shares,
+    }, collapsed
 
 
 def save_json(comparison):
@@ -159,7 +197,7 @@ def main(argv=None):
     if args.smoke:
         args.n_points, args.reps = 4000, 1
 
-    comparison = run_comparison(args.n_points, args.reps)
+    comparison, collapsed = run_comparison(args.n_points, args.reps)
     table = render_table(
         ["mode", "best wall s", "overhead %"],
         [["REPRO_OBS=off", comparison["best_off_seconds"], 0.0],
@@ -169,12 +207,21 @@ def main(argv=None):
               f"n={comparison['n_points']}")
     print(table)
     save_report("bench_obs.txt", table)
-    comparison = {k: v for k, v in comparison.items()}
     path = save_json(comparison)
+    if collapsed:
+        profile_path = os.path.join(os.path.abspath(REPORTS_DIR),
+                                    "PROFILE_obs.collapsed")
+        with open(profile_path, "w", encoding="utf-8") as fh:
+            fh.write(collapsed)
+        print(f"collapsed profile written to {profile_path} "
+              f"({len(collapsed.splitlines())} stacks)")
     print(f"\nmeasurements written to {path}")
     print(f"overhead: {comparison['overhead_pct']:+.2f}% "
           f"({comparison['best_off_seconds']:.3f}s -> "
           f"{comparison['best_on_seconds']:.3f}s)")
+    print(f"profiler: {comparison['profiler_samples']} samples at "
+          f"{comparison['profiler_hz']:g} Hz, worst-rep stack-walk share "
+          f"{comparison['profiler_share_pct']:.3f}% of wall")
     if not args.smoke and _check_gate(comparison):
         print(f"ok: observability gate passed "
               f"(< {GATE_OVERHEAD_PCT}% on n={args.n_points})")

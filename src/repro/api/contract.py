@@ -46,6 +46,7 @@ from repro.errors import (
     InvalidInputError,
     ServiceError,
 )
+from repro.obs.profiler import render_collapsed
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -222,6 +223,53 @@ def parse_traces_query(query: str) -> Dict[str, Any]:
     return out
 
 
+#: Bounds on an on-demand profile capture (the sampling window holds a
+#: server-side worker for its whole duration, so it must be bounded the
+#: same way long-polls are).
+MAX_PROFILE_WAIT_SECONDS = 30.0
+MAX_PROFILE_QUERY_HZ = 199.0
+
+
+def parse_profile_query(query: str) -> Dict[str, Any]:
+    """Validated parameters from a ``GET /v1/profile`` query string.
+
+    Returns ``{"seconds", "hz", "format"}`` — ``seconds`` (capture
+    window; ``None`` answers from the ring of recent samples), ``hz``
+    (burst sampling rate; ``None`` lets the profiler choose) and
+    ``format`` (``collapsed`` text by default, ``json`` for the full
+    document).  Bad values are 400 envelopes here, identically on node
+    and router.
+    """
+    params = parse_qs(query)
+    out: Dict[str, Any] = {"seconds": None, "hz": None,
+                           "format": "collapsed"}
+    if "seconds" in params:
+        try:
+            seconds = float(params["seconds"][0])
+        except ValueError:
+            raise ApiError(400, "seconds must be a number")
+        if not 0 <= seconds <= MAX_PROFILE_WAIT_SECONDS:
+            raise ApiError(400, f"seconds must be in "
+                                f"[0, {MAX_PROFILE_WAIT_SECONDS:g}]")
+        out["seconds"] = seconds
+    if "hz" in params:
+        try:
+            hz = float(params["hz"][0])
+        except ValueError:
+            raise ApiError(400, "hz must be a number")
+        if not 0 < hz <= MAX_PROFILE_QUERY_HZ:
+            raise ApiError(400, f"hz must be in "
+                                f"(0, {MAX_PROFILE_QUERY_HZ:g}]")
+        out["hz"] = hz
+    if "format" in params:
+        fmt = params["format"][0]
+        if fmt not in ("collapsed", "json"):
+            raise ApiError(400, f"unknown profile format {fmt!r}; "
+                                f"use 'collapsed' or 'json'")
+        out["format"] = fmt
+    return out
+
+
 def parse_events_limit(query: str) -> Optional[int]:
     """``limit=`` for ``GET /v1/admin/events`` (``None`` = whole ring)."""
     params = parse_qs(query)
@@ -351,6 +399,12 @@ class WireAPI:
         """The in-memory structured-event ring (newest ``limit``)."""
         raise NotImplementedError
 
+    async def profile(self, seconds: Optional[float],
+                      hz: Optional[float]) -> Dict[str, Any]:
+        """A sampling-profiler document (burst capture when ``seconds``
+        is set, the recent-sample ring otherwise)."""
+        raise NotImplementedError
+
     async def dump(self) -> Dict[str, Any]:
         """Flight-recorder snapshot: one debug bundle for postmortems."""
         raise NotImplementedError
@@ -395,6 +449,14 @@ class WireAPI:
             if len(parts) == 3 and parts[:2] == ["v1", "traces"]:
                 body, node = await self.trace(parts[2])
                 return await self._encode(200, body, node=node)
+            if parts == ["v1", "profile"]:
+                opts = parse_profile_query(request.query)
+                doc = await self.profile(opts["seconds"], opts["hz"])
+                if opts["format"] == "json":
+                    return await self._encode(200, doc)
+                text = render_collapsed(doc)
+                return Response(200, text.encode(),
+                                "text/plain; charset=utf-8")
             if parts == ["v1", "admin", "events"]:
                 limit = parse_events_limit(request.query)
                 return await self._encode(200, await self.events(limit))

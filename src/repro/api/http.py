@@ -53,6 +53,11 @@ _STREAM_LIMIT = 1 << 20
 #: Seconds an idle keep-alive connection may sit between requests.
 _IDLE_TIMEOUT = 60.0
 
+#: Interval of the event-loop lag probe (when a ``loop_lag`` histogram
+#: is attached): long enough to be negligible, short enough that a
+#: stalled loop shows up within a scrape interval.
+_LAG_PROBE_INTERVAL = 0.25
+
 _PHRASES = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 429: "Too Many Requests",
             500: "Internal Server Error", 503: "Service Unavailable"}
@@ -76,6 +81,12 @@ class AsyncHTTPHost:
         self.http_latency: Optional[Any] = None
         self.http_requests: Optional[Any] = None
         self.shed_total: Optional[Any] = None
+        #: Histogram family for event-loop scheduling lag; attached by
+        #: ``create_server`` like the other instruments.  When present,
+        #: ``serve_forever()`` runs a periodic probe task that measures
+        #: how late ``asyncio.sleep`` wakes — the direct signal that
+        #: something is starving the loop (oversized sync work, GC).
+        self.loop_lag: Optional[Any] = None
         self.inflight = 0
         self._loop = asyncio.new_event_loop()
         self._running = threading.Event()
@@ -96,11 +107,22 @@ class AsyncHTTPHost:
         """Run the event loop on the calling thread until ``shutdown()``."""
         asyncio.set_event_loop(self._loop)
         self._running.set()
+        probe = self._loop.create_task(self._lag_probe()) \
+            if self.loop_lag is not None else None
         try:
             self._loop.run_forever()
         finally:
+            if probe is not None:
+                probe.cancel()
             self._running.clear()
             self._stopped.set()
+
+    async def _lag_probe(self) -> None:
+        """Measure how late the loop wakes a periodic sleep."""
+        while True:
+            expected = self._loop.time() + _LAG_PROBE_INTERVAL
+            await asyncio.sleep(_LAG_PROBE_INTERVAL)
+            self.loop_lag.observe(max(0.0, self._loop.time() - expected))
 
     def shutdown(self) -> None:
         """Stop ``serve_forever()`` from any thread (idempotent)."""

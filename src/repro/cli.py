@@ -12,7 +12,10 @@ Commands
 ``route``     front N running nodes with a cluster router (repro.cluster)
 ``cluster-demo``  boot a whole K-node fleet + router locally and drive it
 ``top``       live metrics dashboard for a node or router (/v1/metrics)
+``slo``       SLO compliance table for a node or fleet
 ``trace``     print the span tree of one finished job
+``profile``   capture a sampling CPU profile of a node or fleet
+              (/v1/profile; writes collapsed stacks for flamegraphs)
 
 Point inputs are either a path to an ``(n, d)`` ``.npy`` file or a spec
 ``dataset:NAME:N[:SEED]`` using the generators of :mod:`repro.data`.
@@ -379,55 +382,87 @@ def _window_seconds(label: str) -> float:
 
 def _slo_rows(doc: dict) -> list:
     """``(slo, target, {window: burn}, budget)`` rows from one registry
-    document (empty when the server exports no SLO gauges)."""
+    document (empty when the server exports no SLO gauges).
+
+    Reads every field defensively: a node running ``REPRO_OBS=off`` or an
+    older server exports a sparser document, and that must degrade to an
+    empty table, never a raw ``KeyError``.
+    """
     targets: dict = {}
     burns: dict = {}
     budgets: dict = {}
-    for metric in doc.get("metrics", []):
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    for metric in metrics or []:
         name = metric.get("name")
+        samples = metric.get("samples") or []
         if name == "repro_slo_target":
-            for sample in metric["samples"]:
-                targets[sample["labels"].get("slo", "?")] = sample["value"]
+            for sample in samples:
+                targets[(sample.get("labels") or {}).get("slo", "?")] = \
+                    sample.get("value", 0.0)
         elif name == "repro_slo_burn_rate":
-            for sample in metric["samples"]:
-                labels = sample["labels"]
+            for sample in samples:
+                labels = sample.get("labels") or {}
                 burns.setdefault(labels.get("slo", "?"), {})[
-                    labels.get("window", "?")] = sample["value"]
+                    labels.get("window", "?")] = sample.get("value", 0.0)
         elif name == "repro_slo_budget_remaining":
-            for sample in metric["samples"]:
-                budgets[sample["labels"].get("slo", "?")] = sample["value"]
+            for sample in samples:
+                budgets[(sample.get("labels") or {}).get("slo", "?")] = \
+                    sample.get("value", 1.0)
     return [(slo, targets[slo], burns.get(slo, {}), budgets.get(slo, 1.0))
             for slo in sorted(targets)]
 
 
+#: Resource-telemetry gauges rendered as ``repro top``'s resources block.
+_RESOURCE_SERIES = {"repro_process_rss_bytes": "rss",
+                    "repro_process_cpu_seconds": "cpu"}
+
+
 def _render_metrics_doc(title: str, doc: dict) -> None:
-    """Print one registry document as a counters + latency-table block."""
+    """Print one registry document as a counters + latency-table block.
+
+    Tolerates sparse documents (``REPRO_OBS=off`` nodes export skeleton
+    families; older servers may omit series entirely) — missing fields
+    skip their block instead of raising.
+    """
     from repro.obs import histogram_from_sample
 
     counters = []
     latency_rows = []
     cache: dict = {}
-    for metric in doc.get("metrics", []):
-        if metric["type"] == "histogram":
-            for sample in metric["samples"]:
-                hist = histogram_from_sample(sample)
+    resources: dict = {}
+    metrics = doc.get("metrics") if isinstance(doc, dict) else None
+    for metric in metrics or []:
+        name = metric.get("name", "?")
+        samples = metric.get("samples") or []
+        if metric.get("type") == "histogram":
+            for sample in samples:
+                try:
+                    hist = histogram_from_sample(sample)
+                except (KeyError, TypeError, ValueError):
+                    continue  # malformed/legacy sample; skip the row
                 if not hist.count:
                     continue
                 labels = ",".join(
                     f"{k}={v}"
-                    for k, v in sorted(sample.get("labels", {}).items()))
-                name = metric["name"] + (f"{{{labels}}}" if labels else "")
-                latency_rows.append((name, hist))
-        elif metric["name"] == "repro_cache_lookups_total":
-            for sample in metric["samples"]:
-                labels = sample.get("labels", {})
+                    for k, v in sorted((sample.get("labels") or {}).items()))
+                full = name + (f"{{{labels}}}" if labels else "")
+                latency_rows.append((full, hist))
+        elif name == "repro_cache_lookups_total":
+            for sample in samples:
+                labels = sample.get("labels") or {}
                 key = f"{labels.get('tier', '?')}/{labels.get('level', '?')}"
                 cache.setdefault(key, {})[labels.get("outcome", "?")] = \
-                    sample["value"]
-        elif metric["type"] == "counter":
-            total = sum(s["value"] for s in metric["samples"])
+                    sample.get("value", 0.0)
+        elif name in _RESOURCE_SERIES:
+            field = _RESOURCE_SERIES[name]
+            for sample in samples:
+                role = (sample.get("labels") or {}).get("role", "?")
+                resources.setdefault(role, {})[field] = \
+                    sample.get("value", 0.0)
+        elif metric.get("type") == "counter":
+            total = sum(s.get("value", 0.0) for s in samples)
             if total:
-                counters.append((metric["name"], total))
+                counters.append((name, total))
     print(f"-- {title} " + "-" * max(0, 64 - len(title)))
     slo_rows = _slo_rows(doc)
     if slo_rows:
@@ -451,6 +486,15 @@ def _render_metrics_doc(title: str, doc: dict) -> None:
             total = hits + cache[key].get("miss", 0)
             rate = hits / total if total else 0.0
             print(f"    {key:16s} {hits:>8g}/{total:<8g} {rate:6.1%}")
+    if resources:
+        print("  resources (role: rss, cpu):")
+        for role in sorted(resources):
+            rss = resources[role].get("rss")
+            cpu = resources[role].get("cpu")
+            rss_text = f"{rss / (1 << 20):8.1f} MiB" if rss else \
+                "     n/a    "
+            cpu_text = f"{cpu:8.1f}s cpu" if cpu is not None else ""
+            print(f"    {role:16s} {rss_text}  {cpu_text}")
     if latency_rows:
         width = max(len(name) for name, _ in latency_rows)
         print(f"  {'latency':{width}s} {'count':>8s} {'mean':>9s} "
@@ -484,19 +528,36 @@ def cmd_top(args: argparse.Namespace) -> int:
         except NodeUnavailableError as exc:
             print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
             return 1
+        if not isinstance(doc, dict):
+            print(f"error: {base} answered /v1/metrics with "
+                  f"{type(doc).__name__}, not a registry document — is it "
+                  f"a repro node/router?", file=sys.stderr)
+            return 1
         if iteration and sys.stdout.isatty():
             print("\x1b[2J\x1b[H", end="")
         if doc.get("role") == "router":
+            sections = [("router", doc.get("router") or {})]
+            sections += [(f"node {name}", node_doc or {}) for name, node_doc
+                         in sorted((doc.get("nodes") or {}).items())]
+            if not any(isinstance(sec.get("metrics"), list)
+                       for _, sec in sections):
+                print(f"error: the fleet behind {base} exports no metrics "
+                      f"series — the servers may run with REPRO_OBS=off or "
+                      f"predate /v1/metrics", file=sys.stderr)
+                return 1
             print(f"repro top — router at {base}")
-            _render_metrics_doc("router", doc.get("router", {}))
-            for name, node_doc in sorted(doc.get("nodes", {}).items()):
-                if "error" in node_doc:
-                    print(f"-- node {name} " +
-                          "-" * max(0, 59 - len(name)))
-                    print(f"  UNREACHABLE: {node_doc['error']}")
+            for title, sec in sections:
+                if "error" in sec:
+                    print(f"-- {title} " + "-" * max(0, 64 - len(title)))
+                    print(f"  UNREACHABLE: {sec['error']}")
                 else:
-                    _render_metrics_doc(f"node {name}", node_doc)
+                    _render_metrics_doc(title, sec)
         else:
+            if not isinstance(doc.get("metrics"), list):
+                print(f"error: {base} exports no metrics series — it may "
+                      f"run with REPRO_OBS=off or predate /v1/metrics",
+                      file=sys.stderr)
+                return 1
             print(f"repro top — node at {base}")
             _render_metrics_doc("node", doc)
         iteration += 1
@@ -520,15 +581,22 @@ def cmd_slo(args: argparse.Namespace) -> int:
     except NodeUnavailableError as exc:
         print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
         return 1
+    if not isinstance(doc, dict):
+        print(f"error: {base} answered /v1/metrics with "
+              f"{type(doc).__name__}, not a registry document — is it a "
+              f"repro node/router?", file=sys.stderr)
+        return 1
     if doc.get("role") == "router":
         print(f"repro slo — fleet behind {base}")
-        sources = sorted(doc.get("nodes", {}).items())
+        sources = sorted((doc.get("nodes") or {}).items())
     else:
         print(f"repro slo — node at {base}")
         sources = [("node", doc)]
     rows = []
     unreachable = []
     for name, node_doc in sources:
+        if not isinstance(node_doc, dict):
+            continue
         if "error" in node_doc:
             unreachable.append((name, node_doc["error"]))
             continue
@@ -582,6 +650,80 @@ def cmd_trace(args: argparse.Namespace) -> int:
               f"may run with REPRO_OBS=off", file=sys.stderr)
         return 1
     print(format_trace(trace))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.client import Client
+    from repro.cluster import NodeHTTPError, NodeOverloadedError
+    from repro.errors import NodeUnavailableError
+    from repro.obs import render_collapsed
+
+    if args.seconds < 0:
+        raise InvalidInputError(
+            f"--seconds must be >= 0, got {args.seconds:g}")
+    client = Client(args.url)
+    base = client.url
+    if args.seconds:
+        print(f"sampling {base} for {args.seconds:g}s ...", flush=True)
+    try:
+        doc = client.profile(seconds=args.seconds or None, hz=args.hz)
+    except NodeHTTPError as exc:
+        if exc.code == 404:
+            print(f"error: {base} has no /v1/profile endpoint — the "
+                  f"server predates the sampling profiler",
+                  file=sys.stderr)
+        else:
+            print(f"error: {base} answered {exc.code}: {exc}",
+                  file=sys.stderr)
+        return 1
+    except NodeOverloadedError as exc:
+        print(f"error: server is shedding load (429): {exc}",
+              file=sys.stderr)
+        return 1
+    except NodeUnavailableError as exc:
+        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+        return 1
+    if not doc.get("enabled"):
+        print(f"error: the profiler is disabled on {base} — the server "
+              f"runs with REPRO_OBS=off", file=sys.stderr)
+        return 1
+    samples = int(doc.get("samples") or 0)
+    in_phase = int(doc.get("in_phase_samples") or 0)
+    fleet = " (fleet)" if doc.get("role") == "router" else ""
+    print(f"profile of {base}{fleet}: {samples} samples at "
+          f"{doc.get('hz', 0.0):g} Hz over {doc.get('duration_s', 0.0):.1f}s"
+          + (f", {in_phase / samples:.0%} inside engine phases"
+             if samples else ""))
+    phases = doc.get("phases") or {}
+    if phases and samples:
+        print("  by engine phase:")
+        for name, count in phases.items():
+            print(f"    {name:12s} {count:>8d}  ({count / samples:6.1%})")
+    # Hot functions: pool sample counts by the innermost (leaf) frame.
+    hot: dict = {}
+    for row in doc.get("stacks") or []:
+        stack = row.get("stack") or []
+        if stack:
+            hot[stack[-1]] = hot.get(stack[-1], 0) \
+                + int(row.get("count") or 0)
+    top = sorted(hot.items(), key=lambda item: -item[1])[:args.top]
+    if top and samples:
+        width = max(len(frame) for frame, _ in top)
+        print(f"  hot functions (top {len(top)} by leaf samples):")
+        for frame, count in top:
+            print(f"    {frame:{width}s} {count:>8d}  "
+                  f"({count / samples:6.1%})")
+    if args.out:
+        text = render_collapsed(doc)
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            raise InvalidInputError(f"cannot write {args.out}: {exc}")
+        print(f"  collapsed stacks written: {args.out} "
+              f"({len(text.splitlines())} rows) — render with "
+              f"flamegraph.pl or speedscope")
     return 0
 
 
@@ -754,6 +896,24 @@ def build_parser() -> argparse.ArgumentParser:
                                      "that served the job")
     p_trace.add_argument("job_id", help="job id returned at submit time")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile", help="capture a sampling CPU profile of a node or fleet")
+    p_prof.add_argument("url", nargs="?", default="http://127.0.0.1:8321",
+                        help="base URL of a node or router")
+    p_prof.add_argument("--seconds", type=float, default=5.0,
+                        help="burst-capture window in seconds "
+                             "(0 = answer instantly from the always-on "
+                             "sample ring)")
+    p_prof.add_argument("--hz", type=float, default=None,
+                        help="burst sampling rate (default: server-side, "
+                             ">= 50 Hz)")
+    p_prof.add_argument("--top", type=int, default=15, metavar="N",
+                        help="hot-function rows to print")
+    p_prof.add_argument("--out", default=None, metavar="FILE",
+                        help="write collapsed stacks to FILE for "
+                             "flamegraph.pl / speedscope")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_slo = sub.add_parser(
         "slo", help="SLO compliance table for a node or fleet")

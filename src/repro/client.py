@@ -133,6 +133,25 @@ class Client:
         """
         return self._node.trace(trace_id)[0]
 
+    def profile(self, seconds: Optional[float] = None,
+                hz: Optional[float] = None) -> Dict[str, Any]:
+        """``GET /v1/profile`` — a sampling-profiler document.
+
+        With ``seconds`` set the server burst-samples for that window
+        (the call blocks for its duration); without it the server
+        answers instantly from its ring of recent always-on samples.
+        Against a router this captures every node concurrently and
+        returns the node-tagged fleet merge.  ``enabled: false`` marks
+        a server running with observability off.
+        """
+        return self._node.profile(seconds=seconds, hz=hz)
+
+    def profile_collapsed(self, seconds: Optional[float] = None,
+                          hz: Optional[float] = None) -> str:
+        """``GET /v1/profile`` as collapsed-stack text — pipe it to
+        ``flamegraph.pl`` or load it in speedscope."""
+        return self._node.profile(seconds=seconds, hz=hz, fmt="collapsed")
+
     def events(self, limit: Optional[int] = None) -> Dict[str, Any]:
         """``GET /v1/admin/events`` — the server's structured-event ring."""
         return self._node.events(limit)

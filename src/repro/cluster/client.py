@@ -241,6 +241,33 @@ class NodeClient:
         """GET one archived trace record (404 → :class:`NodeHTTPError`)."""
         return self._request(f"/v1/traces/{trace_id}")
 
+    def profile(self, seconds: Optional[float] = None,
+                hz: Optional[float] = None, *,
+                fmt: str = "json",
+                timeout: Optional[float] = None) -> Any:
+        """GET ``/v1/profile`` — a JSON profile document by default,
+        collapsed-stack text with ``fmt="collapsed"``.
+
+        A capture blocks server-side for its whole window, so the HTTP
+        timeout stretches to cover ``seconds`` (like :meth:`job` does
+        for long-polls).  Not retried: a repeated capture doubles the
+        sampling window.
+        """
+        params: Dict[str, Any] = {}
+        if seconds is not None:
+            params["seconds"] = f"{float(seconds):.3f}"
+        if hz is not None:
+            params["hz"] = f"{float(hz):g}"
+        if fmt != "collapsed":
+            params["format"] = fmt
+        path = "/v1/profile"
+        if params:
+            path += "?" + urlencode(params)
+        stretched = (timeout if timeout is not None else self.timeout) \
+            + max(0.0, float(seconds or 0.0))
+        return self._request(path, timeout=stretched, idempotent=False,
+                             decode=(fmt == "json"))[0]
+
     def events(self, limit: Optional[int] = None) -> Dict[str, Any]:
         """GET the node's structured-event ring (newest ``limit``)."""
         path = "/v1/admin/events"

@@ -57,6 +57,7 @@ from repro.obs import (
     MetricsRegistry,
     make_span,
     make_trace,
+    merge_profiles,
     obs_enabled,
     render_prometheus,
 )
@@ -623,6 +624,45 @@ class ClusterRouter:
                 raise
             return record, served_by or node.name
         return None
+
+    def profile(self, seconds: Optional[float] = None,
+                hz: Optional[float] = None) -> Dict[str, Any]:
+        """Fan a profile capture across the fleet and merge.
+
+        Every node captures **concurrently** (a sequential fan-out would
+        multiply the capture window by the node count), each stack row
+        in the merged document is tagged with its serving node, and
+        unreachable nodes are reported per-node instead of failing the
+        capture — one router request answers "where is the fleet
+        spending its cycles right now".
+        """
+        docs: Dict[str, Dict[str, Any]] = {}
+        per_node: Dict[str, Any] = {}
+
+        def _capture(node: Node) -> None:
+            try:
+                docs[node.name] = self.clients[node.name].profile(
+                    seconds=seconds, hz=hz)
+            except NodeUnavailableError as exc:
+                node.mark_down(str(exc))
+                per_node[node.name] = {"error": str(exc)}
+            except (NodeOverloadedError, NodeHTTPError) as exc:
+                per_node[node.name] = {"error": str(exc)}
+
+        threads = [threading.Thread(target=_capture, args=(node,),
+                                    name=f"repro-profile-{node.name}")
+                   for node in self.ring.nodes]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        merged = merge_profiles(docs)
+        for name, doc in docs.items():
+            per_node[name] = {"samples": int(doc.get("samples", 0)),
+                              "enabled": bool(doc.get("enabled"))}
+        merged["role"] = "router"
+        merged["nodes"] = per_node
+        return merged
 
     def dump(self) -> Dict[str, Any]:
         """The router's flight-recorder bundle.

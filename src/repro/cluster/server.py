@@ -46,6 +46,7 @@ from repro.errors import (
     NodeUnavailableError,
 )
 from repro.obs import EventLog
+from repro.obs.profiler import PAUSE_BUCKETS
 
 T = TypeVar("T")
 
@@ -143,6 +144,13 @@ class RouterAPI(WireAPI):
             return {"events": [], "stats": None}
         return {"events": log.recent(limit), "stats": log.stats()}
 
+    async def profile(self, seconds: Optional[float],
+                      hz: Optional[float]) -> Dict[str, Any]:
+        # The fleet capture occupies one relay thread per node for the
+        # whole window; the router fans out concurrently underneath.
+        return await self._call(
+            lambda: self.router.profile(seconds, hz))
+
     async def dump(self) -> Dict[str, Any]:
         bundle = await self._call(self.router.dump)
         if self.event_log is not None:
@@ -198,6 +206,10 @@ def create_router_server(router: ClusterRouter, host: str = "127.0.0.1",
         "repro_http_inflight_requests",
         "Requests currently inside the HTTP handler.",
         fn=lambda: float(server.inflight))
+    server.loop_lag = router.registry.histogram(
+        "repro_event_loop_lag_seconds",
+        "Asyncio event-loop scheduling lag measured by a periodic probe.",
+        buckets=PAUSE_BUCKETS)
     return server
 
 

@@ -23,6 +23,16 @@ from repro.obs.archive import (
     TraceArchive,
 )
 from repro.obs.events import EventLog
+from repro.obs.profiler import (
+    DEFAULT_PROFILE_HZ,
+    MAX_PROFILE_HZ,
+    MAX_PROFILE_SECONDS,
+    ResourceCollector,
+    SamplingProfiler,
+    empty_profile_doc,
+    merge_profiles,
+    render_collapsed,
+)
 from repro.obs.registry import (
     REGISTRY,
     MetricsRegistry,
@@ -65,27 +75,35 @@ def obs_enabled(default: bool = True) -> bool:
 
 __all__ = [
     "DEFAULT_ARCHIVE_BYTES",
+    "DEFAULT_PROFILE_HZ",
     "DEFAULT_SAMPLE",
     "DEFAULT_SLOS",
     "DEFAULT_SLOW_THRESHOLD_S",
     "DEFAULT_WINDOWS",
     "EventLog",
+    "MAX_PROFILE_HZ",
+    "MAX_PROFILE_SECONDS",
     "MetricsRegistry",
     "REGISTRY",
+    "ResourceCollector",
     "RetentionPolicy",
     "SLO",
+    "SamplingProfiler",
     "SloEngine",
     "TRACE_HEADER",
     "TraceArchive",
+    "empty_profile_doc",
     "format_window",
     "format_trace",
     "from_header",
     "histogram_from_sample",
     "make_span",
     "make_trace",
+    "merge_profiles",
     "new_trace_id",
     "obs_enabled",
     "parse_prometheus_text",
+    "render_collapsed",
     "render_prometheus",
     "to_header",
 ]

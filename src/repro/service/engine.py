@@ -55,13 +55,17 @@ from repro.kokkos.counters import CostCounters
 from repro.metrics import mfeatures_per_second
 from repro.obs import (
     DEFAULT_ARCHIVE_BYTES,
+    DEFAULT_PROFILE_HZ,
     DEFAULT_SAMPLE,
     DEFAULT_SLOS,
     DEFAULT_SLOW_THRESHOLD_S,
     MetricsRegistry,
+    ResourceCollector,
     RetentionPolicy,
+    SamplingProfiler,
     SloEngine,
     TraceArchive,
+    empty_profile_doc,
     make_span,
     make_trace,
     new_trace_id,
@@ -151,7 +155,8 @@ class Engine:
                  trace_archive_bytes: int = DEFAULT_ARCHIVE_BYTES,
                  trace_slow_threshold: float = DEFAULT_SLOW_THRESHOLD_S,
                  trace_sample: float = DEFAULT_SAMPLE,
-                 slos: Optional[tuple] = None) -> None:
+                 slos: Optional[tuple] = None,
+                 profile_hz: float = DEFAULT_PROFILE_HZ) -> None:
         if max_retained_jobs < 1:
             raise ValueError(
                 f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
@@ -219,7 +224,15 @@ class Engine:
         #: engine has a store dir, memory-only otherwise.
         self.trace_archive: Optional[TraceArchive] = None
         self.slo_engine: Optional[SloEngine] = None
+        #: Continuous sampling profiler + /proc resource telemetry, the
+        #: same lifecycle: with ``REPRO_OBS=off`` neither exists, so the
+        #: process runs no extra thread and installs no gc hook.
+        self.profiler: Optional[SamplingProfiler] = None
+        self.resources: Optional[ResourceCollector] = None
         if self.registry.enabled:
+            self.profiler = SamplingProfiler(self.registry, hz=profile_hz)
+            self.resources = ResourceCollector(
+                self.registry, worker_pids=self._worker_pids)
             archive_dir = os.path.join(store_dir, "traces") \
                 if store_dir is not None else None
             self.trace_archive = TraceArchive(
@@ -266,7 +279,20 @@ class Engine:
             "trace_archive_bytes": trace_archive_bytes,
             "trace_slow_threshold": trace_slow_threshold,
             "trace_sample": trace_sample,
+            "profile_hz": profile_hz,
         }
+
+    def _worker_pids(self) -> list:
+        """Live process-pool worker pids (empty for the thread backend).
+
+        Read through the scheduler on every call — a broken pool gets
+        replaced, and the replacement's workers are the ones that exist.
+        """
+        pool = self.scheduler.compute_pool
+        if pool is None:
+            return []
+        processes = getattr(pool, "_processes", None) or {}
+        return list(processes.keys())
 
     # ---------------------------------------------------------------- submit
 
@@ -457,6 +483,22 @@ class Engine:
             return None
         return self.trace_archive.get(trace_id)
 
+    def profile(self, seconds: Optional[float] = None,
+                hz: Optional[float] = None) -> Dict[str, Any]:
+        """A wall-clock profile document (``GET /v1/profile`` body).
+
+        With ``seconds`` set, burst-samples for that window and returns
+        what it captured; without it, answers instantly from the ring of
+        recent always-on samples.  With instrumentation off the answer
+        is an empty, well-formed document (``enabled: false``) rather
+        than an error, matching :meth:`traces`.
+        """
+        if self.profiler is None:
+            return empty_profile_doc()
+        if seconds is not None and seconds > 0:
+            return self.profiler.capture(seconds, hz)
+        return self.profiler.profile_doc()
+
     def dump(self) -> Dict[str, Any]:
         """The engine's flight-recorder bundle: everything a postmortem
         wants from this process, in one JSON-safe snapshot."""
@@ -478,6 +520,10 @@ class Engine:
                     if self.slo_engine is not None else None),
             "trace_archive": (self.trace_archive.stats()
                               if self.trace_archive is not None else None),
+            "profile": (self.profiler.stats()
+                        if self.profiler is not None else None),
+            "resources": (self.resources.snapshot()
+                          if self.resources is not None else None),
         }
 
     # ---------------------------------------------------------------- worker
@@ -794,16 +840,24 @@ class Engine:
         pool = self.scheduler.compute_pool
         if pool is None:
             return execute_spec(exec_spec)
-        try:
-            return pool.submit(execute_spec, exec_spec).result()
-        except BrokenExecutor:
-            self.scheduler.replace_broken_compute_pool(pool)
-            retry_pool = self.scheduler.compute_pool
+        # The worker process's frames are invisible to this process's
+        # sampling profiler, so tag the blocking wait with a "dispatch"
+        # phase: parent-side samples of a process-backend job then
+        # attribute to a named phase instead of reading as idle.  The
+        # throwaway timer keeps the tag out of the job's reported
+        # timings (payload bytes and span trees must not change).
+        with PhaseTimer().phase("dispatch"):
             try:
-                return retry_pool.submit(execute_spec, exec_spec).result()
+                return pool.submit(execute_spec, exec_spec).result()
             except BrokenExecutor:
-                self.scheduler.replace_broken_compute_pool(retry_pool)
-                raise
+                self.scheduler.replace_broken_compute_pool(pool)
+                retry_pool = self.scheduler.compute_pool
+                try:
+                    return retry_pool.submit(execute_spec,
+                                             exec_spec).result()
+                except BrokenExecutor:
+                    self.scheduler.replace_broken_compute_pool(retry_pool)
+                    raise
 
     # ---------------------------------------------------------------- close
 
@@ -812,6 +866,10 @@ class Engine:
         if not self._closed:
             self._closed = True
             self.scheduler.shutdown(wait=True)
+            if self.profiler is not None:
+                self.profiler.stop()
+            if self.resources is not None:
+                self.resources.close()
 
     def __enter__(self) -> "Engine":
         return self

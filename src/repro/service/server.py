@@ -89,6 +89,7 @@ from repro.api.contract import (  # noqa: F401 — re-exported wire constants
 from repro.api.http import AsyncHTTPHost, DEFAULT_MAX_INFLIGHT
 from repro.errors import InvalidInputError
 from repro.obs import TRACE_HEADER, EventLog, from_header
+from repro.obs.profiler import PAUSE_BUCKETS
 from repro.service.engine import Engine
 from repro.service.jobs import JobSpec
 
@@ -225,6 +226,12 @@ class EngineAPI(WireAPI):
             return {"events": [], "stats": None}
         return {"events": log.recent(limit), "stats": log.stats()}
 
+    async def profile(self, seconds: Optional[float],
+                      hz: Optional[float]) -> Dict[str, Any]:
+        # A capture blocks for its whole window; to_thread keeps the
+        # loop serving (metrics scrapes, health probes) meanwhile.
+        return await asyncio.to_thread(self.engine.profile, seconds, hz)
+
     async def dump(self) -> Dict[str, Any]:
         bundle = await asyncio.to_thread(self.engine.dump)
         bundle["role"] = "node"
@@ -291,6 +298,10 @@ def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,
         "repro_admission_queue_depth",
         "Unfinished jobs counted against the admission bound.",
         fn=lambda: float(engine.queue_depth()))
+    server.loop_lag = engine.registry.histogram(
+        "repro_event_loop_lag_seconds",
+        "Asyncio event-loop scheduling lag measured by a periodic probe.",
+        buckets=PAUSE_BUCKETS)
     return server
 
 

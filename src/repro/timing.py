@@ -8,10 +8,69 @@ algorithm in this repository can expose the same breakdown.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Optional
+
+# Thread -> active-phase registry.  Every `PhaseTimer.phase()` entry pushes
+# the phase name onto the calling thread's stack and pops it on exit, so an
+# out-of-band observer (the sampling profiler in `repro.obs.profiler`) can
+# attribute a wall-clock sample of any thread to the engine phase it is
+# executing.  Phase names are exactly the span-child names the trace layer
+# emits (`resolve`, `tree`, `core`, `mst`, `tree_build`, `compute`, ...),
+# which is what ties profiler samples back to spans.  Entries are removed
+# as soon as a thread's stack empties, so an idle process holds no state.
+# Individual dict/list operations are atomic under the GIL; `phase()` only
+# ever touches its own thread's stack, and readers take defensive copies.
+_PHASE_STACKS: Dict[int, List[str]] = {}
+
+
+def _push_phase(name: str) -> None:
+    ident = threading.get_ident()
+    stack = _PHASE_STACKS.get(ident)
+    if stack is None:
+        stack = []
+        _PHASE_STACKS[ident] = stack
+    stack.append(name)
+
+
+def _pop_phase() -> None:
+    ident = threading.get_ident()
+    stack = _PHASE_STACKS.get(ident)
+    if stack:
+        stack.pop()
+    if not stack:
+        _PHASE_STACKS.pop(ident, None)
+
+
+def active_phase(ident: int) -> Optional[str]:
+    """Innermost phase thread ``ident`` is executing, or ``None``."""
+    stack = _PHASE_STACKS.get(ident)
+    if not stack:
+        return None
+    try:
+        return stack[-1]
+    except IndexError:  # pragma: no cover - raced an exiting phase
+        return None
+
+
+def active_phases() -> Dict[int, str]:
+    """Snapshot of {thread ident: innermost active phase}."""
+    snapshot: Dict[int, str] = {}
+    for ident, stack in list(_PHASE_STACKS.items()):
+        if stack:
+            try:
+                snapshot[ident] = stack[-1]
+            except IndexError:  # pragma: no cover - raced an exiting phase
+                continue
+    return snapshot
+
+
+def phase_registry_size() -> int:
+    """Number of threads currently inside at least one phase."""
+    return len(_PHASE_STACKS)
 
 
 @dataclass
@@ -39,9 +98,11 @@ class PhaseTimer:
     def phase(self, name: str) -> Iterator[None]:
         """Context manager measuring one entry into phase ``name``."""
         start = time.perf_counter()
+        _push_phase(name)
         try:
             yield
         finally:
+            _pop_phase()
             elapsed = time.perf_counter() - start
             self.totals[name] = self.totals.get(name, 0.0) + elapsed
 

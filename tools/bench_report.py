@@ -43,6 +43,8 @@ def _headline_obs(payload):
         ("overhead_pct", comparison.get("overhead_pct")),
         ("best_off_seconds", comparison.get("best_off_seconds")),
         ("best_on_seconds", comparison.get("best_on_seconds")),
+        ("profiler_share_pct", comparison.get("profiler_share_pct")),
+        ("profiler_samples", comparison.get("profiler_samples")),
         ("n_points", comparison.get("n_points")),
     ]
 

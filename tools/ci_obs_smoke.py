@@ -12,7 +12,10 @@ asserts the scrape surface holds what ISSUE/README promise:
   cross-checked against the text form (completed-job counts agree);
 * every finished job's ``GET /v1/jobs/<id>`` body carries a span tree
   whose ``executed`` span holds the work-model counter totals, and the
-  trace never leaks into the canonical payload bytes.
+  trace never leaks into the canonical payload bytes;
+* a 2-second ``GET /v1/profile`` capture taken *while the workload
+  runs* holds samples attributed to a traversal-phase frame, and its
+  collapsed form lands on disk for CI to archive.
 
 Usage::
 
@@ -21,15 +24,26 @@ Usage::
 
 import argparse
 import json
+import os
 import subprocess
 import sys
+import threading
 import time
 import urllib.error
 import urllib.request
 
-from repro.obs import histogram_from_sample, parse_prometheus_text
+from repro.obs import (
+    histogram_from_sample,
+    parse_prometheus_text,
+    render_collapsed,
+)
 from repro.service import JobSpec, canonical_payload_bytes
 from repro.service.executor import execute_spec, make_exec_spec
+
+#: Engine phases that walk the spatial tree — the profiler must see the
+#: traversal itself, not just bookkeeping around it.
+TRAVERSAL_PHASES = frozenset({"tree", "tree_build", "core", "mst",
+                              "compute"})
 
 
 def _request(url, data=None, timeout=90, raw=False):
@@ -84,7 +98,23 @@ def check_obs_surface(args):
             {"dataset": args.dataset, "algorithm": "hdbscan", "k_pts": 4},
             {"dataset": args.dataset, "algorithm": "emst"},  # result hit
         ]
+        # Burst-capture a profile concurrently with the workload, so the
+        # samples land while the engine is actually traversing.
+        profile_box = {}
+
+        def _capture_profile():
+            try:
+                profile_box["doc"] = _request(
+                    f"{base}/v1/profile?seconds=2&hz=97&format=json",
+                    timeout=90)
+            except Exception as exc:  # re-raised on the main thread
+                profile_box["error"] = exc
+
+        capture = threading.Thread(target=_capture_profile,
+                                   name="profile-capture")
+        capture.start()
         results = [_await_job(base, body, args.timeout) for body in specs]
+        capture.join(timeout=90)
         for body, result in zip(specs, results):
             assert result["status"] == "done", result.get("error")
         assert results[-1]["cache"]["result_hit"], results[-1]["cache"]
@@ -139,6 +169,25 @@ def check_obs_surface(args):
         p50, p99 = hist.quantile(0.5), hist.quantile(0.99)
         assert 0.0 < p50 <= p99, (p50, p99)
 
+        # --- the in-flight profile capture saw the traversal itself.
+        assert "error" not in profile_box, \
+            f"FAIL: /v1/profile capture failed: {profile_box['error']}"
+        profile = profile_box.get("doc")
+        assert profile and profile.get("enabled"), profile
+        assert profile.get("samples", 0) > 0, \
+            "FAIL: 2s capture during the workload collected no samples"
+        traversal = sum(count for phase, count
+                        in (profile.get("phases") or {}).items()
+                        if phase in TRAVERSAL_PHASES)
+        assert traversal >= 1, (
+            f"FAIL: no sample attributed to a traversal phase "
+            f"({sorted(TRAVERSAL_PHASES)}); saw {profile.get('phases')}")
+        if args.profile_out:
+            os.makedirs(os.path.dirname(os.path.abspath(args.profile_out)),
+                        exist_ok=True)
+            with open(args.profile_out, "w", encoding="utf-8") as fh:
+                fh.write(render_collapsed(profile))
+
         print(f"ok: observability surface verified "
               f"(dataset={args.dataset})\n"
               f"  {int(completed)} jobs traced; emst latency "
@@ -146,7 +195,10 @@ def check_obs_surface(args):
               f"  cache lookups: result/memory hit x"
               f"{int(lookups[('result', 'memory', 'hit')])}; "
               f"phase series: {', '.join(sorted(phases))}\n"
-              f"  traced payload byte-identical to in-process reference")
+              f"  traced payload byte-identical to in-process reference\n"
+              f"  profile: {profile['samples']} samples, {traversal} in "
+              f"traversal phases"
+              + (f" -> {args.profile_out}" if args.profile_out else ""))
         return 0
     finally:
         if proc.poll() is None:
@@ -159,6 +211,10 @@ def main(argv=None):
     parser.add_argument("--port", type=int, default=8423)
     parser.add_argument("--dataset", default="Uniform100M2:10000")
     parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--profile-out",
+                        default="reports/PROFILE_smoke.collapsed",
+                        help="write the captured collapsed-stack profile "
+                             "here (empty string disables)")
     args = parser.parse_args(argv)
     return check_obs_surface(args)
 
