@@ -25,7 +25,8 @@ Dispatch
 :class:`WireAPI` parses a :class:`Request`, validates the query/body and
 calls one of the abstract operations (``healthz``, ``stats``,
 ``metrics_json``/``metrics_text``, ``submit``, ``job``, ``flush``,
-``compact``, ``traces``/``trace``, ``events``, ``dump``) implemented by
+``compact``, ``traces``/``trace``, ``events``, ``dump``,
+``artifact_list``/``artifact_get``/``artifact_put``) implemented by
 the node backend (over an
 :class:`~repro.service.engine.Engine`) or the router backend (over a
 :class:`~repro.cluster.router.ClusterRouter`).  Backends raise
@@ -37,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs
@@ -270,6 +272,46 @@ def parse_profile_query(query: str) -> Dict[str, Any]:
     return out
 
 
+#: Artifact tiers the ``/v1/artifacts`` surface serves — exactly the blob
+#: codec set (:data:`repro.store.blob.CODECS`), restated here so the wire
+#: contract has no import edge into the store.
+ARTIFACT_TIERS = ("tree", "result", "core")
+
+#: Content type of a raw ``.npz`` artifact body.
+ARTIFACT_CONTENT_TYPE = "application/octet-stream"
+
+#: Why an artifact is being pushed; bounds the per-reason telemetry.
+ARTIFACT_REASONS = ("replica", "rebalance")
+
+#: Artifact keys are content fingerprints: exactly one sha256 hex digest.
+#: Validated before any path math — a key is a filesystem path component
+#: on the serving side, so nothing traversal-shaped may pass.
+_ARTIFACT_KEY_RE = re.compile(r"\A[0-9a-f]{64}\Z")
+
+
+def parse_artifact_ref(tier: str, key: str) -> Tuple[str, str]:
+    """Validate one ``/v1/artifacts/<tier>/<key>`` reference.
+
+    Shared by GET and POST on node and router alike; a bad tier or a
+    non-fingerprint key is a 400 envelope before any backend runs.
+    """
+    if tier not in ARTIFACT_TIERS:
+        raise ApiError(400, f"unknown artifact tier {tier!r}; "
+                            f"use one of {ARTIFACT_TIERS}")
+    if not _ARTIFACT_KEY_RE.match(key):
+        raise ApiError(400, "artifact key must be a 64-char hex fingerprint")
+    return tier, key
+
+
+def parse_reason_param(query: str) -> str:
+    """``reason=`` on an artifact push (``replica`` default)."""
+    reason = parse_qs(query).get("reason", [ARTIFACT_REASONS[0]])[0]
+    if reason not in ARTIFACT_REASONS:
+        raise ApiError(400, f"unknown push reason {reason!r}; "
+                            f"use one of {ARTIFACT_REASONS}")
+    return reason
+
+
 def parse_events_limit(query: str) -> Optional[int]:
     """``limit=`` for ``GET /v1/admin/events`` (``None`` = whole ring)."""
     params = parse_qs(query)
@@ -291,6 +333,9 @@ def normalize_endpoint(path: str) -> str:
         return "/v1/jobs/{id}"
     if len(parts) == 3 and parts[:2] == ["v1", "traces"]:
         return "/v1/traces/{id}"
+    if len(parts) == 4 and parts[:2] == ["v1", "artifacts"]:
+        tier = parts[2] if parts[2] in ARTIFACT_TIERS else "{tier}"
+        return f"/v1/artifacts/{tier}/{{key}}"
     return "/" + "/".join(parts) if parts else "/"
 
 
@@ -409,6 +454,27 @@ class WireAPI:
         """Flight-recorder snapshot: one debug bundle for postmortems."""
         raise NotImplementedError
 
+    async def artifact_list(self) -> Dict[str, Any]:
+        """The store's artifact catalogue (``{"artifacts": [...]}``)."""
+        raise NotImplementedError
+
+    async def artifact_get(self, tier: str, key: str
+                           ) -> Tuple[bytes, Optional[str]]:
+        """One artifact's raw blob bytes; ``(bytes, serving node)``.
+
+        The bytes are the on-disk ``.npz`` container verbatim — the wire
+        format IS the store format, so replication and peer-fetch are
+        byte-identical by construction.  An absent artifact raises a 404
+        :class:`ApiError` with :data:`ERR_NOT_FOUND`.
+        """
+        raise NotImplementedError
+
+    async def artifact_put(self, tier: str, key: str, data: bytes,
+                           reason: str) -> Dict[str, Any]:
+        """Ingest one artifact's raw blob bytes; returns the verdict body
+        (``{"stored": bool}``)."""
+        raise NotImplementedError
+
     # Dispatch ----------------------------------------------------------
     async def handle(self, request: Request) -> Response:
         """One request in, one response out; library errors → envelopes."""
@@ -460,6 +526,15 @@ class WireAPI:
             if parts == ["v1", "admin", "events"]:
                 limit = parse_events_limit(request.query)
                 return await self._encode(200, await self.events(limit))
+            if parts == ["v1", "artifacts"]:
+                return await self._encode(200, await self.artifact_list())
+            if len(parts) == 4 and parts[:2] == ["v1", "artifacts"]:
+                tier, key = parse_artifact_ref(parts[2], parts[3])
+                data, node = await self.artifact_get(tier, key)
+                response = Response(200, data, ARTIFACT_CONTENT_TYPE)
+                if node:
+                    response.headers["X-Repro-Node"] = node
+                return response
         elif request.method == "POST":
             if parts == ["v1", "jobs"]:
                 if not request.body:
@@ -477,6 +552,14 @@ class WireAPI:
             if parts == ["v1", "admin", "dump"]:
                 self._admin_body(request)  # bad admin bodies still 400
                 return await self._encode(200, await self.dump())
+            if len(parts) == 4 and parts[:2] == ["v1", "artifacts"]:
+                tier, key = parse_artifact_ref(parts[2], parts[3])
+                if not request.body:
+                    raise ApiError(400, "missing or oversized request body")
+                reason = parse_reason_param(request.query)
+                verdict = await self.artifact_put(tier, key, request.body,
+                                                  reason)
+                return json_response(200, verdict)
         else:
             raise ApiError(405, f"method {request.method} not allowed",
                            code=ERR_NOT_FOUND)

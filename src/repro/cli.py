@@ -10,6 +10,8 @@ Commands
 ``serve``     run the batch-serving JSON-over-HTTP engine (repro.service)
 ``submit``    submit one job to a running server and await the result
 ``route``     front N running nodes with a cluster router (repro.cluster)
+``rebalance`` copy stranded store artifacts to their ring homes after a
+              fleet membership change (resumable)
 ``cluster-demo``  boot a whole K-node fleet + router locally and drive it
 ``top``       live metrics dashboard for a node or router (/v1/metrics)
 ``slo``       SLO compliance table for a node or fleet
@@ -146,7 +148,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         store_bytes=args.store_mb << 20,
                         trace_archive_bytes=args.trace_archive_mb << 20,
                         trace_slow_threshold=args.trace_slow_ms / 1000.0,
-                        trace_sample=args.trace_sample)
+                        trace_sample=args.trace_sample,
+                        peers=args.peer)
     except (ValueError, OSError) as exc:
         # An unusable --store-dir (permissions, a file in the way) is a
         # user-input error like any other bad flag value.
@@ -235,22 +238,29 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0 if result["status"] == "done" else 1
 
 
+def _parse_node(arg: str):
+    """``[NAME=]URL`` → a cluster :class:`~repro.cluster.topology.Node`.
+
+    "NAME=URL" names the node explicitly; a bare URL is named by its
+    host:port (matching the node's own default identity).
+    """
+    from repro.cluster import Node
+
+    if "=" in arg and not arg.startswith(("http://", "https://")):
+        name, _, url = arg.partition("=")
+        return Node(url, name=name)
+    return Node(arg)
+
+
 def cmd_route(args: argparse.Namespace) -> int:
-    from repro.cluster import ClusterRouter, Node, create_router_server
+    from repro.cluster import ClusterRouter, create_router_server
     from repro.cluster.server import run_router_server
 
-    def parse_node(arg: str) -> Node:
-        # "NAME=URL" names the node explicitly; a bare URL is named by
-        # its host:port (matching the node's own default identity).
-        if "=" in arg and not arg.startswith(("http://", "https://")):
-            name, _, url = arg.partition("=")
-            return Node(url, name=name)
-        return Node(arg)
-
     try:
-        nodes = [parse_node(arg) for arg in args.node]
+        nodes = [_parse_node(arg) for arg in args.node]
         router = ClusterRouter(nodes, timeout=args.node_timeout,
-                               retries=args.retries)
+                               retries=args.retries,
+                               replicas=args.replicas)
     except InvalidInputError:
         raise
     except ValueError as exc:
@@ -272,6 +282,28 @@ def cmd_route(args: argparse.Namespace) -> int:
             f"cannot bind http://{args.host}:{args.port}: {exc}")
     run_router_server(server, router)
     return 0
+
+
+def cmd_rebalance(args: argparse.Namespace) -> int:
+    from repro.cluster import run_rebalance
+
+    try:
+        nodes = [_parse_node(arg) for arg in args.node]
+    except ValueError as exc:
+        raise InvalidInputError(str(exc))
+    summary = run_rebalance(nodes, replicas=args.replicas,
+                            journal_path=args.journal,
+                            timeout=args.node_timeout,
+                            log=print if args.verbose else lambda line: None)
+    print(f"rebalance over {len(nodes)} node(s) at replicas="
+          f"{args.replicas}: {summary['planned']} copies planned, "
+          f"{summary['copied']} copied, {summary['skipped']} already "
+          f"journaled, {summary['failed']} failed")
+    if summary["unreachable"]:
+        print("  unreachable: " + ", ".join(summary["unreachable"]))
+    if args.journal:
+        print(f"  journal: {args.journal} (rerun resumes)")
+    return 0 if not summary["failed"] and not summary["unreachable"] else 1
 
 
 def cmd_cluster_demo(args: argparse.Namespace) -> int:
@@ -799,6 +831,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="node identity reported in X-Repro-Node and "
                               "healthz (default: host:port); must be "
                               "stable for cluster routing to be")
+    p_serve.add_argument("--peer", action="append", default=None,
+                         metavar="URL",
+                         help="base URL of a sibling node whose artifact "
+                              "endpoint is consulted on a local cache "
+                              "miss before recomputing (repeatable)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_serve.add_argument("--access-log-sample", type=float, default=1.0,
@@ -855,6 +892,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-request timeout against a node")
     p_route.add_argument("--retries", type=int, default=1,
                          help="extra attempts for idempotent node GETs")
+    p_route.add_argument("--replicas", type=int, default=1, metavar="K",
+                         help="home nodes per key: finished jobs' "
+                              "artifacts are copied to the key's K-1 "
+                              "other ring homes in the background, so a "
+                              "node death costs zero recomputation "
+                              "(default 1 = no replication)")
     p_route.add_argument("--verbose", action="store_true",
                          help="log every HTTP request")
     p_route.add_argument("--access-log-sample", type=float, default=1.0,
@@ -865,6 +908,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="concurrent HTTP requests before shedding "
                               "with 429 (healthz/metrics exempt)")
     p_route.set_defaults(func=cmd_route)
+
+    p_rebal = sub.add_parser(
+        "rebalance",
+        help="copy stranded artifacts to their ring homes after a "
+             "membership change")
+    p_rebal.add_argument("--node", action="append", required=True,
+                         metavar="[NAME=]URL",
+                         help="a member of the NEW fleet membership "
+                              "(repeatable; names must match the ones "
+                              "the router will use)")
+    p_rebal.add_argument("--replicas", type=int, default=1, metavar="K",
+                         help="home nodes per artifact to guarantee")
+    p_rebal.add_argument("--journal", default=None, metavar="FILE",
+                         help="append-only JSONL progress journal; a "
+                              "rerun with the same FILE skips completed "
+                              "copies (resumable)")
+    p_rebal.add_argument("--node-timeout", type=float, default=30.0,
+                         help="per-request timeout against a node")
+    p_rebal.add_argument("--verbose", action="store_true",
+                         help="log every copy")
+    p_rebal.set_defaults(func=cmd_rebalance)
 
     p_demo = sub.add_parser(
         "cluster-demo",

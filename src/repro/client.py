@@ -174,6 +174,32 @@ class Client:
         """The Prometheus text exposition (``/v1/metrics``)."""
         return self._node.metrics_text()
 
+    # ------------------------------------------------------------- artifacts
+
+    def artifacts(self) -> Dict[str, Any]:
+        """``GET /v1/artifacts`` — the on-disk artifact inventory.
+
+        A node lists its own store; a router answers per-node for the
+        whole fleet.
+        """
+        return self._node.artifact_list()
+
+    def artifact(self, tier: str, key: str) -> bytes:
+        """``GET /v1/artifacts/<tier>/<key>`` — one raw ``.npz`` blob.
+
+        The bytes are the store's own file format (the wire format *is*
+        the store format); an absent blob raises
+        :class:`~repro.cluster.client.NodeHTTPError` with code 404.
+        """
+        return self._node.artifact(tier, key)
+
+    def artifact_put(self, tier: str, key: str, data: bytes, *,
+                     reason: str = "replica") -> Dict[str, Any]:
+        """``POST /v1/artifacts/<tier>/<key>`` — push one blob into a
+        node's store (validated, atomically renamed).  Routers refuse
+        pushes; target the holding node directly."""
+        return self._node.artifact_put(tier, key, data, reason=reason)
+
     # ----------------------------------------------------------------- admin
 
     def flush(self, tier: Optional[str] = None) -> Dict[str, Any]:

@@ -39,7 +39,9 @@ from repro.cluster.client import (
     DEFAULT_TIMEOUT,
     NodeClient,
     NodeHTTPError,
+    backoff_delay,
 )
+from repro.cluster.rebalance import plan_rebalance, run_rebalance
 from repro.cluster.router import ClusterRouter
 from repro.cluster.server import create_router_server, run_router_server
 from repro.cluster.topology import HashRing, Node, stable_hash
@@ -55,7 +57,10 @@ __all__ = [
     "NodeHTTPError",
     "NodeOverloadedError",
     "NodeUnavailableError",
+    "backoff_delay",
     "create_router_server",
+    "plan_rebalance",
+    "run_rebalance",
     "run_router_server",
     "stable_hash",
 ]

@@ -25,6 +25,13 @@ Retries apply only to idempotent GETs (a lookup repeated is harmless); a
 ``POST /v1/jobs`` is never retried against the *same* node — re-dispatch
 on a different node is the router's at-most-one failover, mirroring the
 engine's crashed-worker policy.
+
+Retry pacing is :func:`backoff_delay`: capped exponential backoff with
+*deterministic* jitter (a multiplicative hash of the attempt counter —
+no RNG, so tests and replays see identical schedules), except that a 429
+shed's ``Retry-After`` hint, when present, overrides the exponential
+curve — the server knows its own drain rate better than any client-side
+guess.
 """
 
 from __future__ import annotations
@@ -50,6 +57,35 @@ from repro.obs import TRACE_HEADER, to_header
 DEFAULT_TIMEOUT = 30.0
 #: Extra attempts for idempotent GETs (total attempts = retries + 1).
 DEFAULT_RETRIES = 1
+#: First-retry delay of the exponential backoff curve (seconds).
+BACKOFF_BASE = 0.05
+#: Ceiling of the exponential curve — a client-side guess never waits
+#: longer than this between attempts.
+BACKOFF_CAP = 2.0
+#: Ceiling on an honored ``Retry-After`` hint: a server asking for more
+#: than this is trusted about *direction* but not magnitude.
+RETRY_AFTER_CAP = 30.0
+
+
+def backoff_delay(attempt: int,
+                  retry_after: Optional[float] = None) -> float:
+    """Seconds to sleep before retry number ``attempt`` (1-based).
+
+    With a positive ``retry_after`` (the server's own 429 hint) that
+    value wins, capped at :data:`RETRY_AFTER_CAP`.  Otherwise the delay
+    is capped exponential — ``BACKOFF_BASE * 2**(attempt-1)`` up to
+    :data:`BACKOFF_CAP` — scaled into ``[50%, 100%]`` by deterministic
+    jitter: Knuth's multiplicative hash of the attempt counter, so two
+    clients that failed together still decorrelate their retries without
+    any RNG (replays and tests see the exact same schedule).
+    """
+    if attempt < 1:
+        raise ClusterError(f"attempt must be >= 1, got {attempt}")
+    if retry_after is not None and retry_after > 0:
+        return min(float(retry_after), RETRY_AFTER_CAP)
+    delay = min(BACKOFF_BASE * 2.0 ** (attempt - 1), BACKOFF_CAP)
+    fraction = ((attempt * 2654435761) & 0xFFFFFFFF) / 2.0 ** 32
+    return delay * (0.5 + 0.5 * fraction)
 
 
 class NodeHTTPError(ClusterError):
@@ -90,28 +126,37 @@ class NodeClient:
                  timeout: Optional[float] = None,
                  idempotent: bool = True,
                  extra_headers: Optional[Dict[str, str]] = None,
-                 decode: bool = True) -> Tuple[Any, str]:
+                 decode: bool = True,
+                 raw_body: Optional[bytes] = None,
+                 binary: bool = False) -> Tuple[Any, str]:
         """One JSON round trip; returns ``(decoded body, X-Repro-Node)``.
 
-        ``body`` switches the request to POST; ``decode=False`` returns
-        the raw text (the Prometheus exposition).  Connection-level
-        failures and retryable error responses raise
-        :class:`NodeUnavailableError` (a 429 shed the
+        ``body`` switches the request to POST; ``raw_body`` does too but
+        ships opaque bytes (artifact pushes) instead of JSON.
+        ``decode=False`` returns the raw text (the Prometheus
+        exposition); ``binary=True`` returns the untouched response bytes
+        (artifact blobs).  Connection-level failures and retryable error
+        responses raise :class:`NodeUnavailableError` (a 429 shed the
         :class:`NodeOverloadedError` refinement, after ``retries`` extra
-        attempts when ``idempotent``); non-retryable errors raise
-        :class:`NodeHTTPError`.
+        attempts when ``idempotent``, paced by :func:`backoff_delay`);
+        non-retryable errors raise :class:`NodeHTTPError`.
         """
         url = f"{self.node.base_url}{path}"
-        data = json.dumps(body).encode() if body is not None else None
-        headers = {"Content-Type": "application/json"} if body is not None \
-            else {}
+        if raw_body is not None:
+            data: Optional[bytes] = raw_body
+            headers = {"Content-Type": "application/octet-stream"}
+        else:
+            data = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} \
+                if body is not None else {}
         if extra_headers:
             headers.update(extra_headers)
         attempts = (self.retries + 1) if idempotent else 1
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
             if attempt:
-                time.sleep(min(0.05 * attempt, 0.5))
+                time.sleep(backoff_delay(
+                    attempt, getattr(last_error, "retry_after", None)))
             request = urllib.request.Request(url, data=data, headers=headers)
             try:
                 with urllib.request.urlopen(
@@ -119,7 +164,11 @@ class NodeClient:
                         timeout=timeout if timeout is not None
                         else self.timeout) as response:
                     raw = response.read()
-                    decoded = json.loads(raw) if decode else raw.decode()
+                    if binary:
+                        decoded: Any = raw
+                    else:
+                        decoded = json.loads(raw) if decode \
+                            else raw.decode()
                     return decoded, response.headers.get("X-Repro-Node", "")
             except urllib.error.HTTPError as exc:
                 error = self._typed_error(exc)
@@ -278,3 +327,35 @@ class NodeClient:
     def dump(self) -> Dict[str, Any]:
         """POST ``/v1/admin/dump``; returns the flight-recorder bundle."""
         return self._request("/v1/admin/dump", {}, idempotent=False)[0]
+
+    # ------------------------------------------------------------- artifacts
+
+    def artifact(self, tier: str, key: str, *,
+                 timeout: Optional[float] = None) -> bytes:
+        """GET one cache artifact's raw ``.npz`` bytes.
+
+        A node that does not hold the blob answers 404
+        (:class:`NodeHTTPError`) — the expected miss during peer fetch,
+        not a health event.
+        """
+        return self._request(f"/v1/artifacts/{tier}/{key}",
+                             timeout=timeout, binary=True)[0]
+
+    def artifact_put(self, tier: str, key: str, data: bytes, *,
+                     reason: str = "replica",
+                     timeout: Optional[float] = None) -> Dict[str, Any]:
+        """POST one artifact blob into the node's store.
+
+        Idempotent by construction (content-addressed key, validated
+        before the atomic rename) but not retried: the pusher owns the
+        retry policy, and a duplicated push is merely wasted bytes.
+        Returns the node's ``{"stored": bool, ...}`` receipt.
+        """
+        path = f"/v1/artifacts/{tier}/{key}?reason={reason}"
+        return self._request(path, raw_body=data, idempotent=False,
+                             timeout=timeout)[0]
+
+    def artifact_list(self, *, timeout: Optional[float] = None
+                      ) -> Dict[str, Any]:
+        """GET the node's on-disk artifact inventory (rebalance input)."""
+        return self._request("/v1/artifacts", timeout=timeout)[0]

@@ -21,7 +21,14 @@ one engine.  Per job it:
    routed job's spec (bounded, like the engine's retention); if the
    owning node dies before the result is read, the next poll transparently
    *resubmits* to a surviving node.  Jobs are pure functions of their
-   spec, so re-execution is safe and byte-identical.
+   spec, so re-execution is safe and byte-identical;
+5. **replicates artifacts across homes** (``replicas=k`` > 1) — when a
+   job finishes, a background worker copies its result/tree/core blobs
+   from the serving node to the key's other ring homes via the artifact
+   endpoints, so a node death costs *zero recomputation*: the failover
+   home answers from its own warm disk tier.  Write-through is
+   best-effort cache warming (bounded queue, drops under pressure),
+   never a durability promise — recompute-from-spec remains the floor.
 
 Dataset-spec fingerprints are memoized (the specs are deterministic), so
 routing a repeat dataset job costs a dict lookup, not a regeneration —
@@ -31,11 +38,12 @@ the same trick the engine itself uses.
 from __future__ import annotations
 
 import itertools
+import queue
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import repro
 from repro.api.contract import DEFAULT_TRACE_LIMIT, ERR_UNKNOWN_TRACE
@@ -51,7 +59,9 @@ from repro.errors import (
     InvalidInputError,
     NodeOverloadedError,
     NodeUnavailableError,
+    ReproError,
 )
+from repro.store import combine_fingerprint
 from repro.metrics import fleet_hit_rate, fleet_mfeatures_per_second
 from repro.obs import (
     MetricsRegistry,
@@ -77,6 +87,10 @@ DEFAULT_RETRY_DOWN_AFTER = 5.0
 DEFAULT_PROBE_TIMEOUT = 5.0
 #: Memoized dataset-spec fingerprints (tiny entries, safety cap).
 _MAX_DATASET_MEMO = 4096
+#: Replica write-through queue depth.  Replication is an optimization
+#: (a dropped copy costs one recompute after a death, never correctness),
+#: so a slow fleet sheds copy work instead of backing up submissions.
+REPLICA_QUEUE_DEPTH = 256
 
 
 @dataclass
@@ -96,6 +110,10 @@ class _Route:
     #: the first terminal poll clears the in-flight index entry.
     coalesce_key: Optional[Tuple[str, str]] = None
     resubmits: int = 0
+    #: Set once the route's artifacts have been queued for replica
+    #: write-through — every coalesced rider observes the same terminal
+    #: poll, but the fleet only needs one copy pass.
+    replicated: bool = False
     lock: threading.Lock = field(default_factory=threading.Lock)
     #: Router-side trace context: hop spans accumulated across dispatch,
     #: failover and recovery, shipped to the serving node in the
@@ -112,13 +130,18 @@ class ClusterRouter:
                  max_routes: int = DEFAULT_MAX_ROUTES,
                  retry_down_after: float = DEFAULT_RETRY_DOWN_AFTER,
                  probe_timeout: float = DEFAULT_PROBE_TIMEOUT,
+                 replicas: int = 1,
                  obs: Optional[bool] = None) -> None:
         if not nodes:
             raise InvalidInputError("a cluster needs at least one node")
         if max_routes < 1:
             raise InvalidInputError(
                 f"max_routes must be >= 1, got {max_routes}")
+        if replicas < 1:
+            raise InvalidInputError(
+                f"replicas must be >= 1, got {replicas}")
         self.probe_timeout = min(probe_timeout, timeout)
+        self.replicas = replicas
         self.ring = HashRing(nodes)
         self.clients: Dict[str, NodeClient] = {
             node.name: NodeClient(node, timeout=timeout, retries=retries)
@@ -134,6 +157,17 @@ class ClusterRouter:
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._started_at = time.perf_counter()
+        #: Nodes with a cool-off re-probe currently in flight; concurrent
+        #: routing calls skip such a node rather than pile probes on it.
+        self._probing: Set[str] = set()
+        self._probe_guard = threading.Lock()
+        # Replica write-through: terminal routes queue here; one daemon
+        # worker copies their artifacts to the key's other home nodes.
+        self._replica_q: "queue.Queue[Optional[_Route]]" = queue.Queue(
+            maxsize=REPLICA_QUEUE_DEPTH)
+        self._replica_worker: Optional[threading.Thread] = None
+        self._replica_active = 0
+        self._closed = False
         # Router-level accounting lives in a metrics registry (like the
         # engine's), read back by `stats()` and scraped by /v1/metrics.
         self.registry = MetricsRegistry(
@@ -162,6 +196,18 @@ class ClusterRouter:
             "repro_router_upstream_seconds",
             "Latency of upstream job submissions, per node.",
             labels=("node",))
+        self._replica_writes_c = self.registry.counter(
+            "repro_replica_writes_total",
+            "Replica write-through attempts, by outcome "
+            "(ok/rejected/miss/error/dropped).", labels=("outcome",))
+        self._reprobes_c = self.registry.counter(
+            "repro_router_reprobes_total",
+            "Cool-off health re-probes of down nodes, by outcome.",
+            labels=("outcome",))
+        self.registry.gauge(
+            "repro_router_replica_pending",
+            "Replica write-through passes queued or in progress.",
+            fn=lambda: float(self.replica_pending()))
         self.registry.gauge(
             "repro_router_uptime_seconds",
             "Seconds since the router started.",
@@ -194,18 +240,57 @@ class ClusterRouter:
         """Failover-ordered nodes for a key, shunning recently-down ones.
 
         A down node is skipped until ``retry_down_after`` seconds have
-        passed since its last failure, then tried again (half-open).  If
-        that filter empties the list, every node (minus ``exclude``) is
-        returned anyway — a fleet that looks entirely down must still try
-        *something* rather than fail without a connection attempt.
+        passed since its last failure, then *re-probed* (cheap healthz,
+        ``probe_timeout``) on its first hit in preference order: success
+        flips it healthy fleet-wide — so replica placement and other
+        routing calls see the recovery immediately, not merely the one
+        dispatch that happened to land on it — while failure restarts the
+        cool-off.  If the filter empties the list, every node (minus
+        ``exclude``) is returned anyway — a fleet that looks entirely
+        down must still try *something* rather than fail without a
+        connection attempt.
         """
         preferred = [node for node in self.ring.preference(points_fp)
                      if node.name not in exclude]
         now = time.monotonic()
-        live = [node for node in preferred
-                if node.healthy
-                or now - node.last_failure_at >= self.retry_down_after]
+        live = []
+        for node in preferred:
+            if node.healthy:
+                live.append(node)
+            elif now - node.last_failure_at >= self.retry_down_after \
+                    and self._reprobe(node):
+                live.append(node)
         return live or preferred
+
+    def _reprobe(self, node: Node) -> bool:
+        """Health-probe one cooled-off down node; ``True`` if it rejoined.
+
+        Guarded by :attr:`_probing`: while one caller's probe is in
+        flight, concurrent callers skip the node instead of stacking
+        probes (and blocking) on a possibly-still-dead host.
+        """
+        with self._probe_guard:
+            if node.name in self._probing:
+                return False
+            self._probing.add(node.name)
+        try:
+            self.clients[node.name].healthz(timeout=self.probe_timeout)
+        except (NodeOverloadedError, NodeHTTPError):
+            # Shedding or refusing is proof of life: the node is back.
+            node.mark_up()
+            self._reprobes_c.inc(outcome="up")
+            return True
+        except NodeUnavailableError as exc:
+            node.mark_down(str(exc))  # restart the cool-off clock
+            self._reprobes_c.inc(outcome="down")
+            return False
+        else:
+            node.mark_up()
+            self._reprobes_c.inc(outcome="up")
+            return True
+        finally:
+            with self._probe_guard:
+                self._probing.discard(node.name)
 
     # --------------------------------------------------------------- submit
 
@@ -265,9 +350,11 @@ class ClusterRouter:
                   ) -> Tuple[Dict[str, Any], Node]:
         """Send a spec to the first candidate that takes it.
 
-        At-most-one retry: the primary plus one failover, mirroring the
-        engine's crashed-worker policy (a job that breaks *every* node it
-        touches should fail loudly, not walk the whole fleet).
+        Bounded retry: the primary plus ``max(2, replicas) - 1``
+        failovers — exactly the key's home set when replication is on,
+        mirroring the engine's crashed-worker policy otherwise (a job
+        that breaks *every* node it touches should fail loudly, not walk
+        the whole fleet).
 
         With ``trace`` set, each attempt appends a ``route`` hop span and
         the whole context travels in the ``X-Repro-Trace`` header — the
@@ -278,8 +365,12 @@ class ClusterRouter:
         """
         body = spec.to_dict()
         last_error: Optional[Exception] = None
+        # With replication, any of the k homes may hold the warm copy —
+        # walking that many candidates keeps failover reads hitting disk
+        # instead of recomputing (k=1 keeps the historical primary+1).
+        width = max(2, self.replicas)
         for attempt, node in enumerate(
-                self._candidates(points_fp, exclude)[:2]):
+                self._candidates(points_fp, exclude)[:width]):
             client = self.clients[node.name]
             hop: Optional[Dict[str, Any]] = None
             if trace is not None:
@@ -366,7 +457,8 @@ class ClusterRouter:
         else:
             if node is not None:
                 node.mark_up()
-        if body.get("status") in ("done", "failed") \
+        status = body.get("status")
+        if status in ("done", "failed") \
                 and route.coalesce_key is not None:
             # Terminal: later identical submissions should hit the nodes'
             # result caches, not this finished upstream job.
@@ -374,6 +466,8 @@ class ClusterRouter:
                 if self._inflight.get(route.coalesce_key) is route:
                     del self._inflight[route.coalesce_key]
             route.coalesce_key = None
+        if status == "done" and self.replicas > 1:
+            self._queue_replication(route)
         return {**body, "job_id": routed_id, "node": route.node_name}, \
             route.node_name
 
@@ -409,6 +503,160 @@ class ClusterRouter:
             current_node, current_id = route.node_name, route.upstream_id
         body, _header = self.clients[current_node].job(current_id, wait_s)
         return body
+
+    # ------------------------------------------------------- replication
+
+    def _queue_replication(self, route: _Route) -> None:
+        """Queue one terminal route's artifacts for replica write-through.
+
+        At most once per route (coalesced riders all observe the same
+        terminal poll); a full queue *drops* the pass and counts it —
+        replication is cache warming, not durability, so it must never
+        backpressure the serving path.
+        """
+        with route.lock:
+            if route.replicated:
+                return
+            route.replicated = True
+        self._ensure_replica_worker()
+        try:
+            self._replica_q.put_nowait(route)
+        except queue.Full:
+            self._replica_writes_c.inc(outcome="dropped")
+
+    def _ensure_replica_worker(self) -> None:
+        with self._lock:
+            if self._closed or (self._replica_worker is not None
+                                and self._replica_worker.is_alive()):
+                return
+            self._replica_worker = threading.Thread(
+                target=self._replica_loop, name="repro-replicator",
+                daemon=True)
+            self._replica_worker.start()
+
+    def _replica_loop(self) -> None:
+        while True:
+            route = self._replica_q.get()
+            if route is None:  # close() sentinel
+                return
+            with self._lock:
+                self._replica_active += 1
+            try:
+                self._replicate(route)
+            except Exception:  # noqa: BLE001 — worker must survive
+                self._replica_writes_c.inc(outcome="error")
+            finally:
+                with self._lock:
+                    self._replica_active -= 1
+
+    def replica_pending(self) -> int:
+        """Write-through passes not yet finished (queued + in flight)."""
+        with self._lock:
+            return self._replica_q.qsize() + self._replica_active
+
+    def _replica_keys(self, route: _Route) -> List[Tuple[str, str]]:
+        """The ``(tier, key)`` artifacts one finished job produced.
+
+        Derived the same way the engine keys its tiers: content
+        fingerprint combined with the spec's per-tier parameter strings
+        (core distances exist only for the mutual-reachability
+        algorithms).
+        """
+        spec, points_fp = route.spec, route.points_fp
+        keys = [
+            ("result", combine_fingerprint(points_fp, spec.params_key())),
+            ("tree", combine_fingerprint(points_fp, spec.tree_key())),
+        ]
+        if spec.algorithm in ("mrd_emst", "hdbscan"):
+            keys.append(
+                ("core", combine_fingerprint(points_fp, spec.core_key())))
+        return keys
+
+    def _replicate(self, route: _Route) -> None:
+        """Copy one route's artifacts from its serving node to the other
+        home nodes of its key (ring placement, first ``replicas`` healthy
+        preferences).
+
+        Pull-then-push through the router: the wire format *is* the store
+        format, so the bytes that leave the source are the bytes the
+        target validates and renames into place — byte identity for free.
+        Per (tier, target) outcome counting: ``ok`` stored, ``rejected``
+        refused (oversized / no disk store), ``miss`` source lacks the
+        blob (memory-only node), ``error`` transport trouble.
+        """
+        source_name = route.node_name
+        source = self.clients.get(source_name)
+        if source is None:
+            self._replica_writes_c.inc(outcome="error")
+            return
+        targets = [node for node
+                   in self.ring.homes(route.points_fp, self.replicas)
+                   if node.name != source_name]
+        if not targets:
+            return
+        for tier, key in self._replica_keys(route):
+            try:
+                data = source.artifact(tier, key)
+            except NodeHTTPError:
+                # The source never spilled this tier to disk; nothing to
+                # copy is a per-tier miss, not a failure of the pass.
+                self._replica_writes_c.inc(outcome="miss")
+                continue
+            except ReproError:
+                self._replica_writes_c.inc(outcome="error")
+                continue
+            for target in targets:
+                try:
+                    receipt = self.clients[target.name].artifact_put(
+                        tier, key, data)
+                except ReproError:
+                    self._replica_writes_c.inc(outcome="error")
+                    continue
+                self._replica_writes_c.inc(
+                    outcome="ok" if receipt.get("stored") else "rejected")
+
+    # --------------------------------------------------------- artifacts
+
+    def artifacts(self) -> Dict[str, Any]:
+        """Every reachable node's artifact inventory, by node."""
+        nodes: List[Dict[str, Any]] = []
+        for node in self.ring.nodes:
+            try:
+                doc = self.clients[node.name].artifact_list(
+                    timeout=self.probe_timeout)
+            except NodeUnavailableError as exc:
+                if not isinstance(exc, NodeOverloadedError):
+                    node.mark_down(str(exc))
+                nodes.append({"node": node.name, "error": str(exc)})
+                continue
+            except NodeHTTPError as exc:
+                nodes.append({"node": node.name, "error": str(exc)})
+                continue
+            nodes.append({"node": node.name,
+                          "artifacts": doc.get("artifacts", [])})
+        return {"role": "router", "nodes": nodes}
+
+    def artifact(self, tier: str, key: str
+                 ) -> Optional[Tuple[bytes, str]]:
+        """Find one artifact anywhere in the fleet.
+
+        Returns ``(bytes, holding node name)`` from the first node that
+        has it, or ``None``.  A 404 is the expected miss; unreachable
+        nodes are skipped so a partial fleet still serves what it holds.
+        """
+        for node in self.ring.nodes:
+            try:
+                data = self.clients[node.name].artifact(tier, key)
+            except NodeHTTPError as exc:
+                if exc.code == 404:
+                    continue
+                raise
+            except NodeUnavailableError as exc:
+                if not isinstance(exc, NodeOverloadedError):
+                    node.mark_down(str(exc))
+                continue
+            return data, node.name
+        return None
 
     # ----------------------------------------------------- fleet aggregates
 
@@ -497,6 +745,8 @@ class ClusterRouter:
             "failovers": int(self._failovers_c.value()),
             "resubmits": int(self._resubmits_c.value()),
             "coalesced": int(self._coalesced_c.value()),
+            "replicas": self.replicas,
+            "replica_pending": self.replica_pending(),
             "known_routes": len(self._routes),
             "routed_by_node": {name: int(handle.value) for name, handle
                                in self._routed_by_node_c.items()},
@@ -726,6 +976,11 @@ class ClusterRouter:
                 "nodes": nodes}
 
     def close(self) -> None:
-        """Drop routing state (no sockets are held open)."""
+        """Stop the replication worker and drop routing state."""
         with self._lock:
+            self._closed = True
+            worker = self._replica_worker
             self._routes.clear()
+        if worker is not None and worker.is_alive():
+            self._replica_q.put(None)  # sentinel: drain then exit
+            worker.join(timeout=5.0)

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 import asyncio
 
 from repro.api.contract import (
+    ERR_NOT_FOUND,
     ERR_OVERLOADED,
     ERR_UNKNOWN_JOB,
     ERR_UNKNOWN_TRACE,
@@ -157,6 +158,25 @@ class RouterAPI(WireAPI):
             bundle["events"] = self.event_log.recent()
             bundle["events_stats"] = self.event_log.stats()
         return bundle
+
+    async def artifact_list(self) -> Dict[str, Any]:
+        return await self._call(self.router.artifacts)
+
+    async def artifact_get(self, tier: str, key: str
+                           ) -> Tuple[bytes, Optional[str]]:
+        found = await self._call(
+            lambda: self.router.artifact(tier, key))
+        if found is None:
+            raise ApiError(404, f"no node holds {tier} artifact "
+                                f"{key[:12]}…", code=ERR_NOT_FOUND)
+        return found
+
+    async def artifact_put(self, tier: str, key: str, data: bytes,
+                           reason: str) -> Dict[str, Any]:
+        # Pushes target one node's store; a blind router-placed write
+        # would race the placement the pusher already computed.
+        raise ApiError(400, "push artifacts to a node directly; "
+                            "the router only serves artifact reads")
 
     @staticmethod
     def _overloaded(exc: NodeOverloadedError) -> ApiError:

@@ -215,6 +215,29 @@ class HashRing:
                       reverse=True)
             return [primary] + rest
 
+    def homes(self, key: str, k: int = 1, *,
+              healthy_only: bool = True) -> List[Node]:
+        """The ``k`` home nodes of ``key``: its replica set.
+
+        The first ``k`` entries of :meth:`preference` — the primary plus
+        the ``k-1`` best rendezvous-ranked followers — so the replica set
+        is a pure function of ``(key, node set)``, moves minimally under
+        churn (rendezvous ranks are per-node independent), and the
+        failover order *is* the replica order: on primary death, reads
+        land exactly on the nearest surviving home.
+
+        ``healthy_only`` (the default) skips down nodes, so write-through
+        targets the nodes that can actually take the copy; pass ``False``
+        for the pure placement function (rebalance planning).  Returns
+        fewer than ``k`` nodes when the (healthy) membership is smaller.
+        """
+        if k < 1:
+            raise InvalidInputError(f"k must be >= 1, got {k}")
+        order = self.preference(key)
+        if healthy_only:
+            order = [node for node in order if node.healthy]
+        return order[:k]
+
     @staticmethod
     def _rendezvous_score(key: str, node: Node) -> float:
         """Weighted highest-random-weight score of (key, node).

@@ -48,7 +48,7 @@ import numpy as np
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Deque, Dict, List, Optional, Sequence
 
 from repro.errors import InvalidInputError, ReproError, ServiceError
 from repro.kokkos.counters import CostCounters
@@ -137,6 +137,9 @@ class _JobRecord:
     #: Wall-clock submission time — trace spans need epoch timestamps so
     #: router- and node-side spans sit on one axis.
     submitted_wall: float = 0.0
+    #: Tiers whose artifact arrived from a replica peer (read-through)
+    #: during this job — drives the ``peer_fetch`` trace span.
+    peer_tiers: List[str] = field(default_factory=list)
 
 
 class Engine:
@@ -156,7 +159,9 @@ class Engine:
                  trace_slow_threshold: float = DEFAULT_SLOW_THRESHOLD_S,
                  trace_sample: float = DEFAULT_SAMPLE,
                  slos: Optional[tuple] = None,
-                 profile_hz: float = DEFAULT_PROFILE_HZ) -> None:
+                 profile_hz: float = DEFAULT_PROFILE_HZ,
+                 peers: Optional[Sequence[str]] = None,
+                 peer_timeout: float = 5.0) -> None:
         if max_retained_jobs < 1:
             raise ValueError(
                 f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
@@ -186,6 +191,22 @@ class Engine:
                                         self.store, registry=self.registry)
         self.core_cache = TieredCache("core", core_cache_bytes, self.store,
                                       registry=self.registry)
+        #: Replica peers consulted on a local miss before recomputing
+        #: (read-through against their ``/v1/artifacts`` surface, in the
+        #: configured order).  Empty = the pre-replication behavior.
+        self.peers: List[str] = [u.rstrip("/") for u in (peers or ())]
+        self._peer_clients: List[Any] = []
+        self._peer_fetch_c = self.registry.counter(
+            "repro_peer_fetch_total",
+            "Peer artifact fetch attempts by tier and outcome "
+            "(hit / miss / error).",
+            labels=("tier", "outcome"))
+        self._rebalance_copies_c = self.registry.counter(
+            "repro_rebalance_copies_total",
+            "Artifacts ingested by `repro rebalance` copies.")
+        self._peer_timeout = peer_timeout
+        if self.peers:
+            self.set_peers(self.peers, timeout=peer_timeout)
         self.scheduler = BatchScheduler(
             self._run_job, max_workers=max_workers, max_batch=max_batch,
             batch_window=batch_window, backend=backend,
@@ -280,6 +301,8 @@ class Engine:
             "trace_slow_threshold": trace_slow_threshold,
             "trace_sample": trace_sample,
             "profile_hz": profile_hz,
+            "peers": list(self.peers),
+            "peer_timeout": peer_timeout,
         }
 
     def _worker_pids(self) -> list:
@@ -460,6 +483,97 @@ class Engine:
         every node uniformly).
         """
         return self.store.compact() if self.store is not None else None
+
+    # ------------------------------------------------------------ artifacts
+
+    def artifact_entries(self) -> List[Dict[str, Any]]:
+        """The persistent store's catalogue (empty for memory-only)."""
+        return self.store.entries() if self.store is not None else []
+
+    def artifact_bytes(self, tier: str, key: str) -> Optional[bytes]:
+        """One stored artifact's raw blob bytes, or ``None``.
+
+        Served straight off the store — deliberately *not* through the
+        tiered lookup, so answering a peer never triggers this node's own
+        peer-fetch (no fetch cycles between replicas).
+        """
+        self._check_tier(tier)
+        if self.store is None:
+            return None
+        return self.store.get_blob_bytes(tier, key)
+
+    def ingest_artifact(self, tier: str, key: str, data: bytes,
+                        reason: str = "replica") -> bool:
+        """Persist pushed blob bytes; returns whether they were stored.
+
+        ``False`` on a memory-only node (a replica target without a store
+        cannot hold warm state across restarts; the pusher counts it as
+        rejected).  Invalid bytes raise :class:`InvalidInputError` — the
+        store validates by deserializing before the atomic rename.
+        """
+        self._check_tier(tier)
+        if self.store is None:
+            return False
+        stored = self.store.put_blob_bytes(tier, key, data)
+        if stored and reason == "rebalance":
+            self._rebalance_copies_c.inc()
+        return stored
+
+    @staticmethod
+    def _check_tier(tier: str) -> None:
+        if tier not in ("tree", "result", "core"):
+            raise InvalidInputError(
+                f"unknown artifact tier {tier!r}; "
+                f"use one of ('tree', 'result', 'core')")
+
+    def set_peers(self, peers: Sequence[str], *,
+                  timeout: Optional[float] = None) -> None:
+        """(Re)wire the replica peers consulted on a local cache miss.
+
+        Callable after construction too — a fleet whose node URLs are
+        only known once every sibling has bound its port (dynamic-port
+        tests, orchestrators) wires the mesh here.
+        """
+        # Function-level import: cluster imports service (the router
+        # speaks JobSpec), so the reverse edge must not exist at
+        # module load.
+        from repro.cluster.client import NodeClient
+        from repro.cluster.topology import Node
+
+        self.peers = [url.rstrip("/") for url in peers]
+        if hasattr(self, "_config"):  # absent during __init__'s own call
+            self._config["peers"] = list(self.peers)
+        self._peer_clients = [
+            NodeClient(Node(url),
+                       timeout=timeout if timeout is not None
+                       else self._peer_timeout, retries=0)
+            for url in self.peers]
+        hook = self._fetch_from_peers if self._peer_clients else None
+        for cache in (self.tree_cache, self.result_cache,
+                      self.core_cache):
+            cache.peer_fetch = hook
+
+    def _fetch_from_peers(self, tier: str, key: str) -> Optional[bytes]:
+        """Read-through hook the cache tiers call after a local miss.
+
+        Asks each configured peer's artifact endpoint in order; the first
+        copy wins.  Unreachable peers count as errors and the walk
+        continues — a dead replica must degrade to recompute, never fail
+        the job.
+        """
+        from repro.cluster.client import NodeHTTPError
+        for client in self._peer_clients:
+            try:
+                data = client.artifact(tier, key)
+            except NodeHTTPError:
+                continue  # 404: this peer does not hold it
+            except ReproError:
+                self._peer_fetch_c.inc(tier=tier, outcome="error")
+                continue
+            self._peer_fetch_c.inc(tier=tier, outcome="hit")
+            return data
+        self._peer_fetch_c.inc(tier=tier, outcome="miss")
+        return None
 
     # ------------------------------------------------------------- obs query
 
@@ -642,6 +756,12 @@ class Engine:
                 duration_s=seconds, **meta))
             if not meta:  # replayed phases occupy no wall time here
                 offset += seconds
+        if record.peer_tiers:
+            # Where the warm artifacts actually came from: a replica
+            # peer's store, not local compute and not this node's disk.
+            children.append(make_span(
+                "peer_fetch", node=node, start=exec_start,
+                tiers=",".join(record.peer_tiers)))
         exec_meta: Dict[str, Any] = {}
         if result.payload is not None:
             inner = result.payload.get("emst", result.payload)
@@ -742,6 +862,12 @@ class Engine:
             inner = payload.get("emst", payload)
             n_points, dimension = inner["n_points"], inner["dimension"]
 
+        peer_tiers = [tier for tier, src in (("result", result_src),
+                                             ("tree", tree_src),
+                                             ("core", core_src))
+                      if src == "peer"]
+        if peer_tiers:
+            self._record(ticket.job_id).peer_tiers = peer_tiers
         for name, seconds in payload.get("phases", {}).items():
             timer.add(f"algo_{name}", seconds)
         run_seconds = ticket.run_seconds

@@ -50,6 +50,16 @@ Endpoints (all JSON):
 ``POST /v1/admin/dump``
     Flight-recorder snapshot: config, stats, metrics, SLO report,
     inflight jobs, queue depth and the event ring in one debug bundle.
+``GET /v1/artifacts``
+    The node's persistent-store catalogue (tier, key, nbytes per entry).
+``GET /v1/artifacts/<tier>/<key>``
+    One artifact's raw ``.npz`` blob bytes — the on-disk file verbatim,
+    which is what replica warm-up, peer-fetch and ``repro rebalance``
+    stream between nodes; 404 ``not_found`` when absent.
+``POST /v1/artifacts/<tier>/<key>[?reason=replica|rebalance]``
+    Ingest raw blob bytes into the node's store (validated by
+    deserializing before the atomic rename; garbage is a 400).  Returns
+    ``{"stored": bool, ...}`` — ``false`` on a memory-only node.
 
 Every response carries an ``X-Repro-Node`` header naming the serving node
 (``--name``, defaulting to ``host:port``), so a client behind the cluster
@@ -76,6 +86,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import repro
 from repro.api.contract import (  # noqa: F401 — re-exported wire constants
+    ERR_NOT_FOUND,
     ERR_OVERLOADED,
     ERR_UNKNOWN_JOB,
     ERR_UNKNOWN_TRACE,
@@ -240,6 +251,25 @@ class EngineAPI(WireAPI):
             bundle["events"] = self.event_log.recent()
             bundle["events_stats"] = self.event_log.stats()
         return bundle
+
+    async def artifact_list(self) -> Dict[str, Any]:
+        entries = await asyncio.to_thread(self.engine.artifact_entries)
+        return {"node": self.node_name, "artifacts": entries}
+
+    async def artifact_get(self, tier: str, key: str
+                           ) -> Tuple[bytes, Optional[str]]:
+        data = await asyncio.to_thread(
+            self.engine.artifact_bytes, tier, key)
+        if data is None:
+            raise ApiError(404, f"no {tier} artifact {key[:12]}… here",
+                           code=ERR_NOT_FOUND)
+        return data, None
+
+    async def artifact_put(self, tier: str, key: str, data: bytes,
+                           reason: str) -> Dict[str, Any]:
+        stored = await asyncio.to_thread(
+            self.engine.ingest_artifact, tier, key, data, reason)
+        return {"stored": stored, "tier": tier, "key": key}
 
 
 def create_server(engine: Engine, host: str = "127.0.0.1", port: int = 0,

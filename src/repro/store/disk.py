@@ -276,38 +276,128 @@ class DiskStore:
                     write_blob(fh, meta, arrays)
                     fh.flush()
                     os.fsync(fh.fileno())
-                size = os.path.getsize(tmp)
-                if size > self.max_bytes:
-                    os.unlink(tmp)
-                    self.oversized += 1
-                    return False
-                ident = (tier, key)
-                if ident in self._entries:
-                    self._current_bytes -= self._entries.pop(ident)
-                while self._current_bytes + size > self.max_bytes:
-                    (old_tier, old_key), old_size = \
-                        self._entries.popitem(last=False)
-                    self._current_bytes -= old_size
-                    try:
-                        os.unlink(self._path(old_tier, old_key))
-                    except OSError:
-                        pass
-                    self._append({"op": "evict", "tier": old_tier,
-                                  "key": old_key})
-                    self.evictions += 1
-                os.replace(tmp, path)
+                return self._commit_tmp(tier, key, tmp, path)
             except BaseException:
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
                 raise
-            self._entries[ident] = size
-            self._current_bytes += size
-            self._append({"op": "put", "tier": tier, "key": key,
-                          "nbytes": size})
-            self.puts += 1
-            return True
+
+    def _commit_tmp(self, tier: str, key: str, tmp: str, path: str) -> bool:
+        """Move a fully written temp blob into its live name (lock held).
+
+        Shared tail of every write path: budget check, LRU eviction until
+        the newcomer fits, atomic rename, journal append.  Returns whether
+        the blob was kept (``False`` only for over-budget artifacts, whose
+        temp file is unlinked here).
+        """
+        size = os.path.getsize(tmp)
+        if size > self.max_bytes:
+            os.unlink(tmp)
+            self.oversized += 1
+            return False
+        ident = (tier, key)
+        if ident in self._entries:
+            self._current_bytes -= self._entries.pop(ident)
+        while self._current_bytes + size > self.max_bytes:
+            (old_tier, old_key), old_size = \
+                self._entries.popitem(last=False)
+            self._current_bytes -= old_size
+            try:
+                os.unlink(self._path(old_tier, old_key))
+            except OSError:
+                pass
+            self._append({"op": "evict", "tier": old_tier,
+                          "key": old_key})
+            self.evictions += 1
+        os.replace(tmp, path)
+        self._entries[ident] = size
+        self._current_bytes += size
+        self._append({"op": "put", "tier": tier, "key": key,
+                      "nbytes": size})
+        self.puts += 1
+        return True
+
+    # ------------------------------------------------------------- raw bytes
+    #
+    # The wire format IS the store format: a blob file's bytes stream
+    # straight onto the ``/v1/artifacts`` surface and straight back into a
+    # peer's store, so replication and peer-fetch get byte-identity for
+    # free.  These two methods are that surface's storage half.
+
+    def get_blob_bytes(self, tier: str, key: str) -> Optional[bytes]:
+        """The raw blob-file bytes for ``(tier, key)``, or ``None``.
+
+        Refreshes LRU recency on a hit, like :meth:`get`.  A file whose
+        size disagrees with the journal is quarantined and reported as a
+        miss — the receiving side would reject it anyway, so heal here.
+        """
+        ident = (tier, key)
+        with self._lock:
+            expected = self._entries.get(ident)
+            if expected is None:
+                self.misses += 1
+                return None
+            path = self._path(tier, key)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        if len(data) != expected:
+            with self._lock:
+                # Only quarantine if nothing rewrote the entry meanwhile.
+                if self._entries.get(ident) == expected:
+                    self._quarantine_file(path)
+                    self._current_bytes -= self._entries.pop(ident)
+                    self._append_best_effort(
+                        {"op": "evict", "tier": tier, "key": key})
+                    self.corrupt += 1
+                self.misses += 1
+            return None
+        with self._lock:
+            if ident in self._entries:
+                self._entries.move_to_end(ident)
+                self._append_best_effort(
+                    {"op": "touch", "tier": tier, "key": key})
+            self.hits += 1
+        return data
+
+    def put_blob_bytes(self, tier: str, key: str, data: bytes) -> bool:
+        """Persist one artifact from raw blob bytes; returns whether stored.
+
+        The bytes are written to a temp file, fsync'ed, then *validated by
+        deserializing* before the atomic rename — torn or foreign bytes
+        raise :class:`InvalidInputError` and leave the store untouched.
+        """
+        with self._lock:
+            path = self._path(tier, key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       prefix=f"{key}.", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                read_blob(tmp)
+                return self._commit_tmp(tier, key, tmp, path)
+            except InvalidInputError:
+                self.corrupt += 1
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def __contains__(self, ident: Tuple[str, str]) -> bool:
         with self._lock:
@@ -322,6 +412,17 @@ class DiskStore:
         with self._lock:
             return [ident for ident in self._entries
                     if tier is None or ident[0] == tier]
+
+    def entries(self, tier: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Listing documents (``tier``/``key``/``nbytes``) in LRU order.
+
+        JSON-safe by construction — this is the body of the artifact
+        listing endpoint, which rebalance walks to find stranded shards.
+        """
+        with self._lock:
+            return [{"tier": t, "key": k, "nbytes": n}
+                    for (t, k), n in self._entries.items()
+                    if tier is None or t == tier]
 
     def clear(self) -> int:
         """Delete every stored artifact; returns how many were removed."""

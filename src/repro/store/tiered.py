@@ -15,16 +15,21 @@ engine's code path identical whether persistence is configured or not.
 
 from __future__ import annotations
 
+import io
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.errors import InvalidInputError
 from repro.metrics import hit_rate
 from repro.obs import MetricsRegistry
-from repro.store.blob import codec_for
+from repro.store.blob import codec_for, read_blob
 from repro.store.disk import DiskStore
 from repro.store.memory import ContentCache, estimate_nbytes
 
-#: ``source`` values :meth:`TieredCache.get_with_source` can report.
+#: ``source`` values :meth:`TieredCache.get_with_source` can report
+#: (``"peer"`` joins them when a :attr:`TieredCache.peer_fetch` hook is
+#: installed — it is not pre-touched into the lookup counter because a
+#: peerless cache never reports it).
 SOURCES = ("memory", "disk")
 
 
@@ -43,8 +48,16 @@ class TieredCache:
         self.memory = ContentCache(max_bytes, name=tier)
         self.store = store
         self._encode, self._decode = codec_for(tier)
+        #: Read-through hook consulted after a disk miss: a callable
+        #: ``(tier, key) -> Optional[bytes]`` returning a peer's raw blob
+        #: bytes (the engine installs one wired to its ``--peer`` set).
+        #: The hook owns its own telemetry; a hit here reports source
+        #: ``"peer"`` and warms both local levels.
+        self.peer_fetch: Optional[Callable[[str, str],
+                                           Optional[bytes]]] = None
         self.disk_hits = 0
         self.disk_misses = 0
+        self.peer_hits = 0
         self.spill_errors = 0
         self.decode_errors = 0
         self.read_errors = 0
@@ -86,7 +99,7 @@ class TieredCache:
             return value, "memory"
         self._lookup[("memory", "miss")].inc()
         if self.store is None:
-            return None, None
+            return self._peer_read_through(key)
         started = time.perf_counter()
         try:
             blob = self.store.get(self.tier, key)
@@ -94,13 +107,13 @@ class TieredCache:
             self.read_errors += 1
             self.disk_misses += 1
             self._lookup[("disk", "miss")].inc()
-            return None, None
+            return self._peer_read_through(key)
         finally:
             self._io_get.observe(time.perf_counter() - started)
         if blob is None:
             self.disk_misses += 1
             self._lookup[("disk", "miss")].inc()
-            return None, None
+            return self._peer_read_through(key)
         try:
             value = self._decode(*blob)
         except Exception:  # noqa: BLE001 — a bad artifact must read as a
@@ -108,7 +121,7 @@ class TieredCache:
             self.decode_errors += 1
             self.disk_misses += 1
             self._lookup[("disk", "miss")].inc()
-            return None, None
+            return self._peer_read_through(key)
         self.disk_hits += 1
         self._lookup[("disk", "hit")].inc()
         # Promote with the size recorded at insert time: re-walking a large
@@ -117,6 +130,36 @@ class TieredCache:
         # accounting the artifact was inserted under).
         self.memory.put(key, value, blob[0].get("memory_nbytes"))
         return value, "disk"
+
+    def _peer_read_through(self, key: str
+                           ) -> Tuple[Optional[Any], Optional[str]]:
+        """Last-resort lookup level: a replica peer's artifact surface.
+
+        Fetched bytes are validated by decoding, persisted locally (same
+        crash-safe path as a spill — the next lookup is a plain disk hit)
+        and promoted into memory.  Any failure degrades to a miss; the
+        job recomputes exactly as it would have without peers.
+        """
+        fetch = self.peer_fetch
+        if fetch is None:
+            return None, None
+        data = fetch(self.tier, key)
+        if data is None:
+            return None, None
+        try:
+            blob = read_blob(io.BytesIO(data))
+            value = self._decode(*blob)
+        except Exception:  # noqa: BLE001 — a bad peer blob is a miss
+            self.decode_errors += 1
+            return None, None
+        if self.store is not None:
+            try:
+                self.store.put_blob_bytes(self.tier, key, data)
+            except (InvalidInputError, OSError):
+                self.spill_errors += 1
+        self.peer_hits += 1
+        self.memory.put(key, value, blob[0].get("memory_nbytes"))
+        return value, "peer"
 
     def put(self, key: str, value: Any,
             nbytes: Optional[int] = None) -> bool:
@@ -168,4 +211,5 @@ class TieredCache:
             "decode_errors": self.decode_errors,
             "read_errors": self.read_errors,
         }
+        out["peer_hits"] = self.peer_hits
         return out

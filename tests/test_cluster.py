@@ -2,13 +2,25 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterRouter, HashRing, Node, NodeClient
+from repro.cluster import (
+    ClusterRouter,
+    HashRing,
+    Node,
+    NodeClient,
+    NodeHTTPError,
+    backoff_delay,
+    plan_rebalance,
+    run_rebalance,
+)
+from repro.cluster.client import BACKOFF_BASE, BACKOFF_CAP, RETRY_AFTER_CAP
+from repro.cluster.rebalance import append_journal, load_journal
 from repro.cluster.server import create_router_server
 from repro.errors import (
     ClusterError,
@@ -523,3 +535,553 @@ class TestRouterCoalescing:
         _await(fleet.router, first)
         result, _ = _await(fleet.router, other)
         assert result["status"] == "done", result.get("error")
+
+
+class TestReplicaHomes:
+    """Placement properties of the replicated home set (homes(key, k))."""
+
+    def _ring(self, count=5):
+        return HashRing([Node(f"http://h:{i}", name=f"n{i}")
+                         for i in range(count)])
+
+    def test_homes_are_a_distinct_preference_prefix(self):
+        ring = self._ring()
+        for key in _keys(60):
+            homes = [node.name for node in ring.homes(key, 3)]
+            assert len(homes) == 3 and len(set(homes)) == 3
+            preference = [node.name for node in ring.preference(key)]
+            assert preference[:3] == homes
+
+    def test_homes_skip_down_nodes(self):
+        ring = self._ring()
+        ring.get("n1").mark_down("probe failed")
+        for key in _keys(60):
+            names = [node.name for node in ring.homes(key, 3)]
+            assert "n1" not in names
+            assert len(names) == 3 and len(set(names)) == 3
+        # healthy_only=False is the pure placement function: health is
+        # invisible to it, so rebalance planning still sees n1's homes.
+        assert any("n1" in [node.name for node
+                            in ring.homes(key, 3, healthy_only=False)]
+                   for key in _keys(60))
+
+    def test_homes_shrink_when_membership_is_small(self):
+        ring = self._ring(2)
+        assert len(ring.homes("k", 5)) == 2
+        ring.get("n0").mark_down("dead")
+        assert [node.name for node in ring.homes("k", 5)] == ["n1"]
+
+    def test_bad_k_raises(self):
+        with pytest.raises(InvalidInputError):
+            self._ring().homes("k", 0)
+
+    def test_add_moves_bounded_replica_sets_and_only_toward_new(self):
+        keys = _keys(600)
+        ring = self._ring(5)
+        before = {key: frozenset(n.name for n in ring.homes(key, 2))
+                  for key in keys}
+        ring.add(Node("http://h:9", name="n9"))
+        after = {key: frozenset(n.name for n in ring.homes(key, 2))
+                 for key in keys}
+        changed = sum(before[key] != after[key] for key in keys)
+        # Ideal: n9 takes ~1/6 of each of the two replica slots (~1/3 of
+        # sets touched); far below the ~5/6 a reshuffle would move.
+        assert changed / len(keys) < 0.55
+        for key in keys:
+            # A surviving pair never swaps members between themselves:
+            # the only way a set changes is by gaining the new node.
+            assert after[key] - before[key] <= {"n9"}
+
+    def test_remove_only_touches_sets_that_held_the_node(self):
+        keys = _keys(600)
+        ring = self._ring(5)
+        before = {key: frozenset(n.name for n in ring.homes(key, 2))
+                  for key in keys}
+        ring.remove("n2")
+        after = {key: frozenset(n.name for n in ring.homes(key, 2))
+                 for key in keys}
+        changed = 0
+        for key in keys:
+            if "n2" not in before[key]:
+                assert after[key] == before[key]
+            else:
+                changed += 1
+                assert "n2" not in after[key]
+                # The survivor of the pair keeps its copy.
+                assert before[key] - {"n2"} <= after[key]
+        # ~2/5 of sets held n2 (one of two slots over five nodes).
+        assert changed / len(keys) < 0.6
+
+    def test_reweight_moves_bounded_replica_sets(self):
+        keys = _keys(600)
+        ring = self._ring(5)
+        before = {key: frozenset(n.name for n in ring.homes(key, 2))
+                  for key in keys}
+        ring.remove("n0")
+        ring.add(Node("http://h:0", name="n0", weight=2.0))
+        after = {key: frozenset(n.name for n in ring.homes(key, 2))
+                 for key in keys}
+        changed = sum(before[key] != after[key] for key in keys)
+        # Doubling one weight grows n0's share of each slot from 1/5 to
+        # 1/3 — movement tracks that delta, not a reshuffle.
+        assert changed / len(keys) < 0.5
+        # Monotone: no set LOSES n0 (its scores only went up).
+        for key in keys:
+            if "n0" in before[key]:
+                assert "n0" in after[key]
+
+
+class TestBackoff:
+    """The deterministic retry-pacing curve (no RNG by design)."""
+
+    def test_deterministic_and_within_envelope(self):
+        for attempt in range(1, 12):
+            nominal = min(BACKOFF_BASE * 2 ** (attempt - 1), BACKOFF_CAP)
+            delay = backoff_delay(attempt)
+            assert delay == backoff_delay(attempt)  # no hidden state
+            assert 0.5 * nominal <= delay <= nominal
+
+    def test_cap_holds_for_large_attempts(self):
+        assert backoff_delay(50) <= BACKOFF_CAP
+
+    def test_jitter_decorrelates_equal_nominals(self):
+        # Attempts 7 and 8 share the capped nominal; the attempt-counter
+        # jitter must still separate them.
+        assert backoff_delay(7) != backoff_delay(8)
+
+    def test_retry_after_hint_wins_and_is_capped(self):
+        assert backoff_delay(1, retry_after=3.0) == 3.0
+        assert backoff_delay(9, retry_after=0.25) == 0.25
+        assert backoff_delay(1, retry_after=1e9) == RETRY_AFTER_CAP
+        # A non-positive hint is no hint: back to the curve.
+        assert backoff_delay(2, retry_after=0.0) == backoff_delay(2)
+
+    def test_bad_attempt_raises(self):
+        with pytest.raises(ClusterError):
+            backoff_delay(0)
+
+
+class TestCoolOffReprobe:
+    """A recovered node rejoins on its first post-cool-off routing hit."""
+
+    def test_recovered_node_rejoins_promptly(self, fleet):
+        router = fleet.router
+        router.retry_down_after = 0.2
+        node = router.ring.get("node-1")
+        node.mark_down("transient blip")  # the server is actually fine
+        # Inside the cool-off the node is shunned, and stays marked down.
+        assert "node-1" not in [n.name for n in router._candidates("k")]
+        assert not node.healthy
+        time.sleep(0.25)
+        # First preference hit after expiry: the healthz re-probe runs,
+        # succeeds, and flips the node healthy *fleet-wide* — replica
+        # placement sees the recovery, not just this one dispatch.
+        assert "node-1" in [n.name for n in router._candidates("k")]
+        assert node.healthy
+        assert router._reprobes_c.value(outcome="up") >= 1
+
+    def test_still_dead_node_restarts_its_cooloff(self, fleet):
+        router = fleet.router
+        router.retry_down_after = 0.2
+        fleet.kill("node-2")
+        node = router.ring.get("node-2")
+        node.mark_down("killed")
+        time.sleep(0.25)
+        assert "node-2" not in [n.name for n in router._candidates("k")]
+        assert not node.healthy
+        # The failed probe reset the clock: the node is freshly shunned.
+        assert time.monotonic() - node.last_failure_at < 0.2
+        assert router._reprobes_c.value(outcome="down") >= 1
+
+
+@pytest.fixture
+def replicated_fleet(tmp_path):
+    """Three peer-wired nodes + a replicas=2 router; yields a handle."""
+    engines, servers = [], []
+    for i in range(3):
+        engine = Engine(max_workers=1, batch_window=0.0,
+                        store_dir=str(tmp_path / f"node-{i}"))
+        server = create_server(engine, node_name=f"node-{i}")
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        engines.append(engine)
+        servers.append(server)
+    urls = [f"http://127.0.0.1:{server.server_address[1]}"
+            for server in servers]
+    for i, engine in enumerate(engines):
+        engine.set_peers([url for j, url in enumerate(urls) if j != i],
+                         timeout=10.0)
+    nodes = [Node(url, name=f"node-{i}") for i, url in enumerate(urls)]
+    router = ClusterRouter(nodes, timeout=30.0, replicas=2)
+
+    class Fleet:
+        pass
+
+    handle = Fleet()
+    handle.router = router
+    handle.nodes = nodes
+    handle.engines = engines
+    handle.servers = servers
+    handle.urls = urls
+    handle.down = set()
+
+    def kill(name):
+        index = int(name.rsplit("-", 1)[1])
+        servers[index].shutdown()
+        servers[index].server_close()
+        engines[index].close()
+        handle.down.add(name)
+
+    handle.kill = kill
+    try:
+        yield handle
+    finally:
+        router.close()
+        for i, server in enumerate(servers):
+            if f"node-{i}" not in handle.down:
+                server.shutdown()
+                server.server_close()
+                engines[i].close()
+
+
+def _drain_replication(router, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while router.replica_pending():
+        assert time.monotonic() < deadline, "replication never drained"
+        time.sleep(0.05)
+
+
+def _flat_span_names(trace):
+    names = []
+
+    def walk(span):
+        names.append(span.get("name"))
+        for child in span.get("children") or []:
+            walk(child)
+
+    for span in trace.get("spans") or []:
+        walk(span)
+    return names
+
+
+class TestReplication:
+    def test_write_through_warms_every_home(self, replicated_fleet):
+        fleet = replicated_fleet
+        body = {"dataset": "Uniform100M2:640", "algorithm": "mrd_emst",
+                "k_pts": 4}
+        accepted = fleet.router.submit(dict(body))
+        result, node = _await(fleet.router, accepted)
+        assert result["status"] == "done", result.get("error")
+        _drain_replication(fleet.router)
+        spec = JobSpec.from_dict(body)
+        points_fp = fleet.router.fingerprint(spec)
+        homes = [n.name for n in fleet.router.ring.homes(points_fp, 2)]
+        assert node == homes[0]
+        engines = {f"node-{i}": engine
+                   for i, engine in enumerate(fleet.engines)}
+        primary, secondary = engines[homes[0]], engines[homes[1]]
+        for tier, params in (("result", spec.params_key()),
+                             ("tree", spec.tree_key()),
+                             ("core", spec.core_key())):
+            key = combine_fingerprint(points_fp, params)
+            copied = secondary.artifact_bytes(tier, key)
+            assert copied is not None, f"{tier} replica missing"
+            assert copied == primary.artifact_bytes(tier, key)
+        assert fleet.router._replica_writes_c.value(outcome="ok") >= 3
+        stats = fleet.router.stats()["router"]
+        assert stats["replicas"] == 2
+        assert stats["replica_pending"] == 0
+
+    def test_node_death_costs_zero_recompute(self, replicated_fleet):
+        fleet = replicated_fleet
+        body = {"dataset": "Uniform100M2:660", "algorithm": "mrd_emst",
+                "k_pts": 4}
+        first = fleet.router.submit(dict(body))
+        result, _node = _await(fleet.router, first)
+        assert result["status"] == "done", result.get("error")
+        _drain_replication(fleet.router)
+        points_fp = fleet.router.fingerprint(JobSpec.from_dict(body))
+        homes = [n.name for n in fleet.router.ring.homes(points_fp, 2)]
+        fleet.kill(homes[0])
+        repeat = fleet.router.submit(dict(body))
+        assert repeat["node"] == homes[1]  # failover == replica order
+        recovered, _ = _await(fleet.router, repeat)
+        assert recovered["status"] == "done", recovered.get("error")
+        # The surviving home answered from its replicated disk tier:
+        # a result hit, not a recompute.
+        assert recovered["cache"]["result_hit"]
+        assert recovered["cache"]["result_disk_hit"]
+        assert canonical_payload_bytes(recovered["payload"]) == \
+            canonical_payload_bytes(result["payload"])
+
+    def test_k1_router_never_replicates(self, fleet):
+        accepted = fleet.router.submit({"dataset": "Uniform100M2:700"})
+        _await(fleet.router, accepted)
+        assert fleet.router.replica_pending() == 0
+        assert fleet.router._replica_worker is None  # never even started
+        stats = fleet.router.stats()["router"]
+        assert stats["replicas"] == 1
+        assert stats["replica_pending"] == 0
+
+    def test_rejects_bad_replicas(self, fleet):
+        with pytest.raises(InvalidInputError):
+            ClusterRouter(fleet.nodes, replicas=0)
+
+
+class TestPeerFetch:
+    def test_miss_reads_through_peer_store(self, tmp_path):
+        a = Engine(max_workers=1, batch_window=0.0,
+                   store_dir=str(tmp_path / "a"))
+        server_a = create_server(a, node_name="a")
+        threading.Thread(target=server_a.serve_forever,
+                         daemon=True).start()
+        b = Engine(max_workers=1, batch_window=0.0,
+                   store_dir=str(tmp_path / "b"))
+        b.set_peers(
+            [f"http://127.0.0.1:{server_a.server_address[1]}"],
+            timeout=10.0)
+        try:
+            spec = {"dataset": "Uniform100M2:360",
+                    "algorithm": "mrd_emst", "k_pts": 4}
+            done_a = a.result(a.submit(JobSpec.from_dict(spec)),
+                              timeout=60)
+            done_b = b.result(b.submit(JobSpec.from_dict(spec)),
+                              timeout=60)
+            assert done_b.status.value == "done", done_b.error
+            assert canonical_payload_bytes(done_b.payload) == \
+                canonical_payload_bytes(done_a.payload)
+            # Served through the peer level, not recomputed and not a
+            # local hit; the blob also spilled into b's own store.
+            assert b.result_cache.peer_hits == 1
+            assert b.result_cache.stats()["peer_hits"] == 1
+            assert b._peer_fetch_c.value(tier="result",
+                                         outcome="hit") == 1
+            job_spec = JobSpec.from_dict(spec)
+            result_key = combine_fingerprint(
+                fingerprint_spec(job_spec), job_spec.params_key())
+            assert b.artifact_bytes("result", result_key) is not None
+            # The trace says where the artifact came from.
+            assert done_b.trace is not None
+            assert "peer_fetch" in _flat_span_names(done_b.trace)
+        finally:
+            server_a.shutdown()
+            server_a.server_close()
+            a.close()
+            b.close()
+
+    def test_dead_peer_degrades_to_recompute(self, tmp_path):
+        b = Engine(max_workers=1, batch_window=0.0,
+                   store_dir=str(tmp_path / "b"))
+        b.set_peers(["http://127.0.0.1:9"], timeout=0.5)
+        try:
+            done = b.result(
+                b.submit(JobSpec(dataset="Uniform100M2:320")), timeout=60)
+            assert done.status.value == "done", done.error
+            assert not done.cache["result_hit"]
+            assert b._peer_fetch_c.value(tier="result",
+                                         outcome="error") >= 1
+        finally:
+            b.close()
+
+    def test_obs_off_disables_peer_telemetry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "off")
+        a = Engine(max_workers=1, batch_window=0.0,
+                   store_dir=str(tmp_path / "a"))
+        server_a = create_server(a, node_name="a")
+        threading.Thread(target=server_a.serve_forever,
+                         daemon=True).start()
+        b = Engine(max_workers=1, batch_window=0.0,
+                   store_dir=str(tmp_path / "b"))
+        b.set_peers(
+            [f"http://127.0.0.1:{server_a.server_address[1]}"],
+            timeout=10.0)
+        try:
+            spec = {"dataset": "Uniform100M2:340"}
+            a.result(a.submit(JobSpec.from_dict(spec)), timeout=60)
+            done_b = b.result(b.submit(JobSpec.from_dict(spec)),
+                              timeout=60)
+            assert done_b.status.value == "done", done_b.error
+            # The read-through still works; the counters stay silent.
+            assert b.result_cache.peer_hits == 1
+            assert not b.registry.enabled
+            assert b._peer_fetch_c.value(tier="result", outcome="hit") == 0
+        finally:
+            server_a.shutdown()
+            server_a.server_close()
+            a.close()
+            b.close()
+
+
+class TestArtifactAPI:
+    def _warm_key(self, fleet, n=460):
+        body = {"dataset": f"Uniform100M2:{n}"}
+        accepted = fleet.router.submit(dict(body))
+        result, node = _await(fleet.router, accepted)
+        assert result["status"] == "done", result.get("error")
+        spec = JobSpec.from_dict(body)
+        key = combine_fingerprint(fleet.router.fingerprint(spec),
+                                  spec.params_key())
+        return key, node
+
+    def test_blob_roundtrip_over_http(self, fleet):
+        key, node = self._warm_key(fleet)
+        holder = next(n for n in fleet.nodes if n.name == node)
+        client = NodeClient(holder, timeout=10.0, retries=0)
+        listing = client.artifact_list()
+        assert listing["node"] == node
+        assert any(entry["tier"] == "result" and entry["key"] == key
+                   for entry in listing["artifacts"])
+        data = client.artifact("result", key)
+        engine = fleet.engines[int(node.rsplit("-", 1)[1])]
+        assert data == engine.artifact_bytes("result", key)
+        # Push the blob to a sibling, read it back byte-identically.
+        other = next(n for n in fleet.nodes if n.name != node)
+        sibling = NodeClient(other, timeout=10.0, retries=0)
+        receipt = sibling.artifact_put("result", key, data)
+        assert receipt["stored"] is True
+        assert sibling.artifact("result", key) == data
+
+    def test_bad_refs_rejected(self, fleet):
+        client = NodeClient(fleet.nodes[0], timeout=10.0, retries=0)
+        with pytest.raises(NodeHTTPError) as excinfo:
+            client.artifact("blobs", "0" * 64)  # unknown tier
+        assert excinfo.value.code == 400
+        with pytest.raises(NodeHTTPError) as excinfo:
+            client.artifact("result", "zz" * 32)  # non-hex key
+        assert excinfo.value.code == 400
+        with pytest.raises(NodeHTTPError) as excinfo:
+            client.artifact("result", "0" * 64)  # absent
+        assert excinfo.value.code == 404
+        with pytest.raises(NodeHTTPError) as excinfo:
+            client.artifact_put("result", "0" * 64, b"")  # empty body
+        assert excinfo.value.code == 400
+        with pytest.raises(NodeHTTPError) as excinfo:
+            client.artifact_put("result", "0" * 64, b"not an npz blob")
+        assert excinfo.value.code == 400
+        # The garbage never reached the store.
+        assert fleet.engines[0].artifact_bytes("result", "0" * 64) is None
+
+    def test_router_serves_reads_refuses_writes(self, routed_api, fleet):
+        key, node = self._warm_key(fleet, n=470)
+        with urllib.request.urlopen(
+                f"{routed_api}/v1/artifacts/result/{key}",
+                timeout=30) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == \
+                "application/octet-stream"
+            assert resp.headers["X-Repro-Node"] == node
+            data = resp.read()
+        engine = fleet.engines[int(node.rsplit("-", 1)[1])]
+        assert data == engine.artifact_bytes("result", key)
+        _, listing, _ = _get(f"{routed_api}/v1/artifacts")
+        assert {entry["node"] for entry in listing["nodes"]} == \
+            {"node-0", "node-1", "node-2"}
+        request = urllib.request.Request(
+            f"{routed_api}/v1/artifacts/result/{key}", data=data,
+            method="POST",
+            headers={"Content-Type": "application/octet-stream"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+
+class TestRebalance:
+    def _inventories(self, engines_by_name):
+        return {name: engine.artifact_entries()
+                for name, engine in engines_by_name.items()}
+
+    def test_copies_stranded_artifacts_to_new_homes(self, fleet, tmp_path):
+        for n in (300, 310, 320, 330):
+            accepted = fleet.router.submit({"dataset": f"Uniform100M2:{n}"})
+            result, _ = _await(fleet.router, accepted)
+            assert result["status"] == "done", result.get("error")
+        # A replacement node joins with an empty store.
+        engine = Engine(max_workers=1, batch_window=0.0,
+                        store_dir=str(tmp_path / "node-3"))
+        server = create_server(engine, node_name="node-3")
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            members = list(fleet.nodes) + [
+                Node(f"http://127.0.0.1:{server.server_address[1]}",
+                     name="node-3")]
+            journal = str(tmp_path / "rebalance.journal.jsonl")
+            summary = run_rebalance(members, replicas=2,
+                                    journal_path=journal)
+            assert summary["copied"] > 0
+            assert summary["failed"] == 0
+            assert summary["unreachable"] == []
+            # Every artifact now sits on every one of its ring homes.
+            engines = {f"node-{i}": e
+                       for i, e in enumerate(fleet.engines)}
+            engines["node-3"] = engine
+            ring = HashRing(members)
+            for name, entries in self._inventories(engines).items():
+                for entry in entries:
+                    tier, key = entry["tier"], entry["key"]
+                    for home in ring.homes(key, 2, healthy_only=False):
+                        assert engines[home.name].artifact_bytes(
+                            tier, key) is not None, \
+                            f"{tier}/{key[:12]} missing on {home.name}"
+            # Convergence: a rerun finds nothing left to copy.
+            again = run_rebalance(members, replicas=2,
+                                  journal_path=journal)
+            assert again["planned"] == 0
+            # The new node ingested real work, and counted it.
+            assert engine.artifact_entries()
+            assert engine._rebalance_copies_c.value() > 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+
+    def test_journal_skips_completed_copies_on_resume(self, fleet,
+                                                      tmp_path):
+        accepted = fleet.router.submit({"dataset": "Uniform100M2:305"})
+        result, _ = _await(fleet.router, accepted)
+        assert result["status"] == "done", result.get("error")
+        engines = {f"node-{i}": e for i, e in enumerate(fleet.engines)}
+        ring = HashRing(fleet.nodes)
+        plan = plan_rebalance(self._inventories(engines), ring, 2)
+        assert plan  # replicas=2 over a k=1 fleet always has copies
+        # Pretend a previous run completed the first copy, then crashed.
+        journal = str(tmp_path / "resume.journal.jsonl")
+        first = plan[0]
+        append_journal(journal, {"tier": first["tier"],
+                                 "key": first["key"],
+                                 "target": first["target"]})
+        summary = run_rebalance(fleet.nodes, replicas=2,
+                                journal_path=journal)
+        assert summary["skipped"] == 1
+        assert summary["copied"] == len(plan) - 1
+        # The journaled copy was genuinely short-circuited: its target
+        # still lacks the blob.
+        assert engines[first["target"]].artifact_bytes(
+            first["tier"], first["key"]) is None
+
+    def test_journal_tolerates_torn_final_line(self, tmp_path):
+        path = str(tmp_path / "torn.journal.jsonl")
+        append_journal(path, {"tier": "result", "key": "k1",
+                              "target": "n1"})
+        append_journal(path, {"tier": "tree", "key": "k2",
+                              "target": "n2"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"tier": "result", "ke')  # crash mid-append
+        assert load_journal(path) == {("result", "k1", "n1"),
+                                      ("tree", "k2", "n2")}
+        assert load_journal(str(tmp_path / "absent.jsonl")) == set()
+
+    def test_unreachable_member_warns_but_converges_rest(self, fleet,
+                                                         tmp_path):
+        accepted = fleet.router.submit({"dataset": "Uniform100M2:315"})
+        result, _ = _await(fleet.router, accepted)
+        assert result["status"] == "done", result.get("error")
+        members = list(fleet.nodes) + [Node("http://127.0.0.1:9",
+                                            name="node-9")]
+        warnings = []
+        summary = run_rebalance(members, replicas=2,
+                                journal_path=str(tmp_path / "j.jsonl"),
+                                timeout=0.5, log=warnings.append)
+        assert summary["unreachable"] == ["node-9"]
+        assert any("node-9" in line for line in warnings)
+        # Copies between live members still happened where planned.
+        assert summary["copied"] + summary["failed"] + \
+            summary["skipped"] == summary["planned"]

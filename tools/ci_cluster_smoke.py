@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """CI smoke check for the cluster tier: route, kill a node, stay correct.
 
-Boots a 3-node fleet (``python -m repro serve`` subprocesses, each with
-its own persistent store shard) behind a ``python -m repro route``
-subprocess, then:
+Two phases, each a fresh 3-node fleet (``python -m repro serve``
+subprocesses with their own persistent store shards) behind a
+``python -m repro route`` subprocess.
+
+**Phase 1 — failover (replicas=1, the PR 8 contract).**
 
 1. submits half of a mixed batch (three point sets × three algorithms)
    through the router,
@@ -11,7 +13,7 @@ subprocess, then:
    the first job, so the router provably loses live state,
 3. submits the other half and awaits everything through the router.
 
-Asserted invariants (the PR's acceptance criteria):
+Asserted invariants:
 
 * **every job completes** — submissions that hit the dead node fail over
   (at most one retry), results lost with the dead node are transparently
@@ -29,6 +31,22 @@ Asserted invariants (the PR's acceptance criteria):
   hop that ended ``unavailable``, or a ``lost`` marker before the
   recovery hop) — while the canonical payload bytes stay trace-free;
 * the router's health document reports the degraded fleet (2/3 up).
+
+**Phase 2 — replication (replicas=2, the PR 10 headline).**
+
+Nodes are peer-wired (``--peer``), the router runs ``--replicas 2``.
+The fleet is warmed with the full batch, the background replica queue is
+drained, and then the node that served the first job is SIGKILLed.
+
+* re-submitting **every** body completes byte-identical with **zero
+  recomputation**: each job reports a result-tier cache hit, and the
+  survivors' fleet-wide ``repro_cache_lookups_total`` result-hit count
+  grows by at least the batch size while their completed-job count grows
+  by exactly it (replays ride caches, not workers);
+* ``repro rebalance`` onto a fresh, empty, **peer-less** replacement
+  node exits 0, and a body whose result artifact homes on the
+  replacement is then served by it **warm immediately** — a result-tier
+  disk hit straight from the rebalanced shard, byte-identical again.
 
 Usage::
 
@@ -48,8 +66,10 @@ import time
 import urllib.error
 import urllib.request
 
+from repro.cluster import HashRing, Node
 from repro.service import JobSpec, canonical_payload_bytes
 from repro.service.executor import execute_spec, make_exec_spec
+from repro.store import combine_fingerprint, fingerprint_spec
 
 N_NODES = 3
 
@@ -81,10 +101,27 @@ def _await(base, job_id, timeout):
                              f"{result.get('status')} after {timeout}s")
 
 
+_REFERENCES = {}
+
+
 def _reference_bytes(body):
-    spec = JobSpec.from_dict(body)
-    return canonical_payload_bytes(
-        execute_spec(make_exec_spec(spec))["payload"])
+    # Memoized: phase 2 replays the same batch and the in-process
+    # reference execution is the expensive part of the check.
+    memo_key = json.dumps(body, sort_keys=True)
+    if memo_key not in _REFERENCES:
+        spec = JobSpec.from_dict(body)
+        _REFERENCES[memo_key] = canonical_payload_bytes(
+            execute_spec(make_exec_spec(spec))["payload"])
+    return _REFERENCES[memo_key]
+
+
+def _mixed_batch():
+    bodies = []
+    for n_points in (700, 900, 1100):
+        for algorithm in ("emst", "mrd_emst", "hdbscan"):
+            bodies.append({"dataset": f"Uniform100M2:{n_points}",
+                           "algorithm": algorithm, "k_pts": 4})
+    return bodies
 
 
 def _wait_healthy(proc, url, check, what):
@@ -132,11 +169,7 @@ def run_smoke(args):
                       lambda h: h.get("nodes_up") == N_NODES, "router")
         print(f"ok: {N_NODES} nodes + router up at {base}")
 
-        bodies = []
-        for n_points in (700, 900, 1100):
-            for algorithm in ("emst", "mrd_emst", "hdbscan"):
-                bodies.append({"dataset": f"Uniform100M2:{n_points}",
-                               "algorithm": algorithm, "k_pts": 4})
+        bodies = _mixed_batch()
         half = len(bodies) // 2
         submitted = [(body, *_submit(base, body)) for body in bodies[:half]]
 
@@ -241,6 +274,214 @@ def run_smoke(args):
         shutil.rmtree(store_root, ignore_errors=True)
 
 
+def _metric_total(doc, name, **match):
+    """Sum a family's samples whose labels include ``match``."""
+    total = 0.0
+    for family in doc.get("metrics", []):
+        if family.get("name") != name:
+            continue
+        for sample in family.get("samples", []):
+            labels = sample.get("labels") or {}
+            if all(labels.get(k) == v for k, v in match.items()):
+                total += sample.get("value", 0.0)
+    return total
+
+
+def _drain_replication(base, timeout=60):
+    deadline = time.monotonic() + timeout
+    while True:
+        stats, _ = _request(f"{base}/v1/stats")
+        if stats["router"].get("replica_pending", 0) == 0:
+            return
+        if time.monotonic() >= deadline:
+            raise SystemExit("FAIL: replica queue never drained "
+                             f"({stats['router']['replica_pending']} "
+                             f"still pending)")
+        time.sleep(0.1)
+
+
+def run_replicated_smoke(args):
+    """Phase 2: replicas=2 — node death costs zero recomputation."""
+    store_root = tempfile.mkdtemp(prefix="repro-cluster-smoke-rep-")
+    procs = {}
+    router_proc = None
+    base_port = args.base_port + 10
+    urls = {f"rep{i}": f"http://127.0.0.1:{base_port + i}"
+            for i in range(N_NODES)}
+    try:
+        node_args = []
+        for i in range(N_NODES):
+            name = f"rep{i}"
+            peer_args = []
+            for peer, url in urls.items():
+                if peer != name:
+                    peer_args += ["--peer", url]
+            procs[name] = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--port", str(base_port + i), "--workers", "1",
+                 "--name", name,
+                 "--store-dir", os.path.join(store_root, name),
+                 *peer_args],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+            node_args += ["--node", f"{name}={urls[name]}"]
+        for name, proc in procs.items():
+            _wait_healthy(proc, f"{urls[name]}/v1/healthz",
+                          lambda h: h.get("status") == "ok", name)
+        router_port = base_port + N_NODES
+        router_proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "route",
+             "--port", str(router_port), "--replicas", "2", *node_args],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        base = f"http://127.0.0.1:{router_port}"
+        _wait_healthy(router_proc, f"{base}/v1/healthz",
+                      lambda h: h.get("nodes_up") == N_NODES, "router")
+        print(f"ok: replicated fleet ({N_NODES} peer-wired nodes, "
+              f"replicas=2) + router up at {base}")
+
+        # Warm: run the full batch through the router, then wait for the
+        # background replica queue to finish copying every finished
+        # job's artifacts to its second ring home.
+        bodies = _mixed_batch()
+        warmed = [(body, *_submit(base, body)) for body in bodies]
+        victim = warmed[0][2]
+        for body, job_id, _node in warmed:
+            result, _ = _await(base, job_id, args.timeout)
+            if result["status"] != "done":
+                raise SystemExit(f"FAIL: warm job {job_id} failed: "
+                                 f"{result.get('error')}")
+        _drain_replication(base)
+        print(f"ok: {len(bodies)} jobs warmed and replicated "
+              f"(replica queue drained)")
+
+        # Snapshot every node's cache/job counters, then kill the node
+        # that served the first job.  The replay below must be answered
+        # entirely from the survivors' replicated tiers.
+        before = {}
+        for name, url in urls.items():
+            doc, _ = _request(f"{url}/v1/metrics?format=json")
+            before[name] = doc
+        os.kill(procs[victim].pid, signal.SIGKILL)
+        procs[victim].wait(timeout=30)
+        print(f"ok: killed {victim} (SIGKILL) after warm-up")
+
+        for body in bodies:
+            job_id, _node = _submit(base, body)
+            result, node = _await(base, job_id, args.timeout)
+            if result["status"] != "done":
+                raise SystemExit(f"FAIL: replay after node death failed "
+                                 f"for {body}: {result.get('error')}")
+            if node == victim:
+                raise SystemExit(f"FAIL: replay claims dead node {victim}")
+            if not result["cache"].get("result_hit"):
+                raise SystemExit(
+                    f"FAIL: replay of {body} recomputed on {node} "
+                    f"instead of hitting a replicated result tier: "
+                    f"{result['cache']}")
+            if canonical_payload_bytes(result["payload"]) != \
+                    _reference_bytes(body):
+                raise SystemExit(f"FAIL: replayed payload diverges for "
+                                 f"{body}")
+        hit_delta = done_delta = 0.0
+        survivors = [name for name in urls if name != victim]
+        for name in survivors:
+            doc, _ = _request(f"{urls[name]}/v1/metrics?format=json")
+            hit_delta += (
+                _metric_total(doc, "repro_cache_lookups_total",
+                              tier="result", outcome="hit") -
+                _metric_total(before[name], "repro_cache_lookups_total",
+                              tier="result", outcome="hit"))
+            done_delta += (
+                _metric_total(doc, "repro_jobs_completed_total") -
+                _metric_total(before[name], "repro_jobs_completed_total"))
+        if hit_delta < len(bodies):
+            raise SystemExit(
+                f"FAIL: survivors report only {hit_delta:.0f} result-tier "
+                f"hits for {len(bodies)} replayed jobs — some recomputed")
+        if done_delta != len(bodies):
+            raise SystemExit(
+                f"FAIL: survivors completed {done_delta:.0f} jobs for "
+                f"{len(bodies)} replays — the death was not recompute-free")
+        print(f"ok: all {len(bodies)} replays byte-identical with zero "
+              f"recompute ({hit_delta:.0f} fleet-wide result-tier hits, "
+              f"{done_delta:.0f} jobs completed)")
+
+        # Rebalance onto a fresh, empty, peer-less replacement: warm
+        # service must come from its own rebalanced shard, nothing else.
+        replacement = "rep9"
+        replacement_port = base_port + N_NODES + 1
+        replacement_url = f"http://127.0.0.1:{replacement_port}"
+        procs[replacement] = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", str(replacement_port), "--workers", "1",
+             "--name", replacement,
+             "--store-dir", os.path.join(store_root, replacement)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        _wait_healthy(procs[replacement], f"{replacement_url}/v1/healthz",
+                      lambda h: h.get("status") == "ok", replacement)
+        members = [f"{name}={urls[name]}" for name in survivors]
+        members.append(f"{replacement}={replacement_url}")
+        rebalance = subprocess.run(
+            [sys.executable, "-m", "repro", "rebalance",
+             *(arg for member in members for arg in ("--node", member)),
+             "--replicas", "2",
+             "--journal", os.path.join(store_root, "rebalance.jsonl")],
+            capture_output=True, text=True, timeout=300)
+        if rebalance.returncode != 0:
+            raise SystemExit(f"FAIL: repro rebalance exited "
+                             f"{rebalance.returncode}:\n{rebalance.stdout}"
+                             f"{rebalance.stderr}")
+        print(f"ok: {rebalance.stdout.strip()}")
+
+        # A body whose result artifact homes on the replacement must be
+        # served warm by it immediately — straight off the copied shard.
+        ring = HashRing(
+            [Node(urls[name], name=name) for name in survivors] +
+            [Node(replacement_url, name=replacement)])
+        target_body = None
+        for body in bodies:
+            spec = JobSpec.from_dict(body)
+            result_key = combine_fingerprint(fingerprint_spec(spec),
+                                             spec.params_key())
+            homes = [n.name for n in ring.homes(result_key, 2,
+                                                healthy_only=False)]
+            if replacement in homes:
+                target_body = body
+                break
+        if target_body is None:
+            raise SystemExit("FAIL: no result artifact homes on the "
+                             "replacement node (9 keys, 2 of 3 homes "
+                             "each — placement is broken)")
+        job_id, node = _submit(replacement_url, target_body)
+        result, node = _await(replacement_url, job_id, args.timeout)
+        if result["status"] != "done":
+            raise SystemExit(f"FAIL: job on replacement failed: "
+                             f"{result.get('error')}")
+        if node != replacement:
+            raise SystemExit(f"FAIL: expected {replacement} to answer, "
+                             f"got {node}")
+        if not result["cache"].get("result_hit") or \
+                not result["cache"].get("result_disk_hit"):
+            raise SystemExit(
+                f"FAIL: replacement recomputed instead of serving its "
+                f"rebalanced shard: {result['cache']}")
+        if canonical_payload_bytes(result["payload"]) != \
+                _reference_bytes(target_body):
+            raise SystemExit("FAIL: rebalanced payload diverges from the "
+                             "in-process reference")
+        print(f"ok: rebalanced replacement {replacement} served "
+              f"{target_body['dataset']}/{target_body['algorithm']} "
+              f"warm immediately (result-tier disk hit)")
+        return 0
+    finally:
+        for proc in list(procs.values()) + [router_proc]:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+        for proc in list(procs.values()) + [router_proc]:
+            if proc is not None:
+                proc.wait(timeout=30)
+        shutil.rmtree(store_root, ignore_errors=True)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--base-port", type=int, default=8450,
@@ -256,7 +497,10 @@ def main(argv=None):
     if src not in existing.split(os.pathsep):
         os.environ["PYTHONPATH"] = (f"{src}{os.pathsep}{existing}"
                                     if existing else src)
-    return run_smoke(args)
+    code = run_smoke(args)
+    if code:
+        return code
+    return run_replicated_smoke(args)
 
 
 if __name__ == "__main__":
